@@ -1,0 +1,258 @@
+package toorjah
+
+// Benchmarks regenerating the paper's evaluation (one benchmark per table or
+// figure), plus ablations of the individual optimizations. Access counts are
+// reported as custom metrics next to wall time, since the paper's cost model
+// is the number of accesses:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkFig6_*     — paper Fig. 6 (publication schema, q1–q3)
+// BenchmarkFig10      — paper Fig. 10 (random-workload aggregate)
+// BenchmarkFig11_*    — paper Fig. 11 (execution time by query size)
+// BenchmarkAblation_* — each optimization toggled off
+// BenchmarkPlanning_* — cost of d-graph construction, GFP and plan generation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"toorjah/internal/core"
+	"toorjah/internal/cq"
+	"toorjah/internal/exec"
+	"toorjah/internal/experiments"
+	"toorjah/internal/gen"
+	"toorjah/internal/plan"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+)
+
+// benchPub prepares the Fig. 6 workload once per benchmark.
+func benchPub(b *testing.B, tuples int) (*schema.Schema, *source.Registry) {
+	b.Helper()
+	cfg := gen.DefaultPublication()
+	cfg.Tuples = tuples
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sch, reg
+}
+
+func benchFig6Query(b *testing.B, queryIdx int, naive bool) {
+	sch, reg := benchPub(b, 300)
+	q, err := cq.Parse(gen.PublicationQueries[queryIdx])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var accesses int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r *exec.Result
+		if naive {
+			r, err = exec.Naive(sch, reg, p.Query, p.Typing)
+		} else {
+			r, err = exec.FastFailing(p.Plan, reg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = r.TotalAccesses()
+	}
+	b.ReportMetric(float64(accesses), "accesses")
+}
+
+func BenchmarkFig6_Q1_Naive(b *testing.B)     { benchFig6Query(b, 0, true) }
+func BenchmarkFig6_Q1_Optimized(b *testing.B) { benchFig6Query(b, 0, false) }
+func BenchmarkFig6_Q2_Naive(b *testing.B)     { benchFig6Query(b, 1, true) }
+func BenchmarkFig6_Q2_Optimized(b *testing.B) { benchFig6Query(b, 1, false) }
+func BenchmarkFig6_Q3_Naive(b *testing.B)     { benchFig6Query(b, 2, true) }
+func BenchmarkFig6_Q3_Optimized(b *testing.B) { benchFig6Query(b, 2, false) }
+
+// BenchmarkFig10 runs one slice of the random-workload aggregate per
+// iteration and reports the average saved-access fraction.
+func BenchmarkFig10(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RunFig10(int64(i+1), 2, 6, gen.Fig10())
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = st.Saved.Avg()
+	}
+	b.ReportMetric(100*saved, "%saved")
+}
+
+// benchFig11 measures one atom-count bucket of the Fig. 11 experiment.
+func benchFig11(b *testing.B, atoms int) {
+	cfg := gen.Fig10()
+	cfg.MinAtoms, cfg.MaxAtoms = atoms, atoms
+	var naiveMS, optMS float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig11(int64(i+1), 2, 5, 200*time.Microsecond, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			naiveMS = float64(r.NaiveTime.Microseconds()) / 1000
+			optMS = float64(r.OptTime.Microseconds()) / 1000
+		}
+	}
+	b.ReportMetric(naiveMS, "naive-ms")
+	b.ReportMetric(optMS, "opt-ms")
+}
+
+func BenchmarkFig11_Atoms2(b *testing.B) { benchFig11(b, 2) }
+func BenchmarkFig11_Atoms3(b *testing.B) { benchFig11(b, 3) }
+func BenchmarkFig11_Atoms4(b *testing.B) { benchFig11(b, 4) }
+func BenchmarkFig11_Atoms5(b *testing.B) { benchFig11(b, 5) }
+func BenchmarkFig11_Atoms6(b *testing.B) { benchFig11(b, 6) }
+
+// Ablations: q2 of the publication workload with one optimization disabled
+// at a time (the design choices DESIGN.md calls out).
+func benchAblation(b *testing.B, prepare core.Options, run exec.Options) {
+	sch, reg := benchPub(b, 300)
+	q, err := cq.Parse(gen.PublicationQueries[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.PrepareOpts(sch, q, prepare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var accesses int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exec.FastFailingOpts(p.Plan, reg, run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = r.TotalAccesses()
+	}
+	b.ReportMetric(float64(accesses), "accesses")
+}
+
+func BenchmarkAblation_Full(b *testing.B) {
+	benchAblation(b, core.Options{}, exec.Options{})
+}
+
+func BenchmarkAblation_NoPruning(b *testing.B) {
+	benchAblation(b, core.Options{SkipPruning: true}, exec.Options{})
+}
+
+func BenchmarkAblation_NoMetaCache(b *testing.B) {
+	benchAblation(b, core.Options{}, exec.Options{NoMetaCache: true})
+}
+
+func BenchmarkAblation_NoEarlyFailure(b *testing.B) {
+	benchAblation(b, core.Options{}, exec.Options{NoEarlyFailure: true})
+}
+
+func BenchmarkAblation_NoOrderingHeuristic(b *testing.B) {
+	benchAblation(b, core.Options{Order: plan.OrderOptions{NoHeuristic: true}}, exec.Options{})
+}
+
+func BenchmarkAblation_SizeStatistics(b *testing.B) {
+	// The paper's §IV suggestion: with table statistics available, place
+	// small tables first compatibly with the ordering.
+	sizes := map[string]int{"pub1": 300, "pub2": 300, "conf": 300, "rev": 300, "sub": 300, "rev_icde": 300}
+	benchAblation(b, core.Options{Order: plan.OrderOptions{Sizes: sizes}}, exec.Options{})
+}
+
+// BenchmarkPipelined measures the parallel engine against the sequential
+// fast-failing strategy under per-access latency, reporting time-to-first-
+// answer (the paper's pagination argument).
+func BenchmarkPipelined(b *testing.B) {
+	cfg := gen.SmallPublication()
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, 100*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := cq.Parse(gen.PublicationQueries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var first, total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exec.Pipelined(p.Plan, reg, exec.PipeOptions{Parallelism: 4}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, total = r.TimeToFirst, r.Elapsed
+	}
+	b.ReportMetric(float64(first.Microseconds()), "first-answer-µs")
+	b.ReportMetric(float64(total.Microseconds()), "total-µs")
+}
+
+func BenchmarkSequentialWithLatency(b *testing.B) {
+	cfg := gen.SmallPublication()
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, 100*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := cq.Parse(gen.PublicationQueries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.FastFailing(p.Plan, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Planning-time benches: the optimizer itself must stay cheap (the paper's
+// GFP is polynomial).
+func BenchmarkPlanning_Q3(b *testing.B) {
+	sch := schema.MustParse(gen.PublicationSchemaText)
+	q, err := cq.Parse(gen.PublicationQueries[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Prepare(sch, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanning_RandomLarge(b *testing.B) {
+	cfg := gen.Fig10()
+	cfg.MinRelations, cfg.MaxRelations = 10, 10
+	cfg.MinAtoms, cfg.MaxAtoms = 6, 6
+	g := gen.New(3, cfg)
+	sch := g.Schema()
+	var queries []*cq.CQ
+	for i := 0; i < 5; i++ {
+		if q, ok := g.Query(sch, fmt.Sprintf("q%d", i)); ok {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		b.Skip("no queries generated")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Prepare(sch, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command dgraphviz renders the dependency graph and the optimized
+// dependency graph of a query in Graphviz DOT format, reproducing the
+// paper's Figs. 2, 4, 7, 8 and 9.
+//
+//	dgraphviz -fig 2           d-graph of the running example (Fig. 2)
+//	dgraphviz -fig 4           optimized d-graph of the running example
+//	dgraphviz -fig 7|8|9       d-graphs of q1/q2/q3, before and after pruning
+//	dgraphviz -schema f -query "q(X) :- ..."   any schema and query
+//
+// Pipe the output to `dot -Tpdf` to render.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"toorjah/internal/core"
+	"toorjah/internal/cq"
+	"toorjah/internal/dgraph"
+	"toorjah/internal/gen"
+	"toorjah/internal/schema"
+)
+
+const exampleSchema = `
+r1^io(A, B)
+r2^io(B, C)
+r3^io(C, A)
+`
+
+const exampleQuery = "q(C) :- r1(a, B), r2(B, C)"
+
+func main() {
+	fig := flag.String("fig", "", "paper figure to reproduce: 2, 4, 7, 8 or 9")
+	schemaFile := flag.String("schema", "", "schema file (paper notation, one relation per line)")
+	queryText := flag.String("query", "", "conjunctive query")
+	optimized := flag.Bool("optimized", false, "render the optimized d-graph instead of the full one")
+	flag.Parse()
+
+	var schText, qText string
+	showOpt := *optimized
+	switch *fig {
+	case "2":
+		schText, qText = exampleSchema, exampleQuery
+	case "4":
+		schText, qText, showOpt = exampleSchema, exampleQuery, true
+	case "7", "8", "9":
+		schText = gen.PublicationSchemaText
+		qText = gen.PublicationQueries[int((*fig)[0]-'7')]
+	case "":
+		if *schemaFile == "" || *queryText == "" {
+			fmt.Fprintln(os.Stderr, "need -fig or both -schema and -query")
+			os.Exit(2)
+		}
+		raw, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fatal(err)
+		}
+		schText, qText = string(raw), *queryText
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	sch, err := schema.Parse(schText)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := cq.Parse(qText)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("// query: %s\n// relevant: %v\n// irrelevant: %v\n",
+		qText, p.Opt.RelevantRelations(), p.Opt.IrrelevantRelations())
+	if showOpt {
+		fmt.Print(dgraph.DOTOptimized(p.Opt))
+	} else {
+		fmt.Print(dgraph.DOT(p.Graph, p.Opt.Solution, true))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dgraphviz:", err)
+	os.Exit(1)
+}

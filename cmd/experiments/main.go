@@ -1,0 +1,52 @@
+// Command experiments regenerates every table and figure of the
+// experimental evaluation of Calì & Martinenghi, ICDE 2008 (Section V):
+//
+//	experiments -fig 6    per-relation accesses and rows, naive vs
+//	                      optimized, for q1–q3 over the publication schema
+//	experiments -fig 10   aggregate arc/savings statistics over random
+//	                      schemata and queries
+//	experiments -fig 11   average execution times by query size, naive vs
+//	                      optimized, with simulated per-access latency
+//	experiments -fig all  everything
+//
+// Absolute numbers differ from the paper (different generator seeds and an
+// in-memory store instead of PostgreSQL); the shapes — which relations are
+// pruned, who wins and by what factor — are the reproduction target. See
+// EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"toorjah/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 10, 11 or all")
+	seed := flag.Int64("seed", 1, "workload seed")
+	schemas := flag.Int("schemas", 12, "random schemata for figs 10/11")
+	queries := flag.Int("queries", 25, "random queries per schema for figs 10/11")
+	tuples := flag.Int("tuples", 1000, "tuples per relation for fig 6")
+	latencyUS := flag.Int("latency-us", 200, "simulated per-access latency in µs for fig 11")
+	flag.Parse()
+
+	switch *fig {
+	case "6":
+		experiments.Fig6(os.Stdout, *seed, *tuples)
+	case "10":
+		experiments.Fig10(os.Stdout, *seed, *schemas, *queries)
+	case "11":
+		experiments.Fig11(os.Stdout, *seed, *schemas, *queries, *latencyUS)
+	case "all":
+		experiments.Fig6(os.Stdout, *seed, *tuples)
+		fmt.Fprintln(os.Stdout)
+		experiments.Fig10(os.Stdout, *seed, *schemas, *queries)
+		fmt.Fprintln(os.Stdout)
+		experiments.Fig11(os.Stdout, *seed, *schemas, *queries, *latencyUS)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 6, 10, 11 or all)\n", *fig)
+		os.Exit(2)
+	}
+}

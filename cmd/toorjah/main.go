@@ -1,0 +1,144 @@
+// Command toorjah answers conjunctive queries over access-limited sources
+// with an optimized, ⊂-minimal query plan, streaming answers as they are
+// found (the system of Calì & Martinenghi, ICDE 2008).
+//
+//	toorjah -schema schema.txt -data datadir -query "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)"
+//
+// The schema file uses the paper's notation, one relation per line
+// ("rev^ooi(Person, ConfName, Year)"); datadir holds one CSV file per
+// relation (rev.csv, …). Flags:
+//
+//	-plan      print the optimized plan (ordering + Datalog program) and exit
+//	-dot       print the d-graph in DOT format and exit
+//	-naive     run the naive algorithm instead of the optimized plan
+//	-stats     print per-relation access statistics after the answers
+//	-latency   simulated per-access latency (e.g. 50ms)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"toorjah/internal/core"
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/dgraph"
+	"toorjah/internal/exec"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+func main() {
+	schemaFile := flag.String("schema", "", "schema file (required)")
+	dataDir := flag.String("data", "", "directory of per-relation CSV files (required)")
+	queryText := flag.String("query", "", "conjunctive query (required)")
+	showPlan := flag.Bool("plan", false, "print the optimized plan and exit")
+	showDOT := flag.Bool("dot", false, "print the d-graph in DOT format and exit")
+	naive := flag.Bool("naive", false, "use the naive strategy of Fig. 1")
+	showStats := flag.Bool("stats", true, "print access statistics")
+	latency := flag.Duration("latency", 0, "simulated per-access latency")
+	flag.Parse()
+
+	if *schemaFile == "" || *queryText == "" || (*dataDir == "" && !*showPlan && !*showDOT) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*schemaFile)
+	if err != nil {
+		fatal(err)
+	}
+	sch, err := schema.Parse(string(raw))
+	if err != nil {
+		fatal(err)
+	}
+	q, err := cq.Parse(*queryText)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		fatal(err)
+	}
+	if !p.Answerable() {
+		fmt.Println("query is not answerable: some relation in it is not queryable; the answer is empty on every instance")
+		return
+	}
+	if *showDOT {
+		fmt.Print(dgraph.DOT(p.Graph, p.Opt.Solution, true))
+		return
+	}
+	if *showPlan {
+		fmt.Printf("relevant relations:   %s\n", strings.Join(p.Opt.RelevantRelations(), ", "))
+		fmt.Printf("irrelevant relations: %s\n", strings.Join(p.Opt.IrrelevantRelations(), ", "))
+		if p.Plan.ForAllMinimal() {
+			fmt.Println("the ordering is unique: this plan is ∀-minimal")
+		}
+		fmt.Println(p.Plan)
+		return
+	}
+
+	db := storage.NewDatabase()
+	for _, rel := range sch.Relations() {
+		path := filepath.Join(*dataDir, rel.Name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // missing file = empty source
+			}
+			fatal(err)
+		}
+		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		dbt, err := db.Create(rel.Name, rel.Arity())
+		if err != nil {
+			fatal(err)
+		}
+		dbt.InsertAll(tab.Rows())
+	}
+	reg, err := source.FromDatabase(sch, db, *latency)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	var res *exec.Result
+	if *naive {
+		res, err = exec.Naive(sch, reg, p.Query, p.Typing)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range res.Answers.Tuples() {
+			fmt.Println(strings.Join(t, ", "))
+		}
+	} else {
+		// Stream answers as they are derived (the Toorjah way).
+		res, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{}, func(t datalog.Tuple) {
+			fmt.Printf("%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
+	if *showStats {
+		fmt.Printf("-- %d access(es), %d tuple(s) extracted\n", res.TotalAccesses(), res.TotalTuples())
+		for _, rel := range sch.Relations() {
+			if st, ok := res.Stats[rel.Name]; ok {
+				fmt.Printf("--   %-12s %6d accesses  %6d rows\n", rel.Name, st.Accesses, st.Tuples)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "toorjah:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Quickstart reproduces Example 1 of the paper: finding the nationality of
+// the artist who wrote 'volare' when every source sits behind a web-form
+// style access pattern.
+//
+// The schema:
+//
+//	r1^ioo(Artist, Nation, Year)  — artists; the artist name must be filled in
+//	r2^oio(Title, Year, Artist)   — songs; the year must be filled in
+//	r3^oo(Artist, Album)          — albums; freely browsable
+//
+// The query q(N) :- r1(A, N, Y1), r2(volare, Y2, A) has no binding for
+// either limited source, so a traditional plan cannot run at all: the only
+// way in is the free relation r3 — which the query never mentions — whose
+// artist names unlock r1, whose years unlock r2, recursively, until no new
+// value appears.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"toorjah"
+)
+
+func main() {
+	sch, err := toorjah.ParseSchema(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := toorjah.NewSystem(sch)
+	must(sys.BindRows("r1",
+		toorjah.Row{"modugno", "italy", "1928"},
+		toorjah.Row{"madonna", "usa", "1958"},
+		toorjah.Row{"dylan", "usa", "1941"},
+	))
+	must(sys.BindRows("r2",
+		toorjah.Row{"volare", "1958", "modugno"},
+		toorjah.Row{"vogue", "1990", "madonna"},
+		toorjah.Row{"hurricane", "1976", "dylan"},
+	))
+	must(sys.BindRows("r3",
+		toorjah.Row{"madonna", "like_a_virgin"},
+		toorjah.Row{"dylan", "desire"},
+	))
+
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:     q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	fmt.Println("relevant:  ", strings.Join(q.RelevantRelations(), ", "))
+	fmt.Println("plan ordering and program:")
+	fmt.Println(q.Plan())
+	fmt.Println()
+
+	res, err := q.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answers:", res.SortedAnswers())
+	fmt.Printf("accesses: %d (tuples extracted: %d)\n", res.TotalAccesses(), res.TotalTuples())
+	for rel, st := range res.Stats {
+		fmt.Printf("  %-4s %d accesses, %d rows\n", rel, st.Accesses, st.Tuples)
+	}
+	fmt.Println()
+	fmt.Println("note: r3 is accessed although the query never mentions it —")
+	fmt.Println("that is the essence of query answering under access limitations.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

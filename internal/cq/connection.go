@@ -1,0 +1,37 @@
+package cq
+
+import "toorjah/internal/schema"
+
+// IsConnectionQuery reports whether q belongs to the connection-query class
+// of Li & Chang (TODS 2001), the class handled by earlier relevance work and
+// discussed in Section VI of the paper: in a connection query, all
+// attributes with the same abstract domain must be in join — they must all
+// hold one single term — and that term must be either one shared variable
+// (all non-selected) or one shared constant (all selected).
+//
+// Connection queries are inexpressive: over a binary relation
+// parent(Person, Person) the only connection query asks for people who are
+// their own parents. The paper reports that roughly 70% of its synthetic
+// queries are not connection queries (q3 among them); the planner here
+// handles arbitrary CQs, which is the paper's main generalization.
+func IsConnectionQuery(q *CQ, s *schema.Schema) bool {
+	termOf := make(map[schema.Domain]Term)
+	for _, a := range q.Body {
+		rel := s.Relation(a.Pred)
+		if rel == nil || rel.Arity() != len(a.Args) {
+			return false // not even valid; certainly not connection
+		}
+		for i, t := range a.Args {
+			d := rel.Domains[i]
+			prev, seen := termOf[d]
+			if !seen {
+				termOf[d] = t
+				continue
+			}
+			if prev != t {
+				return false
+			}
+		}
+	}
+	return true
+}

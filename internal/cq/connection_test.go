@@ -1,0 +1,59 @@
+package cq
+
+import (
+	"testing"
+
+	"toorjah/internal/schema"
+)
+
+func TestIsConnectionQuery(t *testing.T) {
+	pub := schema.MustParse(`
+pub1^io(Paper, Person)
+pub2^oo(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+rev^ooi(Person, ConfName, Year)
+sub^oi(Paper, Person)
+rev_icde^iio(Person, Paper, Eval)
+`)
+	cases := []struct {
+		query string
+		want  bool
+	}{
+		// Every Paper position holds P, every Person position holds R.
+		{"q(R) :- pub1(P, R), pub2(P, R)", true},
+		// Single atom with all-distinct domains is trivially connection.
+		{"q(P) :- conf(P, C, Y)", true},
+		// q1 of the paper: Person R occurs in pub1 and rev jointly — all
+		// Person positions hold R, Paper positions hold P, ConfName C,
+		// Year Y: connection.
+		{"q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)", true},
+		// Two distinct Paper variables: not a connection query.
+		{"q(R) :- pub1(P, R), conf(P2, C, Y)", false},
+		// The paper's q3 is explicitly not a connection query (two Paper
+		// variables P and S, two Person variables R and A).
+		{"q(R) :- rev_icde(R, S, acc), sub(S, A), pub1(P, R), pub1(P, A), rev(R, icde, y2008), conf(P, icde, Y)", false},
+		// Mixed constant and variable on one domain: not connection.
+		{"q(R) :- rev(R, icde, Y), conf(P, C, Y)", false},
+	}
+	for _, c := range cases {
+		q := MustParse(c.query)
+		if got := IsConnectionQuery(q, pub); got != c.want {
+			t.Errorf("IsConnectionQuery(%s) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+// TestConnectionParentExample reproduces the paper's Section VI remark: over
+// parent(Person, Person), the only variable-using connection query asks for
+// people who are their own parents.
+func TestConnectionParentExample(t *testing.T) {
+	s := schema.MustParse("parent^oo(Person, Person)")
+	selfParent := MustParse("q(X) :- parent(X, X)")
+	if !IsConnectionQuery(selfParent, s) {
+		t.Error("parent(X, X) is the connection query")
+	}
+	normal := MustParse("q(X, Y) :- parent(X, Y)")
+	if IsConnectionQuery(normal, s) {
+		t.Error("parent(X, Y) uses two Person terms: not connection")
+	}
+}

@@ -1,0 +1,175 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"toorjah/internal/schema"
+)
+
+// ConstPrefix prefixes the names of the artificial relations created by
+// EliminateConstants (the paper's ℓ_a relations); the prefix keeps them
+// disjoint from user relation names.
+const ConstPrefix = "l_"
+
+// ConstRelation describes an artificial unary relation introduced for a
+// query constant: an output-only relation of the constant's abstract domain
+// whose extension is exactly the singleton {⟨value⟩}.
+type ConstRelation struct {
+	Name   string
+	Value  string
+	Domain schema.Domain
+}
+
+// Preprocessed is the result of constant elimination: an equivalent
+// constant-free query over the schema extended with one artificial relation
+// per (constant, domain) pair.
+type Preprocessed struct {
+	// Query is the constant-free rewriting of the original query. For every
+	// occurrence of a constant a at a body position of domain A, a fresh
+	// variable replaces the constant and an atom l_a(X) is appended.
+	Query *CQ
+	// Schema is the input schema extended with the artificial relations.
+	Schema *schema.Schema
+	// Consts lists the artificial relations in deterministic order.
+	Consts []ConstRelation
+	// HeadConsts maps, for each head position holding a constant in the
+	// original query, the position to the constant. The rewritten head uses
+	// a variable bound by the corresponding artificial atom.
+	HeadConsts map[int]string
+}
+
+// EliminateConstants rewrites q into an equivalent constant-free query, as
+// in Section III of the paper: every constant a acts as an artificial
+// relation ℓ_a with a single output attribute whose content is exactly ⟨a⟩.
+// For example q(Y) :- r(a, Y) becomes q(Y) :- r(X, Y), l_a(X).
+func EliminateConstants(q *CQ, s *schema.Schema, typing *Typing) (*Preprocessed, error) {
+	out := &Preprocessed{
+		Query:      &CQ{Name: q.Name},
+		Schema:     s.Clone(),
+		HeadConsts: make(map[int]string),
+	}
+	used := make(map[string]bool)
+	for _, v := range q.Vars() {
+		used[v] = true
+	}
+	constVar := make(map[string]string)  // constant value -> replacement variable
+	nameOwner := make(map[string]string) // artificial relation name -> constant value
+	fresh := func(base string) string {
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s%d", base, i)
+		}
+		used[name] = true
+		return name
+	}
+	handle := func(value string) (string, error) {
+		if v, ok := constVar[value]; ok {
+			return v, nil
+		}
+		d, ok := typing.ConstDomain[value]
+		if !ok {
+			return "", fmt.Errorf("constant %q has no inferred domain", value)
+		}
+		name := constRelName(value)
+		for i := 2; ; i++ {
+			owner, taken := nameOwner[name]
+			if !taken || owner == value {
+				break
+			}
+			name = fmt.Sprintf("%s_%d", constRelName(value), i)
+		}
+		nameOwner[name] = value
+		rel := ConstRelation{Name: name, Value: value, Domain: d}
+		v := fresh("X_" + sanitizeIdent(value))
+		constVar[value] = v
+		if !out.Schema.Has(rel.Name) {
+			r, err := schema.NewRelation(rel.Name, "o", d)
+			if err != nil {
+				return "", err
+			}
+			if err := out.Schema.Add(r); err != nil {
+				return "", err
+			}
+		}
+		out.Consts = append(out.Consts, rel)
+		out.Query.Body = append(out.Query.Body, Atom{Pred: rel.Name, Args: []Term{V(v)}})
+		return v, nil
+	}
+	rewriteArgs := func(args []Term) ([]Term, error) {
+		nargs := make([]Term, len(args))
+		for i, t := range args {
+			if t.IsVar {
+				nargs[i] = t
+				continue
+			}
+			v, err := handle(t.Name)
+			if err != nil {
+				return nil, err
+			}
+			nargs[i] = V(v)
+		}
+		return nargs, nil
+	}
+	// The artificial atoms are appended as they are first encountered, then
+	// the original atoms follow; order within the body is immaterial.
+	for _, a := range q.Body {
+		nargs, err := rewriteArgs(a.Args)
+		if err != nil {
+			return nil, err
+		}
+		out.Query.Body = append(out.Query.Body, Atom{Pred: a.Pred, Args: nargs})
+	}
+	for _, a := range q.Negated {
+		nargs, err := rewriteArgs(a.Args)
+		if err != nil {
+			return nil, err
+		}
+		out.Query.Negated = append(out.Query.Negated, Atom{Pred: a.Pred, Args: nargs})
+	}
+	out.Query.Head = make([]Term, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar {
+			out.Query.Head[i] = t
+			continue
+		}
+		out.HeadConsts[i] = t.Name
+		v, err := handle(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		out.Query.Head[i] = V(v)
+	}
+	return out, nil
+}
+
+// constRelName builds the artificial relation name for a constant.
+func constRelName(value string) string { return ConstPrefix + sanitizeIdent(value) }
+
+// IsConstRelation reports whether a relation name denotes an artificial
+// constant relation, returning the constant value it carries.
+func IsConstRelation(name string) (value string, ok bool) {
+	if !strings.HasPrefix(name, ConstPrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(name, ConstPrefix), true
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			fmt.Fprintf(&b, "x%02x", c)
+		}
+	}
+	if b.Len() == 0 {
+		return "empty"
+	}
+	return b.String()
+}

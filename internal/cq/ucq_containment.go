@@ -1,0 +1,65 @@
+package cq
+
+// ContainsCQInUCQ reports whether the union u contains the conjunctive
+// query q (q ⊆ u): by the Sagiv–Yannakakis theorem, a CQ is contained in a
+// union of CQs iff it is contained in one of the disjuncts.
+func ContainsCQInUCQ(u *UCQ, q *CQ) bool {
+	for _, d := range u.Disjuncts {
+		if Contains(d, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsUCQ reports whether u1 contains u2 (u2 ⊆ u1): every disjunct of
+// u2 must be contained in some disjunct of u1.
+func ContainsUCQ(u1, u2 *UCQ) bool {
+	for _, d := range u2.Disjuncts {
+		if !ContainsCQInUCQ(u1, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentUCQ reports logical equivalence of two unions.
+func EquivalentUCQ(u1, u2 *UCQ) bool {
+	return ContainsUCQ(u1, u2) && ContainsUCQ(u2, u1)
+}
+
+// MinimizeUCQ computes an equivalent union with a minimal set of disjuncts,
+// each itself a minimal CQ: every disjunct is replaced by its core and
+// disjuncts contained in another retained disjunct are dropped.
+func MinimizeUCQ(u *UCQ) *UCQ {
+	cores := make([]*CQ, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		cores[i] = Minimize(d)
+	}
+	keep := make([]bool, len(cores))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, d := range cores {
+		if !keep[i] {
+			continue
+		}
+		for j, e := range cores {
+			if i == j || !keep[j] {
+				continue
+			}
+			// Drop e when d contains it; on mutual containment keep the
+			// earlier disjunct.
+			if Contains(d, e) && (!Contains(e, d) || i < j) {
+				keep[j] = false
+			}
+		}
+	}
+	out := &UCQ{Name: u.Name}
+	for i, d := range cores {
+		if keep[i] {
+			out.Disjuncts = append(out.Disjuncts, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package cq
+
+import "testing"
+
+func ucq(t *testing.T, lines string) *UCQ {
+	t.Helper()
+	u, err := ParseUCQ(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestContainsCQInUCQ(t *testing.T) {
+	u := ucq(t, `
+q(X) :- r(X, Y)
+q(X) :- s(X)
+`)
+	if !ContainsCQInUCQ(u, MustParse("q(X) :- r(X, c), t(X)")) {
+		t.Error("restricted r-query is contained in the union")
+	}
+	if ContainsCQInUCQ(u, MustParse("q(X) :- t(X)")) {
+		t.Error("t-query is not contained")
+	}
+}
+
+// TestSagivYannakakisPerDisjunct: containment in a union does not require a
+// single homomorphism target in general for unions of *different* shapes,
+// but for CQs it reduces to per-disjunct containment; check both
+// directions on a classic pair.
+func TestSagivYannakakisPerDisjunct(t *testing.T) {
+	u1 := ucq(t, `
+q(X) :- e(X, Y), e(Y, Z)
+q(X) :- e(X, X)
+`)
+	// A self-loop query: contained in the second disjunct (and in the first
+	// via Y=Z=X too).
+	if !ContainsCQInUCQ(u1, MustParse("q(X) :- e(X, X)")) {
+		t.Error("self-loop contained")
+	}
+	u2 := ucq(t, "q(X) :- e(X, Y)")
+	if !ContainsUCQ(u2, u1) {
+		t.Error("both disjuncts of u1 are restrictions of e(X, Y)")
+	}
+	if ContainsUCQ(u1, u2) {
+		t.Error("e(X, Y) is not contained in u1 (no second edge, no loop)")
+	}
+}
+
+func TestEquivalentUCQ(t *testing.T) {
+	u1 := ucq(t, `
+q(X) :- r(X, Y)
+q(X) :- r(X, c)
+`)
+	u2 := ucq(t, "q(X) :- r(X, Y)")
+	if !EquivalentUCQ(u1, u2) {
+		t.Error("the constant disjunct is redundant; unions are equivalent")
+	}
+}
+
+func TestMinimizeUCQDropsRedundantDisjuncts(t *testing.T) {
+	u := ucq(t, `
+q(X) :- r(X, Y)
+q(X) :- r(X, c)
+q(X) :- r(X, Y), s(Y)
+q(X) :- t(X)
+`)
+	m := MinimizeUCQ(u)
+	if len(m.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2 (r(X,Y) and t(X)): %s", len(m.Disjuncts), m)
+	}
+	if !EquivalentUCQ(u, m) {
+		t.Error("minimized union not equivalent")
+	}
+}
+
+func TestMinimizeUCQMinimizesDisjuncts(t *testing.T) {
+	u := ucq(t, "q(X) :- r(X, Y), r(X, Z)")
+	m := MinimizeUCQ(u)
+	if len(m.Disjuncts) != 1 || len(m.Disjuncts[0].Body) != 1 {
+		t.Errorf("disjunct not minimized: %s", m)
+	}
+}
+
+func TestMinimizeUCQEquivalentDisjunctsKeepOne(t *testing.T) {
+	u := ucq(t, `
+q(X) :- r(X, Y)
+q(A) :- r(A, B)
+`)
+	m := MinimizeUCQ(u)
+	if len(m.Disjuncts) != 1 {
+		t.Errorf("alpha-equivalent disjuncts should collapse: %s", m)
+	}
+}

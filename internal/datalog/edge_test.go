@@ -1,0 +1,162 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"toorjah/internal/cq"
+)
+
+// TestEvalConstantInHead: rules may emit constants in head positions.
+func TestEvalConstantInHead(t *testing.T) {
+	p := program(t, "q(X, tag) :- r(X)")
+	edb := DB{}
+	edb.Insert("r", Tuple{"a"})
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["q"].Contains(Tuple{"a", "tag"}) {
+		t.Errorf("q = %v", idb["q"].Tuples())
+	}
+}
+
+// TestEvalRepeatedHeadVariable: q(X, X) duplicates the binding.
+func TestEvalRepeatedHeadVariable(t *testing.T) {
+	p := program(t, "q(X, X) :- r(X)")
+	edb := DB{}
+	edb.Insert("r", Tuple{"a"})
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["q"].Contains(Tuple{"a", "a"}) {
+		t.Errorf("q = %v", idb["q"].Tuples())
+	}
+}
+
+// TestEvalDeepRecursionIterative: a 3000-element chain closes without
+// blowing the stack (the engine iterates, joins are shallow).
+func TestEvalDeepRecursionIterative(t *testing.T) {
+	p := program(t,
+		"reach(Y) :- start(X), e(X, Y)",
+		"reach(Y) :- reach(X), e(X, Y)",
+	)
+	edb := DB{}
+	edb.Insert("start", Tuple{"n0"})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		edb.Insert("e", Tuple{fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)})
+	}
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idb["reach"].Len(); got != n {
+		t.Errorf("reach = %d, want %d", got, n)
+	}
+}
+
+// TestEvalMutualRecursion: even/odd over a successor chain.
+func TestEvalMutualRecursion(t *testing.T) {
+	p := program(t,
+		"even(X) :- zero(X)",
+		"odd(Y) :- even(X), succ(X, Y)",
+		"even(Y) :- odd(X), succ(X, Y)",
+	)
+	edb := DB{}
+	edb.Insert("zero", Tuple{"0"})
+	for i := 0; i < 10; i++ {
+		edb.Insert("succ", Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+	}
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["even"].Contains(Tuple{"10"}) || idb["even"].Contains(Tuple{"9"}) {
+		t.Errorf("even = %v", idb["even"].Tuples())
+	}
+	if !idb["odd"].Contains(Tuple{"9"}) || idb["odd"].Contains(Tuple{"10"}) {
+		t.Errorf("odd = %v", idb["odd"].Tuples())
+	}
+}
+
+// TestEvalEmptyEDBRelations: rules over empty relations derive nothing and
+// do not error as long as the relations exist.
+func TestEvalEmptyEDBRelations(t *testing.T) {
+	p := program(t, "q(X) :- r(X, Y), s(Y)")
+	edb := DB{}
+	edb.Get("r", 2)
+	edb.Get("s", 1)
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idb["q"].Len() != 0 {
+		t.Errorf("q = %v", idb["q"].Tuples())
+	}
+}
+
+// TestEvalNegationOverIDBAndEDB mixes both in one negated stratum.
+func TestEvalNegationOverIDBAndEDB(t *testing.T) {
+	p := program(t,
+		"good(X) :- all(X), not bad(X)",
+		"bad(X) :- flagged(X)",
+		"bad(X) :- all(X), not checked(X)",
+	)
+	edb := DB{}
+	for _, v := range []string{"a", "b", "c"} {
+		edb.Insert("all", Tuple{v})
+	}
+	edb.Insert("flagged", Tuple{"a"})
+	edb.Insert("checked", Tuple{"a"})
+	edb.Insert("checked", Tuple{"b"})
+	idb, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bad = {a (flagged), c (unchecked)}; good = {b}.
+	if got := rows(idb["good"]); fmt.Sprint(got) != "[b]" {
+		t.Errorf("good = %v", got)
+	}
+}
+
+// TestEvalRuleWithDeltaMatchesFull: incremental evaluation over a delta plus
+// previous full state covers exactly the new derivations.
+func TestEvalRuleWithDeltaMatchesFull(t *testing.T) {
+	r := rule(t, "q(X, Z) :- a(X, Y), b(Y, Z)")
+	db := DB{}
+	db.Insert("a", Tuple{"x1", "y1"})
+	db.Insert("b", Tuple{"y1", "z1"})
+	full1, err := EvalRuleWithDelta(r, db, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full1) != 1 {
+		t.Fatalf("full1 = %v", full1)
+	}
+	// New b tuple arrives: the delta join must derive only the new pair.
+	delta := NewRelation("b", 2)
+	delta.Insert(Tuple{"y1", "z2"})
+	db.Insert("b", Tuple{"y1", "z2"})
+	inc, err := EvalRuleWithDelta(r, db, delta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != 1 || inc[0][1] != "z2" {
+		t.Errorf("incremental = %v", inc)
+	}
+}
+
+func TestEvalQueryHeadConstantsFilter(t *testing.T) {
+	db := DB{}
+	db.Insert("r", Tuple{"a", "x"})
+	q := cq.MustParse("q(k, X) :- r(X, Y)")
+	ans, err := EvalQuery(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Contains(Tuple{"k", "a"}) {
+		t.Errorf("answers = %v", ans.Tuples())
+	}
+}

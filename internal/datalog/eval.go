@@ -1,0 +1,451 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"toorjah/internal/cq"
+)
+
+// Tuple is one row of a relation.
+type Tuple []string
+
+// Key encodes the tuple into a collision-free string for set membership.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// Relation is a set of equal-length tuples with lazily built hash indexes on
+// position subsets.
+type Relation struct {
+	Name   string
+	Arity  int
+	tuples []Tuple
+	seen   map[string]bool
+	// indexes maps a position-set signature ("0,2") to value-key -> tuple
+	// offsets. Indexes are built on first use and extended on insert.
+	indexes map[string]map[string][]int
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, seen: make(map[string]bool)}
+}
+
+// Insert adds a tuple and reports whether it was new.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("relation %s: inserting arity-%d tuple into arity-%d relation", r.Name, len(t), r.Arity))
+	}
+	k := t.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.tuples = append(r.tuples, t)
+	idx := len(r.tuples) - 1
+	for sig, m := range r.indexes {
+		key := projectKey(t, sigPositions(sig))
+		m[key] = append(m[key], idx)
+	}
+	return true
+}
+
+// Contains reports membership of a tuple.
+func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice; callers must not modify it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Lookup returns the tuples whose values at the given positions equal vals.
+// With no positions it returns all tuples. The lookup is backed by a hash
+// index built on first use.
+func (r *Relation) Lookup(positions []int, vals []string) []Tuple {
+	if len(positions) == 0 {
+		return r.tuples
+	}
+	sig := sigOf(positions)
+	m, ok := r.indexes[sig]
+	if !ok {
+		m = make(map[string][]int)
+		for i, t := range r.tuples {
+			key := projectKey(t, positions)
+			m[key] = append(m[key], i)
+		}
+		if r.indexes == nil {
+			r.indexes = make(map[string]map[string][]int)
+		}
+		r.indexes[sig] = m
+	}
+	key := projectKey(Tuple(vals), intRange(len(vals)))
+	offs := m[key]
+	out := make([]Tuple, len(offs))
+	for i, off := range offs {
+		out[i] = r.tuples[off]
+	}
+	return out
+}
+
+func sigOf(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = fmt.Sprint(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func sigPositions(sig string) []int {
+	parts := strings.Split(sig, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &out[i])
+	}
+	return out
+}
+
+func projectKey(t Tuple, positions []int) string {
+	var b strings.Builder
+	for i, p := range positions {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(t[p])
+	}
+	return b.String()
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// DB maps predicate names to relations.
+type DB map[string]*Relation
+
+// Get returns the relation, creating an empty one of the given arity when
+// absent.
+func (db DB) Get(name string, arity int) *Relation {
+	r, ok := db[name]
+	if !ok {
+		r = NewRelation(name, arity)
+		db[name] = r
+	}
+	return r
+}
+
+// Insert adds a tuple to the named relation, creating it when needed.
+func (db DB) Insert(name string, t Tuple) bool { return db.Get(name, len(t)).Insert(t) }
+
+// Clone returns a DB sharing no relation storage with the receiver.
+func (db DB) Clone() DB {
+	out := make(DB, len(db))
+	for name, r := range db {
+		nr := NewRelation(name, r.Arity)
+		for _, t := range r.tuples {
+			nr.Insert(t)
+		}
+		out[name] = nr
+	}
+	return out
+}
+
+// Summary renders relation names with cardinalities, sorted by name.
+func (db DB) Summary() string {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, db[n].Len())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Eval computes the least fixpoint of the program over the extensional DB
+// using stratified semi-naive evaluation, and returns a DB holding the IDB
+// relations. The input DB is not modified.
+func Eval(p *Program, edb DB) (DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	idb := make(DB)
+	arity := make(map[string]int)
+	for _, r := range p.Rules {
+		arity[r.Head.Pred] = len(r.Head.Args)
+	}
+	lookup := func(name string) *Relation {
+		if r, ok := idb[name]; ok {
+			return r
+		}
+		if r, ok := edb[name]; ok {
+			return r
+		}
+		return nil
+	}
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool, len(stratum))
+		for _, pred := range stratum {
+			inStratum[pred] = true
+			idb.Get(pred, arity[pred])
+		}
+		var rules []*Rule
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if err := evalStratum(rules, inStratum, idb, lookup); err != nil {
+			return nil, err
+		}
+	}
+	return idb, nil
+}
+
+// evalStratum runs semi-naive evaluation for one stratum's rules.
+func evalStratum(rules []*Rule, inStratum map[string]bool, idb DB, lookup func(string) *Relation) error {
+	// Round 0: evaluate every rule over the full current database.
+	delta := make(map[string]*Relation)
+	for _, r := range rules {
+		derived, err := evalRule(r, lookup, nil, -1)
+		if err != nil {
+			return err
+		}
+		for _, t := range derived {
+			if idb[r.Head.Pred].Insert(t) {
+				d, ok := delta[r.Head.Pred]
+				if !ok {
+					d = NewRelation(r.Head.Pred, len(t))
+					delta[r.Head.Pred] = d
+				}
+				d.Insert(t)
+			}
+		}
+	}
+	// Subsequent rounds: for every rule and every body position whose
+	// predicate changed, join the delta there with full relations elsewhere.
+	for len(delta) > 0 {
+		next := make(map[string]*Relation)
+		for _, r := range rules {
+			for i, a := range r.Body {
+				d, ok := delta[a.Pred]
+				if !ok || !inStratum[a.Pred] {
+					continue
+				}
+				derived, err := evalRule(r, lookup, d, i)
+				if err != nil {
+					return err
+				}
+				for _, t := range derived {
+					if idb[r.Head.Pred].Insert(t) {
+						nd, ok := next[r.Head.Pred]
+						if !ok {
+							nd = NewRelation(r.Head.Pred, len(t))
+							next[r.Head.Pred] = nd
+						}
+						nd.Insert(t)
+					}
+				}
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// evalRule derives head tuples for one rule. When deltaPos >= 0, the body
+// atom at that position ranges over deltaRel instead of its full relation
+// (semi-naive differentiation). Negated atoms are checked last; safety
+// guarantees they are ground by then.
+func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaPos int) ([]Tuple, error) {
+	var out []Tuple
+	bind := make(map[string]string)
+	// Order the body atoms: the delta atom first (it is typically smallest),
+	// then greedily by number of bound variables.
+	order := bodyOrder(r, deltaPos)
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == len(order) {
+			for _, a := range r.Negated {
+				rel := lookup(a.Pred)
+				t, ok := groundAtom(a, bind)
+				if !ok {
+					return fmt.Errorf("rule %s: negated atom %s not ground", r, a)
+				}
+				if rel != nil && rel.Contains(t) {
+					return nil
+				}
+			}
+			head := make(Tuple, len(r.Head.Args))
+			for i, term := range r.Head.Args {
+				if term.IsVar {
+					head[i] = bind[term.Name]
+				} else {
+					head[i] = term.Name
+				}
+			}
+			out = append(out, head)
+			return nil
+		}
+		i := order[step]
+		a := r.Body[i]
+		var rel *Relation
+		if i == deltaPos {
+			rel = deltaRel
+		} else {
+			rel = lookup(a.Pred)
+		}
+		if rel == nil {
+			return fmt.Errorf("rule %s: unknown relation %s", r, a.Pred)
+		}
+		var positions []int
+		var vals []string
+		for p, term := range a.Args {
+			if !term.IsVar {
+				positions = append(positions, p)
+				vals = append(vals, term.Name)
+			} else if v, ok := bind[term.Name]; ok {
+				positions = append(positions, p)
+				vals = append(vals, v)
+			}
+		}
+		for _, t := range rel.Lookup(positions, vals) {
+			var added []string
+			ok := true
+			for p, term := range a.Args {
+				if !term.IsVar {
+					if t[p] != term.Name {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, bound := bind[term.Name]; bound {
+					if v != t[p] {
+						ok = false
+						break
+					}
+					continue
+				}
+				bind[term.Name] = t[p]
+				added = append(added, term.Name)
+			}
+			if ok {
+				if err := rec(step + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range added {
+				delete(bind, v)
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bodyOrder returns an evaluation order for the rule's body atoms: delta
+// atom first, then greedily preferring atoms sharing the most variables with
+// those already placed.
+func bodyOrder(r *Rule, deltaPos int) []int {
+	n := len(r.Body)
+	order := make([]int, 0, n)
+	placed := make(map[string]bool)
+	used := make([]bool, n)
+	place := func(i int) {
+		order = append(order, i)
+		used[i] = true
+		for _, t := range r.Body[i].Args {
+			if t.IsVar {
+				placed[t.Name] = true
+			}
+		}
+	}
+	if deltaPos >= 0 {
+		place(deltaPos)
+	}
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range r.Body[i].Args {
+				if t.IsVar && placed[t.Name] {
+					score++
+				} else if !t.IsVar {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		place(best)
+	}
+	return order
+}
+
+// groundAtom instantiates an atom under a binding; ok is false when a
+// variable is unbound.
+func groundAtom(a cq.Atom, bind map[string]string) (Tuple, bool) {
+	t := make(Tuple, len(a.Args))
+	for i, term := range a.Args {
+		if !term.IsVar {
+			t[i] = term.Name
+			continue
+		}
+		v, ok := bind[term.Name]
+		if !ok {
+			return nil, false
+		}
+		t[i] = v
+	}
+	return t, true
+}
+
+// EvalRuleWithDelta derives the head tuples of one rule over db, with the
+// body atom at position deltaPos ranging over delta instead of its full
+// relation. It is the incremental-join primitive of the pipelined executor:
+// when new tuples arrive in one cache, only the joins involving them are
+// recomputed. Pass deltaPos = -1 to evaluate against full relations.
+func EvalRuleWithDelta(r *Rule, db DB, delta *Relation, deltaPos int) ([]Tuple, error) {
+	lookup := func(name string) *Relation { return db[name] }
+	return evalRule(r, lookup, delta, deltaPos)
+}
+
+// EvalQuery evaluates a single conjunctive query over a database and returns
+// the answer relation (deduplicated head tuples). It wraps the query into a
+// one-rule program.
+func EvalQuery(q *cq.CQ, db DB) (*Relation, error) {
+	p := &Program{}
+	p.Add(&Rule{Head: cq.Atom{Pred: q.Name, Args: q.Head}, Body: q.Body, Negated: q.Negated})
+	idb, err := Eval(p, db)
+	if err != nil {
+		return nil, err
+	}
+	return idb[q.Name], nil
+}

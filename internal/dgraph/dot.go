@@ -1,0 +1,88 @@
+package dgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the full d-graph in Graphviz DOT format, one cluster per
+// source. Strong arcs render with double lines (penwidth), deleted arcs are
+// dashed grey when includeDeleted is set, weak arcs are plain. Passing a nil
+// solution renders every arc as weak (the unmarked d-graph).
+func DOT(g *Graph, sol *Solution, includeDeleted bool) string {
+	var b strings.Builder
+	b.WriteString("digraph dgraph {\n")
+	b.WriteString("  rankdir=LR;\n  compound=true;\n  node [shape=circle, fontsize=10];\n")
+	for _, s := range g.Sources {
+		fmt.Fprintf(&b, "  subgraph cluster_s%d {\n", s.ID)
+		style := "dashed" // white sources
+		if s.Black {
+			style = "solid"
+		}
+		fmt.Fprintf(&b, "    label=%q; style=%s;\n", s.Label(), style)
+		if len(s.Nodes) == 0 {
+			// Nullary source: emit a point so the cluster renders.
+			fmt.Fprintf(&b, "    n_s%d [shape=point, label=\"\"];\n", s.ID)
+		}
+		for _, n := range s.Nodes {
+			fill := "white"
+			if n.IsInput() {
+				fill = "lightgrey"
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\\n%s\", style=filled, fillcolor=%s];\n",
+				n.ID, n.Domain, n.Mode, fill)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, a := range g.Arcs {
+		mark := Weak
+		if sol != nil {
+			mark = sol.Mark(a)
+		}
+		switch mark {
+		case Deleted:
+			if !includeDeleted {
+				continue
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=grey];\n", a.From.ID, a.To.ID)
+		case Strong:
+			fmt.Fprintf(&b, "  n%d -> n%d [penwidth=2.5, color=\"black:white:black\"];\n", a.From.ID, a.To.ID)
+		default:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", a.From.ID, a.To.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOTOptimized renders the optimized d-graph (pruned sources omitted).
+func DOTOptimized(o *Optimized) string {
+	var b strings.Builder
+	b.WriteString("digraph optimized {\n")
+	b.WriteString("  rankdir=LR;\n  compound=true;\n  node [shape=circle, fontsize=10];\n")
+	for _, s := range o.Sources {
+		fmt.Fprintf(&b, "  subgraph cluster_s%d {\n", s.ID)
+		fmt.Fprintf(&b, "    label=%q;\n", s.Label())
+		if len(s.Nodes) == 0 {
+			fmt.Fprintf(&b, "    n_s%d [shape=point, label=\"\"];\n", s.ID)
+		}
+		for _, n := range s.Nodes {
+			fill := "white"
+			if n.IsInput() {
+				fill = "lightgrey"
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\\n%s\", style=filled, fillcolor=%s];\n",
+				n.ID, n.Domain, n.Mode, fill)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, a := range o.Arcs {
+		if o.Solution.Mark(a) == Strong {
+			fmt.Fprintf(&b, "  n%d -> n%d [penwidth=2.5, color=\"black:white:black\"];\n", a.From.ID, a.To.ID)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", a.From.ID, a.To.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,553 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/dgraph"
+	"toorjah/internal/plan"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// fixture bundles everything needed to run a query in all strategies.
+type fixture struct {
+	sch  *schema.Schema
+	q    *cq.CQ
+	ty   *cq.Typing
+	plan *plan.Plan
+	reg  *source.Registry
+}
+
+// setup builds a fixture from schema text, query text and table rows.
+func setup(t *testing.T, schemaText, queryText string, data map[string][]storage.Row) *fixture {
+	t.Helper()
+	sch := schema.MustParse(schemaText)
+	q := cq.MustParse(queryText)
+	ty, err := cq.Validate(q, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := cq.EliminateConstants(q, sch, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dgraph.Build(pre.Query, pre.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Generate(g.Optimize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	for name, rows := range data {
+		rel := sch.Relation(name)
+		if rel == nil {
+			t.Fatalf("data for unknown relation %s", name)
+		}
+		tab, err := db.Create(name, rel.Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.InsertAll(rows)
+	}
+	reg, err := source.FromDatabase(sch, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{sch: sch, q: q, ty: ty, plan: p, reg: reg}
+}
+
+// referenceAnswers computes the plan's Datalog least-fixpoint semantics
+// with full relations as EDB.
+func (f *fixture) referenceAnswers(t *testing.T) []string {
+	t.Helper()
+	edb := datalog.DB{}
+	for _, rel := range f.sch.Relations() {
+		edb.Get(rel.Name, rel.Arity())
+		ts, ok := f.reg.Source(rel.Name).(*source.TableSource)
+		if !ok {
+			t.Fatalf("source for %s is not a table source", rel.Name)
+		}
+		for _, row := range ts.Table().Rows() {
+			edb.Insert(rel.Name, datalog.Tuple(row))
+		}
+	}
+	idb, err := datalog.Eval(f.plan.Program, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Answers: idb[f.q.Name]}
+	return res.SortedAnswers()
+}
+
+func (f *fixture) naive(t *testing.T) *Result {
+	t.Helper()
+	r, err := Naive(f.sch, f.reg, f.q, f.ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (f *fixture) fast(t *testing.T) *Result {
+	t.Helper()
+	r, err := FastFailing(f.plan, f.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (f *fixture) piped(t *testing.T) *Result {
+	t.Helper()
+	r, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// assertAllAgree runs every strategy and checks the answer sets coincide
+// with the reference semantics; it returns (naive, fast) for further
+// access-count assertions.
+func assertAllAgree(t *testing.T, f *fixture) (*Result, *Result) {
+	t.Helper()
+	want := f.referenceAnswers(t)
+	n := f.naive(t)
+	ff := f.fast(t)
+	pp := f.piped(t)
+	if got := strings.Join(n.SortedAnswers(), ";"); got != strings.Join(want, ";") {
+		t.Errorf("naive answers = [%s], want [%s]", got, strings.Join(want, ";"))
+	}
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != strings.Join(want, ";") {
+		t.Errorf("fast-failing answers = [%s], want [%s]", got, strings.Join(want, ";"))
+	}
+	if got := strings.Join(pp.SortedAnswers(), ";"); got != strings.Join(want, ";") {
+		t.Errorf("pipelined answers = [%s], want [%s]", got, strings.Join(want, ";"))
+	}
+	if ff.TotalAccesses() > n.TotalAccesses() {
+		t.Errorf("fast-failing made %d accesses, naive only %d", ff.TotalAccesses(), n.TotalAccesses())
+	}
+	return n, ff
+}
+
+// TestPaperExample2Extraction reproduces the extraction chain of paper
+// Example 2: starting from a1, values hop r1 -> r3 -> r2 -> r3 -> r2 and
+// only answer b1 is obtainable; b3 remains hidden.
+func TestPaperExample2Extraction(t *testing.T) {
+	f := setup(t, `
+r1^io(A, C)
+r2^io(B, C)
+r3^io(C, B)
+`, "q1(B) :- r1(a1, C), r2(B, C)", map[string][]storage.Row{
+		"r1": {{"a1", "c1"}, {"a1", "c3"}},
+		"r2": {{"b1", "c1"}, {"b2", "c2"}, {"b3", "c3"}},
+		"r3": {{"c1", "b2"}, {"c2", "b1"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if got := strings.Join(n.SortedAnswers(), ";"); got != "b1" {
+		t.Errorf("answers = %s, want b1 (b3 is not obtainable)", got)
+	}
+	_ = ff
+}
+
+// TestExample1MusicRecursive reproduces paper Example 1: answering
+// q(N) :- r1(A, N, Y1), r2(volare, Y2, A) requires accessing r3, which the
+// query never mentions, to obtain artist names.
+func TestExample1MusicRecursive(t *testing.T) {
+	f := setup(t, `
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`, "q(N) :- r1(A, N, Y1), r2(volare, Y2, A)", map[string][]storage.Row{
+		// The extraction chain: r3 seeds artist madonna; r1(madonna) yields
+		// year 1958; r2 probed with 1958 yields volare by modugno; r1 probed
+		// with modugno yields the nationality. Note modugno is reachable
+		// only through r2's output — the recursion of Example 1.
+		"r1": {{"modugno", "italy", "1928"}, {"madonna", "usa", "1958"}},
+		"r2": {{"volare", "1958", "modugno"}, {"vogue", "1990", "madonna"}},
+		"r3": {{"madonna", "like_a_virgin"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != "italy" {
+		t.Errorf("answers = %s, want italy", got)
+	}
+	// r3 must be relevant (it seeds artist values) and accessed by the
+	// optimized plan.
+	if _, ok := ff.Stats["r3"]; !ok {
+		t.Errorf("optimized plan should access r3: %v", ff.Stats)
+	}
+	_ = n
+}
+
+// TestIrrelevantNeverAccessed: in Example 5, r3 is irrelevant and the
+// optimized plan must not probe it, while the naive plan does.
+func TestIrrelevantNeverAccessed(t *testing.T) {
+	f := setup(t, `
+r1^io(A, B)
+r2^io(B, C)
+r3^io(C, A)
+`, "q(C) :- r1(a, B), r2(B, C)", map[string][]storage.Row{
+		"r1": {{"a", "b1"}, {"x", "b2"}},
+		"r2": {{"b1", "c1"}, {"b2", "c2"}},
+		"r3": {{"c1", "x"}, {"c2", "a"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if _, ok := ff.Stats["r3"]; ok {
+		t.Errorf("optimized plan accessed irrelevant r3: %v", ff.Stats)
+	}
+	if _, ok := n.Stats["r3"]; !ok {
+		t.Errorf("naive plan should access r3: %v", n.Stats)
+	}
+	if ff.TotalAccesses() >= n.TotalAccesses() {
+		t.Errorf("optimized %d accesses, naive %d: no saving", ff.TotalAccesses(), n.TotalAccesses())
+	}
+}
+
+// TestEarlyFailure: when a group's caches make the subquery unsatisfiable,
+// later groups are never touched.
+func TestEarlyFailure(t *testing.T) {
+	f := setup(t, `
+a^oo(P, D1)
+lim^io(P, D2)
+`, "q(Z) :- a(X, Y), lim(X, Z)", map[string][]storage.Row{
+		"a":   {}, // empty: the join can never succeed
+		"lim": {{"p1", "z1"}},
+	})
+	ff := f.fast(t)
+	if !ff.EarlyEmpty {
+		t.Error("expected early-empty detection")
+	}
+	if len(ff.SortedAnswers()) != 0 {
+		t.Errorf("answers = %v", ff.SortedAnswers())
+	}
+	if _, ok := ff.Stats["lim"]; ok {
+		t.Error("lim must not be accessed after early failure")
+	}
+	// Ablation: without early failure, lim is still not probed (no values
+	// derivable) but no early-empty flag is set.
+	r2, err := FastFailingOpts(f.plan, f.reg, Options{NoEarlyFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EarlyEmpty {
+		t.Error("ablation must not set EarlyEmpty")
+	}
+	if len(r2.SortedAnswers()) != 0 {
+		t.Errorf("ablation answers = %v", r2.SortedAnswers())
+	}
+}
+
+// TestEarlyFailureSavesAccesses: a failing first group avoids probing an
+// expensive later source even when bindings for it exist.
+func TestEarlyFailureSavesAccesses(t *testing.T) {
+	f := setup(t, `
+a^oo(P, D1)
+b^oo(P, D2)
+lim^io(P, D3)
+`, "q(Z) :- a(X, Y1), b(X, Y2), lim(X, Z)", map[string][]storage.Row{
+		"a":   {{"p1", "d1"}},
+		"b":   {{"p2", "d2"}}, // disjoint from a: join fails
+		"lim": {{"p1", "z"}, {"p2", "z"}},
+	})
+	ff := f.fast(t)
+	if !ff.EarlyEmpty {
+		t.Errorf("expected early empty; stats %v", ff.Stats)
+	}
+	if _, ok := ff.Stats["lim"]; ok {
+		t.Error("lim probed despite failed join of a and b")
+	}
+	// Sanity: strong-arc conjunction would also prevent the probe (empty
+	// intersection); the early test additionally reports emptiness without
+	// evaluating lim's group at all.
+}
+
+// TestMetaCacheSharing: two occurrences of a relation with the same binding
+// probe the source once.
+func TestMetaCacheSharing(t *testing.T) {
+	f := setup(t, `
+seed^o(A)
+r^io(A, B)
+`, "q(X, Y1, Y2) :- seed(X), r(X, Y1), r(X, Y2)", map[string][]storage.Row{
+		"seed": {{"a1"}, {"a2"}},
+		"r":    {{"a1", "b1"}, {"a2", "b2"}},
+	})
+	ff := f.fast(t)
+	if got := ff.Stats["r"].Accesses; got != 2 {
+		t.Errorf("r accessed %d times, want 2 (meta-cache shares occurrences)", got)
+	}
+	// Ablation: without the meta-cache, both occurrences probe.
+	r2, err := FastFailingOpts(f.plan, f.reg, Options{NoMetaCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Stats["r"].Accesses; got != 4 {
+		t.Errorf("ablation: r accessed %d times, want 4", got)
+	}
+	if strings.Join(r2.SortedAnswers(), ";") != strings.Join(ff.SortedAnswers(), ";") {
+		t.Error("ablation changed the answers")
+	}
+}
+
+// TestAccessSubsetProperty: on a pipeline schema, every access made by the
+// optimized executor is also made by the naive one.
+func TestAccessSubsetProperty(t *testing.T) {
+	f := setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+last^io(C, D)
+`, "q(D) :- free(X, Y), mid(Y, Z), last(Z, D)", map[string][]storage.Row{
+		"free": {{"a1", "b1"}, {"a2", "b2"}},
+		"mid":  {{"b1", "c1"}, {"b2", "c2"}, {"b9", "c9"}},
+		"last": {{"c1", "d1"}, {"c2", "d2"}},
+	})
+	// Run with outer logging counters to compare access sets.
+	countedN, countersN := f.reg.Counted(true)
+	if _, err := Naive(f.sch, countedN, f.q, f.ty); err != nil {
+		t.Fatal(err)
+	}
+	countedF, countersF := f.reg.Counted(true)
+	if _, err := FastFailing(f.plan, countedF); err != nil {
+		t.Fatal(err)
+	}
+	for name, cf := range countersF {
+		cn := countersN[name]
+		for key := range cf.AccessSet() {
+			if !cn.AccessSet()[key] {
+				t.Errorf("optimized made access %q on %s that naive never made", key, name)
+			}
+		}
+	}
+}
+
+// TestQ1PublicationWorkload runs the paper's q1 on a small hand-built
+// instance and checks relevance-driven savings.
+func TestQ1PublicationWorkload(t *testing.T) {
+	f := setup(t, `
+pub1^io(Paper, Person)
+pub2^oo(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+rev^ooi(Person, ConfName, Year)
+sub^oi(Paper, Person)
+rev_icde^iio(Person, Paper, Eval)
+`, "q1(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)", map[string][]storage.Row{
+		"pub1":     {{"p1", "alice"}, {"p2", "bob"}},
+		"pub2":     {{"p1", "alice"}, {"p3", "carol"}},
+		"conf":     {{"p1", "icde", "2008"}, {"p2", "vldb", "2007"}},
+		"rev":      {{"alice", "icde", "2008"}, {"carol", "vldb", "2007"}},
+		"sub":      {{"p9", "alice"}},
+		"rev_icde": {{"alice", "p1", "acc"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != "alice" {
+		t.Errorf("q1 answers = %s, want alice", got)
+	}
+	for _, irr := range []string{"pub2", "sub", "rev_icde"} {
+		if _, ok := ff.Stats[irr]; ok {
+			t.Errorf("optimized plan accessed irrelevant %s", irr)
+		}
+		if _, ok := n.Stats[irr]; !ok {
+			t.Errorf("naive plan should access %s", irr)
+		}
+	}
+}
+
+// TestNegationAcrossExecutors: safe negation agrees across strategies.
+func TestNegationAcrossExecutors(t *testing.T) {
+	f := setup(t, `
+r^oo(A, B)
+s^io(B, C)
+`, "q(X) :- r(X, Y), s(Y, Z), not s(Y, Z)", map[string][]storage.Row{
+		"r": {{"a1", "b1"}, {"a2", "b2"}},
+		"s": {{"b1", "c1"}},
+	})
+	// not s(Y, Z) with s(Y, Z) in the body is always false when satisfied:
+	// answer must be empty, consistently.
+	n, ff := assertAllAgree(t, f)
+	if len(n.SortedAnswers()) != 0 || len(ff.SortedAnswers()) != 0 {
+		t.Errorf("answers should be empty: %v / %v", n.SortedAnswers(), ff.SortedAnswers())
+	}
+}
+
+// TestNegationFiltersAnswers: a meaningful negation over a limited source.
+func TestNegationFiltersAnswers(t *testing.T) {
+	f := setup(t, `
+person^oo(Name, City)
+blocked^io(Name, City)
+`, "q(N) :- person(N, C), not blocked(N, C)", map[string][]storage.Row{
+		"person":  {{"alice", "rome"}, {"bob", "milan"}},
+		"blocked": {{"bob", "milan"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != "alice" {
+		t.Errorf("answers = %s, want alice", got)
+	}
+	_ = n
+}
+
+// TestPipelinedStreamsAnswers: incremental answers arrive via the callback
+// and match the final result.
+func TestPipelinedStreamsAnswers(t *testing.T) {
+	rows := []storage.Row{}
+	for i := 0; i < 50; i++ {
+		rows = append(rows, storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)})
+	}
+	mid := []storage.Row{}
+	for i := 0; i < 50; i++ {
+		mid = append(mid, storage.Row{fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i)})
+	}
+	f := setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+`, "q(X, Z) :- free(X, Y), mid(Y, Z)", map[string][]storage.Row{
+		"free": rows,
+		"mid":  mid,
+	})
+	var streamed []string
+	r, err := Pipelined(f.plan, f.reg, PipeOptions{}, func(tu datalog.Tuple) {
+		streamed = append(streamed, strings.Join(tu, ","))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != r.Answers.Len() {
+		t.Errorf("streamed %d answers, result has %d", len(streamed), r.Answers.Len())
+	}
+	if r.Answers.Len() != 50 {
+		t.Errorf("answers = %d, want 50", r.Answers.Len())
+	}
+	if r.TimeToFirst <= 0 || r.TimeToFirst > r.Elapsed {
+		t.Errorf("TimeToFirst = %v (elapsed %v)", r.TimeToFirst, r.Elapsed)
+	}
+}
+
+// TestPipelinedParallelMatchesSequential on a deeper chain with fan-out.
+func TestPipelinedParallelMatchesSequential(t *testing.T) {
+	data := map[string][]storage.Row{"seed": {}, "r": {}, "s": {}}
+	for i := 0; i < 20; i++ {
+		data["seed"] = append(data["seed"], storage.Row{fmt.Sprintf("a%d", i)})
+		data["r"] = append(data["r"], storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", (i+1)%20)})
+		data["s"] = append(data["s"], storage.Row{fmt.Sprintf("b%d", i), fmt.Sprintf("a%d", (i+7)%20)})
+	}
+	f := setup(t, `
+seed^o(A)
+r^io(A, B)
+s^io(B, A)
+`, "q(Y) :- r(X, Y), s(Y2, X2)", data)
+	ff := f.fast(t)
+	pp := f.piped(t)
+	if strings.Join(ff.SortedAnswers(), ";") != strings.Join(pp.SortedAnswers(), ";") {
+		t.Errorf("pipelined answers differ:\nfast: %v\npiped: %v", ff.SortedAnswers(), pp.SortedAnswers())
+	}
+	if pp.TotalAccesses() != ff.TotalAccesses() {
+		t.Errorf("pipelined accesses %d, fast-failing %d (meta-cache should dedupe)",
+			pp.TotalAccesses(), ff.TotalAccesses())
+	}
+}
+
+// TestCartesianInputBlowup: a relation with two input arguments forces the
+// naive plan into the full |Person| × |Paper| probe cross-product the paper
+// reports for rev_icde. The paper's cache rule
+// r̂(I1,I2,O) ← r(I1,I2,O), s1(I1), s2(I2) restricts each input position to
+// its domain relation independently, so the optimized plan still probes a
+// product — but of the far smaller join-restricted domains.
+func TestCartesianInputBlowup(t *testing.T) {
+	data := map[string][]storage.Row{}
+	for i := 0; i < 30; i++ {
+		data["people"] = append(data["people"], storage.Row{fmt.Sprintf("per%d", i)})
+		data["papers"] = append(data["papers"], storage.Row{fmt.Sprintf("pap%d", i)})
+	}
+	for i := 0; i < 15; i++ {
+		data["wrote"] = append(data["wrote"], storage.Row{fmt.Sprintf("per%d", i), fmt.Sprintf("pap%d", i)})
+		if i%2 == 0 {
+			data["revd"] = append(data["revd"], storage.Row{fmt.Sprintf("per%d", i), fmt.Sprintf("pap%d", i), "acc"})
+		}
+	}
+	f := setup(t, `
+people^o(Person)
+papers^o(Paper)
+wrote^oo(Person, Paper)
+revd^iio(Person, Paper, Eval)
+`, "q(X, P) :- wrote(X, P), revd(X, P, E)", data)
+	n, ff := assertAllAgree(t, f)
+	if got := len(ff.SortedAnswers()); got != 8 {
+		t.Errorf("answers = %d, want 8", got)
+	}
+	// Naive: 30 persons x 30 papers = 900 probes of revd; optimized: only
+	// the 15 x 15 values wrote can justify.
+	if got := n.Stats["revd"].Accesses; got != 900 {
+		t.Errorf("naive revd accesses = %d, want 900", got)
+	}
+	if got := ff.Stats["revd"].Accesses; got != 225 {
+		t.Errorf("optimized revd accesses = %d, want 225", got)
+	}
+	// The irrelevant free domains are not even read by the optimized plan.
+	if _, ok := ff.Stats["people"]; ok {
+		t.Error("optimized plan accessed irrelevant people")
+	}
+}
+
+// TestNullaryRelation: nullary atoms are probed once and join as guards.
+func TestNullaryRelation(t *testing.T) {
+	f := setup(t, `
+flag^()
+r^oo(A, B)
+`, "q(X) :- r(X, Y), flag()", map[string][]storage.Row{
+		"flag": {{}},
+		"r":    {{"a", "b"}},
+	})
+	n, ff := assertAllAgree(t, f)
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != "a" {
+		t.Errorf("answers = %s", got)
+	}
+	if got := ff.Stats["flag"].Accesses; got != 1 {
+		t.Errorf("flag accesses = %d, want 1", got)
+	}
+	_ = n
+}
+
+// TestNullaryRelationEmpty: an empty nullary relation annihilates the query.
+func TestNullaryRelationEmpty(t *testing.T) {
+	f := setup(t, `
+flag^()
+r^oo(A, B)
+`, "q(X) :- r(X, Y), flag()", map[string][]storage.Row{
+		"flag": {},
+		"r":    {{"a", "b"}},
+	})
+	_, ff := assertAllAgree(t, f)
+	if len(ff.SortedAnswers()) != 0 {
+		t.Errorf("answers = %v, want none", ff.SortedAnswers())
+	}
+}
+
+// TestEmptyDomainsNoAnswers: all sources empty.
+func TestEmptyDomainsNoAnswers(t *testing.T) {
+	f := setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+`, "q(Z) :- free(X, Y), mid(Y, Z)", map[string][]storage.Row{})
+	n, ff := assertAllAgree(t, f)
+	if len(n.SortedAnswers()) != 0 || len(ff.SortedAnswers()) != 0 {
+		t.Error("answers should be empty")
+	}
+}
+
+// TestConstantsInHead: head constants survive execution.
+func TestConstantsInHead(t *testing.T) {
+	f := setup(t, `
+r^oo(A, B)
+`, "q(tag, X) :- r(X, tag)", map[string][]storage.Row{
+		"r": {{"a1", "tag"}, {"a2", "other"}},
+	})
+	_, ff := assertAllAgree(t, f)
+	if got := strings.Join(ff.SortedAnswers(), ";"); got != "tag,a1" {
+		t.Errorf("answers = %s, want tag,a1", got)
+	}
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+var errSourceDown = errors.New("source unavailable")
+
+// flakyFixture rebinds one relation of a fixture behind a failure-injecting
+// wrapper.
+func flakyFixture(t *testing.T, f *fixture, rel string, failAfter int) {
+	t.Helper()
+	w := f.reg.Source(rel)
+	if w == nil {
+		t.Fatalf("no source for %s", rel)
+	}
+	f.reg.Bind(source.NewFlaky(w, failAfter, errSourceDown))
+}
+
+func chainFixture(t *testing.T) *fixture {
+	var free, mid []storage.Row
+	for i := 0; i < 30; i++ {
+		free = append(free, storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)})
+		mid = append(mid, storage.Row{fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i)})
+	}
+	return setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+`, "q(X, Z) :- free(X, Y), mid(Y, Z)", map[string][]storage.Row{
+		"free": free,
+		"mid":  mid,
+	})
+}
+
+func TestNaivePropagatesSourceError(t *testing.T) {
+	f := chainFixture(t)
+	flakyFixture(t, f, "mid", 5)
+	_, err := Naive(f.sch, f.reg, f.q, f.ty)
+	if !errors.Is(err, errSourceDown) {
+		t.Errorf("err = %v, want %v", err, errSourceDown)
+	}
+}
+
+func TestFastFailingPropagatesSourceError(t *testing.T) {
+	f := chainFixture(t)
+	flakyFixture(t, f, "mid", 5)
+	_, err := FastFailing(f.plan, f.reg)
+	if !errors.Is(err, errSourceDown) {
+		t.Errorf("err = %v, want %v", err, errSourceDown)
+	}
+}
+
+// TestPipelinedPropagatesSourceErrorNoDeadlock: the parallel engine must
+// return the error promptly, shut down its workers and not leak goroutines
+// or deadlock — run repeatedly to shake races.
+func TestPipelinedPropagatesSourceErrorNoDeadlock(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		f := chainFixture(t)
+		flakyFixture(t, f, "mid", trial)
+		_, err := Pipelined(f.plan, f.reg, PipeOptions{Parallelism: 3, QueueLen: 2}, nil)
+		if !errors.Is(err, errSourceDown) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errSourceDown)
+		}
+	}
+}
+
+// TestErrorBeforeAnyAccess: a source that fails immediately.
+func TestErrorBeforeAnyAccess(t *testing.T) {
+	f := chainFixture(t)
+	flakyFixture(t, f, "free", 0)
+	if _, err := FastFailing(f.plan, f.reg); !errors.Is(err, errSourceDown) {
+		t.Errorf("fast: err = %v", err)
+	}
+	if _, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil); !errors.Is(err, errSourceDown) {
+		t.Errorf("pipelined: err = %v", err)
+	}
+}
+
+// TestSufficientBudgetSucceeds: with enough budget the flaky wrapper is
+// invisible and all strategies agree.
+func TestSufficientBudgetSucceeds(t *testing.T) {
+	f := chainFixture(t)
+	flakyFixture(t, f, "mid", 1000)
+	flakyFixture(t, f, "free", 1000)
+	ff, err := FastFailing(f.plan, f.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(ff.SortedAnswers(), ";") != strings.Join(pp.SortedAnswers(), ";") {
+		t.Error("strategies disagree under a permissive flaky wrapper")
+	}
+	if ff.Answers.Len() != 30 {
+		t.Errorf("answers = %d, want 30", ff.Answers.Len())
+	}
+}

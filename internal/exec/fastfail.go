@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/plan"
+	"toorjah/internal/source"
+)
+
+// Options tunes the optimized executors; the zero value is the paper's
+// fast-failing strategy. The switches exist for the ablation experiments.
+type Options struct {
+	// NoEarlyFailure disables the per-group non-emptiness test.
+	NoEarlyFailure bool
+	// NoMetaCache disables cross-occurrence access sharing: repeated probes
+	// of the same relation binding hit the source again.
+	NoMetaCache bool
+}
+
+// metaCache shares access results across the occurrences of a relation:
+// before probing a relation, the executor consults the relation's
+// meta-cache and reuses the stored extraction without touching the source.
+type metaCache struct {
+	disabled bool
+	results  map[string][]datalog.Tuple // access key -> extraction
+}
+
+func newMetaCache(disabled bool) *metaCache {
+	return &metaCache{disabled: disabled, results: make(map[string][]datalog.Tuple)}
+}
+
+// probe returns the extraction for the access, hitting the source only when
+// the binding was never probed before (or sharing is disabled).
+func (m *metaCache) probe(w source.Wrapper, binding []string) ([]datalog.Tuple, error) {
+	rel := w.Relation().Name
+	if rows, ok := m.hit(rel, binding); ok {
+		return rows, nil
+	}
+	raw, err := w.Access(binding)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]datalog.Tuple, len(raw))
+	for i, r := range raw {
+		rows[i] = datalog.Tuple(r)
+	}
+	m.store(rel, binding, rows)
+	return rows, nil
+}
+
+// hit returns the stored extraction for an already-probed binding.
+func (m *metaCache) hit(rel string, binding []string) ([]datalog.Tuple, bool) {
+	if m.disabled {
+		return nil, false
+	}
+	rows, ok := m.results[source.Access{Relation: rel, Binding: binding}.Key()]
+	return rows, ok
+}
+
+// store records the extraction of one access.
+func (m *metaCache) store(rel string, binding []string, rows []datalog.Tuple) {
+	if m.disabled {
+		return
+	}
+	m.results[source.Access{Relation: rel, Binding: binding}.Key()] = rows
+}
+
+// FastFailing executes a ⊂-minimal plan with the fast-failing strategy of
+// Section IV: for each position group, in order, it first checks that the
+// subquery over the already-populated caches is satisfiable (otherwise the
+// answer is empty and execution stops), then populates the group's caches
+// to a fixpoint, generating access bindings from the domain predicates and
+// never repeating an access to a relation; finally it evaluates the
+// rewritten query over the caches.
+func FastFailing(p *plan.Plan, reg *source.Registry) (*Result, error) {
+	return FastFailingOpts(p, reg, Options{})
+}
+
+// FastFailingOpts is FastFailing with ablation options.
+func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result, error) {
+	start := time.Now()
+	counted, counters := reg.Counted(false)
+	st := newGroupState(p, counted, opts)
+
+	for gi := range p.Groups {
+		if !opts.NoEarlyFailure && gi > 0 {
+			sat, err := st.subquerySatisfiable(gi)
+			if err != nil {
+				return nil, err
+			}
+			if !sat {
+				answers := datalog.NewRelation(p.Query.Name, len(p.Query.Head))
+				return &Result{
+					Answers:    answers,
+					Stats:      statsOf(counters),
+					EarlyEmpty: true,
+					Elapsed:    time.Since(start),
+				}, nil
+			}
+		}
+		if err := st.populateGroup(gi, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	answers, err := datalog.EvalQuery(p.Query, st.cdb)
+	if err != nil {
+		return nil, fmt.Errorf("fast-failing: final evaluation: %w", err)
+	}
+	return &Result{
+		Answers: answers,
+		Stats:   statsOf(counters),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// groupState holds the cache database and bookkeeping shared by the
+// sequential and pipelined executors.
+type groupState struct {
+	p    *plan.Plan
+	reg  *source.Registry
+	opts Options
+
+	cdb   datalog.DB // cache predicate relations
+	meta  *metaCache
+	tried map[string]map[string]bool // cache pred -> probed binding keys
+
+	// domainRules[pred] lists the rules defining a domain predicate.
+	domainRules map[string][]*datalog.Rule
+}
+
+func newGroupState(p *plan.Plan, reg *source.Registry, opts Options) *groupState {
+	st := &groupState{
+		p:           p,
+		reg:         reg,
+		opts:        opts,
+		cdb:         datalog.DB{},
+		meta:        newMetaCache(opts.NoMetaCache),
+		tried:       make(map[string]map[string]bool),
+		domainRules: make(map[string][]*datalog.Rule),
+	}
+	domainPreds := make(map[string]bool)
+	for _, c := range p.Caches {
+		st.cdb.Get(c.Pred, c.Source.Rel.Arity())
+		st.tried[c.Pred] = make(map[string]bool)
+		if c.IsConst {
+			st.cdb.Insert(c.Pred, datalog.Tuple{c.ConstValue})
+		}
+		for _, dp := range c.DomainPreds {
+			domainPreds[dp] = true
+		}
+	}
+	for _, r := range p.Program.Rules {
+		if domainPreds[r.Head.Pred] {
+			st.domainRules[r.Head.Pred] = append(st.domainRules[r.Head.Pred], r)
+		}
+	}
+	return st
+}
+
+// domainValues evaluates the rules of one domain predicate over the current
+// caches and returns the provided values.
+func (st *groupState) domainValues(pred string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	for _, r := range st.domainRules[pred] {
+		tuples, err := datalog.EvalRuleWithDelta(r, st.cdb, nil, -1)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			out[t[0]] = true
+		}
+	}
+	return out, nil
+}
+
+// populateGroup brings the caches of one position group to their fixpoint.
+// Each new binding derived from the domain predicates is probed (through
+// the meta-cache) and the extraction is added to the occurrence's cache.
+// onTuples, when non-nil, observes every batch of new cache tuples (used by
+// the streaming executor).
+func (st *groupState) populateGroup(gi int, onTuples func(pred string, tuples []datalog.Tuple) error) error {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range st.p.Caches {
+			if c.Group != gi || c.IsConst {
+				continue
+			}
+			added, err := st.populateCacheOnce(c, onTuples)
+			if err != nil {
+				return err
+			}
+			changed = changed || added
+		}
+	}
+	return nil
+}
+
+// populateCacheOnce performs one pass over the candidate bindings of one
+// cache; it reports whether any new probe was made or tuple extracted.
+func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []datalog.Tuple) error) (bool, error) {
+	rel := c.Source.Rel
+	w := st.reg.Source(rel.Name)
+	if w == nil {
+		return false, fmt.Errorf("exec: no source bound for relation %s", rel.Name)
+	}
+	pools := make([][]string, len(c.DomainPreds))
+	for i, dp := range c.DomainPreds {
+		vals, err := st.domainValues(dp)
+		if err != nil {
+			return false, err
+		}
+		if len(vals) == 0 {
+			return false, nil // no bindings derivable yet
+		}
+		for v := range vals {
+			pools[i] = append(pools[i], v)
+		}
+	}
+	changed := false
+	binding := make([]string, len(pools))
+	var probe func(i int) error
+	probe = func(i int) error {
+		if i == len(pools) {
+			key := source.Access{Relation: rel.Name, Binding: binding}.Key()
+			if st.tried[c.Pred][key] {
+				return nil
+			}
+			st.tried[c.Pred][key] = true
+			changed = true
+			rows, err := st.meta.probe(w, binding)
+			if err != nil {
+				return err
+			}
+			var fresh []datalog.Tuple
+			for _, row := range rows {
+				if st.cdb.Insert(c.Pred, row) {
+					fresh = append(fresh, row)
+				}
+			}
+			if onTuples != nil && len(fresh) > 0 {
+				return onTuples(c.Pred, fresh)
+			}
+			return nil
+		}
+		for _, v := range pools[i] {
+			binding[i] = v
+			if err := probe(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := probe(0); err != nil {
+		return false, err
+	}
+	return changed, nil
+}
+
+// subquerySatisfiable runs the early non-emptiness test before populating
+// group gi: the positive subquery restricted to the atoms whose caches
+// belong to groups j < gi must have at least one satisfying assignment.
+func (st *groupState) subquerySatisfiable(gi int) (bool, error) {
+	groupOf := make(map[string]int, len(st.p.Caches))
+	for _, c := range st.p.Caches {
+		groupOf[c.Pred] = c.Group
+	}
+	var body []cq.Atom
+	for _, a := range st.p.Query.Body {
+		if groupOf[a.Pred] < gi {
+			body = append(body, a)
+		}
+	}
+	if len(body) == 0 {
+		return true, nil
+	}
+	sub := &cq.CQ{Name: "sat", Body: body} // boolean query: empty head
+	ans, err := datalog.EvalQuery(sub, st.cdb)
+	if err != nil {
+		return false, fmt.Errorf("early test before group %d: %w", gi, err)
+	}
+	return ans.Len() > 0, nil
+}

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"toorjah/internal/datalog"
+	"toorjah/internal/storage"
+)
+
+// TestPipelinedLimit: the answer limit stops extraction early; the returned
+// answers are a sound subset and the run is flagged truncated.
+func TestPipelinedLimit(t *testing.T) {
+	var free, mid []storage.Row
+	for i := 0; i < 200; i++ {
+		free = append(free, storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)})
+		mid = append(mid, storage.Row{fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i)})
+	}
+	f := setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+`, "q(X, Z) :- free(X, Y), mid(Y, Z)", map[string][]storage.Row{
+		"free": free,
+		"mid":  mid,
+	})
+	full, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Answers.Len() != 200 || full.Truncated {
+		t.Fatalf("full run: %d answers, truncated=%v", full.Answers.Len(), full.Truncated)
+	}
+
+	var streamed []datalog.Tuple
+	lim, err := Pipelined(f.plan, f.reg, PipeOptions{Limit: 10, Parallelism: 2}, func(tu datalog.Tuple) {
+		streamed = append(streamed, tu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lim.Truncated {
+		t.Error("limited run must be flagged truncated")
+	}
+	if lim.Answers.Len() < 10 {
+		t.Errorf("answers = %d, want >= 10", lim.Answers.Len())
+	}
+	if lim.TotalAccesses() >= full.TotalAccesses() {
+		t.Errorf("limit did not save accesses: %d vs %d", lim.TotalAccesses(), full.TotalAccesses())
+	}
+	// Soundness: every limited answer is a real answer.
+	fullSet := full.AnswerSet()
+	for _, tu := range lim.Answers.Tuples() {
+		if !fullSet[tu.Key()] {
+			t.Errorf("limited run produced a wrong answer %v", tu)
+		}
+	}
+}
+
+// TestPipelinedLimitLargerThanAnswers behaves like an unlimited run.
+func TestPipelinedLimitLargerThanAnswers(t *testing.T) {
+	f := setup(t, `
+free^oo(A, B)
+`, "q(X, Y) :- free(X, Y), free(X, Y2)", map[string][]storage.Row{
+		"free": {{"a", "b"}, {"c", "d"}},
+	})
+	r, err := Pipelined(f.plan, f.reg, PipeOptions{Limit: 100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated || r.Answers.Len() != 2 {
+		t.Errorf("truncated=%v answers=%d", r.Truncated, r.Answers.Len())
+	}
+}

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+)
+
+// Naive runs the algorithm of the paper's Fig. 1 on the original query
+// (constants included): starting from the constants in the query, probe
+// every relation with every untried combination of known values of the
+// right abstract domains, accumulate the extracted tuples in a cache and
+// the extracted values in the known-value set, until no new access can be
+// made; finally evaluate the query over the cache.
+//
+// The typing must come from cq.Validate(q, sch). Every access is counted
+// once; no binding is ever probed twice.
+func Naive(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing) (*Result, error) {
+	start := time.Now()
+	counted, counters := reg.Counted(false)
+
+	// B: known values per abstract domain, seeded with the query constants.
+	known := make(map[schema.Domain]map[string]bool)
+	addValue := func(d schema.Domain, v string) bool {
+		m, ok := known[d]
+		if !ok {
+			m = make(map[string]bool)
+			known[d] = m
+		}
+		if m[v] {
+			return false
+		}
+		m[v] = true
+		return true
+	}
+	for c, d := range ty.ConstDomain {
+		addValue(d, c)
+	}
+
+	cache := datalog.DB{}
+	for _, rel := range sch.Relations() {
+		cache.Get(rel.Name, rel.Arity())
+	}
+	tried := make(map[string]bool)
+
+	for changed := true; changed; {
+		changed = false
+		for _, rel := range sch.Relations() {
+			w := counted.Source(rel.Name)
+			if w == nil {
+				return nil, fmt.Errorf("naive: no source bound for relation %s", rel.Name)
+			}
+			inputs := rel.InputPositions()
+			domains := rel.InputDomains()
+			// Enumerate every combination of known values for the input
+			// domains; free relations have the single empty combination.
+			pools := make([][]string, len(inputs))
+			empty := false
+			for i, d := range domains {
+				for v := range known[d] {
+					pools[i] = append(pools[i], v)
+				}
+				if len(pools[i]) == 0 {
+					empty = true
+					break
+				}
+			}
+			if empty {
+				continue
+			}
+			binding := make([]string, len(inputs))
+			var probe func(i int) error
+			probe = func(i int) error {
+				if i == len(inputs) {
+					key := source.Access{Relation: rel.Name, Binding: binding}.Key()
+					if tried[key] {
+						return nil
+					}
+					tried[key] = true
+					changed = true
+					rows, err := w.Access(binding)
+					if err != nil {
+						return err
+					}
+					for _, row := range rows {
+						if cache.Insert(rel.Name, datalog.Tuple(row)) {
+							for pos, v := range row {
+								addValue(rel.Domains[pos], v)
+							}
+						}
+					}
+					return nil
+				}
+				for _, v := range pools[i] {
+					binding[i] = v
+					if err := probe(i + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := probe(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	answers, err := datalog.EvalQuery(q, cache)
+	if err != nil {
+		return nil, fmt.Errorf("naive: final evaluation: %w", err)
+	}
+	return &Result{
+		Answers: answers,
+		Stats:   statsOf(counters),
+		Elapsed: time.Since(start),
+	}, nil
+}

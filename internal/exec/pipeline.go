@@ -1,0 +1,331 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/plan"
+	"toorjah/internal/source"
+)
+
+// PipeOptions tunes the pipelined executor.
+type PipeOptions struct {
+	// QueueLen is the per-wrapper access queue capacity (paper Fig. 5);
+	// default 32.
+	QueueLen int
+	// Parallelism is the number of concurrent probes per relation;
+	// default 4.
+	Parallelism int
+	// Limit, when positive, stops the extraction as soon as that many
+	// answers have been emitted — the paper's interactive early stop
+	// ("the user can stop the lengthy answering process once satisfied").
+	// The result is then a sound subset of the obtainable answers and
+	// carries Truncated.
+	Limit int
+	Options
+}
+
+func (o *PipeOptions) defaults() {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 32
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+}
+
+// job is one access tuple queued for a wrapper.
+type job struct {
+	cache   *plan.Cache
+	binding []string
+}
+
+// probeResult carries a wrapper's extraction back to the coordinator.
+type probeResult struct {
+	cache   *plan.Cache
+	binding []string
+	rows    []datalog.Tuple
+	err     error
+}
+
+// Pipelined executes the plan with the Toorjah engine of Section V: every
+// relation gets a wrapper goroutine pool with a bounded access queue, the
+// coordinator "distils" new access tuples into the queues as soon as the
+// cache database can generate them, and answers are emitted through
+// onAnswer the moment an incremental join derives them. The final result
+// carries the same answer set as FastFailing.
+//
+// For queries with negated atoms, incremental emission would be unsound
+// (a later extraction can invalidate a tentative answer), so answers are
+// emitted only after all caches are complete.
+func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer func(datalog.Tuple)) (*Result, error) {
+	opts.defaults()
+	start := time.Now()
+	counted, counters := reg.Counted(false)
+	st := newGroupState(p, counted, opts.Options)
+
+	// One queue and worker pool per relation occurring in the plan.
+	queues := make(map[string]chan job)
+	results := make(chan probeResult)
+	var wg sync.WaitGroup
+	var stopped atomic.Bool
+	for _, c := range p.Caches {
+		if c.IsConst {
+			continue
+		}
+		name := c.Source.Rel.Name
+		if _, ok := queues[name]; ok {
+			continue
+		}
+		w := counted.Source(name)
+		if w == nil {
+			return nil, fmt.Errorf("pipelined: no source bound for relation %s", name)
+		}
+		q := make(chan job, opts.QueueLen)
+		queues[name] = q
+		for i := 0; i < opts.Parallelism; i++ {
+			wg.Add(1)
+			go func(w source.Wrapper, q chan job) {
+				defer wg.Done()
+				for j := range q {
+					if stopped.Load() {
+						// Truncated run: pass queued jobs through without
+						// touching the source.
+						results <- probeResult{cache: j.cache, binding: j.binding}
+						continue
+					}
+					raw, err := w.Access(j.binding)
+					rows := make([]datalog.Tuple, len(raw))
+					for i, r := range raw {
+						rows[i] = datalog.Tuple(r)
+					}
+					results <- probeResult{cache: j.cache, binding: j.binding, rows: rows, err: err}
+				}
+			}(w, q)
+		}
+	}
+	// cleanup stops the workers: close the queues, then drain the results
+	// channel until every worker has exited, so no send can block forever.
+	// It runs exactly once — explicitly on the success paths (so access
+	// statistics are final when the result is built) and deferred for the
+	// error paths.
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			stopped.Store(true)
+			for _, q := range queues {
+				close(q)
+			}
+			go func() {
+				wg.Wait()
+				close(results)
+			}()
+			for range results {
+			}
+		})
+	}
+	defer cleanup()
+
+	streaming := len(p.Query.Negated) == 0
+	answers := datalog.NewRelation(p.Query.Name, len(p.Query.Head))
+	queryRule := &datalog.Rule{
+		Head:    cq.Atom{Pred: p.Query.Name, Args: p.Query.Head},
+		Body:    p.Query.Body,
+		Negated: p.Query.Negated,
+	}
+	var firstAnswer time.Duration
+	emit := func(t datalog.Tuple) {
+		if !answers.Insert(t) {
+			return
+		}
+		if firstAnswer == 0 {
+			firstAnswer = time.Since(start)
+		}
+		if onAnswer != nil {
+			onAnswer(t)
+		}
+	}
+
+	// onFresh folds a batch of new cache tuples into the incremental
+	// answer join.
+	onFresh := func(pred string, fresh []datalog.Tuple) error {
+		if !streaming {
+			return nil
+		}
+		delta := datalog.NewRelation(pred, len(fresh[0]))
+		for _, t := range fresh {
+			delta.Insert(t)
+		}
+		for i, a := range p.Query.Body {
+			if a.Pred != pred {
+				continue
+			}
+			derived, err := datalog.EvalRuleWithDelta(queryRule, st.cdb, delta, i)
+			if err != nil {
+				return err
+			}
+			for _, t := range derived {
+				emit(t)
+			}
+		}
+		return nil
+	}
+
+	// generate derives every new access binding the caches currently
+	// support. Meta-cache hits are folded in synchronously; probes already
+	// in flight for the same relation binding register the extra cache as a
+	// waiter instead of re-probing ("every access tuple is never sent twice
+	// to the same wrapper"); everything else is queued.
+	var pending []job
+	inflight := make(map[string][]*plan.Cache)
+	generate := func() error {
+		for _, c := range p.Caches {
+			if c.IsConst {
+				continue
+			}
+			rel := c.Source.Rel
+			pools := make([][]string, len(c.DomainPreds))
+			ready := true
+			for i, dp := range c.DomainPreds {
+				vals, err := st.domainValues(dp)
+				if err != nil {
+					return err
+				}
+				if len(vals) == 0 {
+					ready = false
+					break
+				}
+				for v := range vals {
+					pools[i] = append(pools[i], v)
+				}
+			}
+			if !ready {
+				continue
+			}
+			binding := make([]string, len(pools))
+			var walk func(i int) error
+			walk = func(i int) error {
+				if i == len(pools) {
+					key := source.Access{Relation: rel.Name, Binding: binding}.Key()
+					if st.tried[c.Pred][key] {
+						return nil
+					}
+					st.tried[c.Pred][key] = true
+					b := append([]string(nil), binding...)
+					if rows, hit := st.meta.hit(rel.Name, b); hit {
+						return ingest(st, c, rows, onFresh)
+					}
+					if !opts.NoMetaCache {
+						akey := source.Access{Relation: rel.Name, Binding: b}.Key()
+						if _, flying := inflight[akey]; flying {
+							inflight[akey] = append(inflight[akey], c)
+							return nil
+						}
+						inflight[akey] = nil
+					}
+					pending = append(pending, job{cache: c, binding: b})
+					return nil
+				}
+				for _, v := range pools[i] {
+					binding[i] = v
+					if err := walk(i + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := walk(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	limitHit := func() bool { return opts.Limit > 0 && answers.Len() >= opts.Limit }
+
+	if err := generate(); err != nil {
+		return nil, err
+	}
+	outstanding := 0
+	for (len(pending) > 0 || outstanding > 0) && !limitHit() {
+		// Dispatch as many pending jobs as the queues accept.
+		kept := pending[:0]
+		for _, j := range pending {
+			select {
+			case queues[j.cache.Source.Rel.Name] <- j:
+				outstanding++
+			default:
+				kept = append(kept, j)
+			}
+		}
+		pending = kept
+		if outstanding == 0 {
+			continue
+		}
+		res := <-results
+		outstanding--
+		if res.err != nil {
+			return nil, res.err
+		}
+		relName := res.cache.Source.Rel.Name
+		st.meta.store(relName, res.binding, res.rows)
+		if err := ingest(st, res.cache, res.rows, onFresh); err != nil {
+			return nil, err
+		}
+		akey := source.Access{Relation: relName, Binding: res.binding}.Key()
+		for _, waiter := range inflight[akey] {
+			if err := ingest(st, waiter, res.rows, onFresh); err != nil {
+				return nil, err
+			}
+		}
+		delete(inflight, akey)
+		if err := generate(); err != nil {
+			return nil, err
+		}
+	}
+
+	truncated := limitHit() && (len(pending) > 0 || outstanding > 0)
+	// Drain probes still in flight, then stop the workers; their remaining
+	// extractions are discarded when the limit stopped the run.
+	for ; outstanding > 0; outstanding-- {
+		<-results
+	}
+	cleanup()
+
+	if !truncated {
+		// Authoritative final evaluation (also covers negation).
+		final, err := datalog.EvalQuery(p.Query, st.cdb)
+		if err != nil {
+			return nil, fmt.Errorf("pipelined: final evaluation: %w", err)
+		}
+		for _, t := range final.Tuples() {
+			emit(t)
+		}
+	}
+	return &Result{
+		Answers:     answers,
+		Stats:       statsOf(counters),
+		Truncated:   truncated,
+		Elapsed:     time.Since(start),
+		TimeToFirst: firstAnswer,
+	}, nil
+}
+
+// ingest inserts an extraction into a cache and forwards new tuples to the
+// incremental join.
+func ingest(st *groupState, c *plan.Cache, rows []datalog.Tuple, onFresh func(string, []datalog.Tuple) error) error {
+	var fresh []datalog.Tuple
+	for _, row := range rows {
+		if st.cdb.Insert(c.Pred, row) {
+			fresh = append(fresh, row)
+		}
+	}
+	if len(fresh) > 0 {
+		return onFresh(c.Pred, fresh)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package exec executes query plans over access-limited sources. It
+// provides the three evaluation strategies of the paper:
+//
+//   - Naive: the reference algorithm of Fig. 1 ([Li & Chang, ICDE 2000]):
+//     probe every relation with every untried combination of known values
+//     until no access yields anything new, then evaluate the query over the
+//     accumulated cache;
+//   - FastFailing: the ⊂-minimal strategy of Section IV: populate the cache
+//     of each position group in the plan's ordering, running an early
+//     non-emptiness test before each group and never repeating an access
+//     (per-relation meta-caches);
+//   - Pipelined: the Toorjah engine of Section V: per-source wrapper
+//     goroutines with queued access tuples ("distillation"), incremental
+//     join evaluation, and answers streamed as soon as they are derivable.
+//
+// All strategies compute the same answer — the set of obtainable answers
+// under the access limitations — which the tests assert against the Datalog
+// least-fixpoint reference semantics.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"toorjah/internal/datalog"
+	"toorjah/internal/source"
+)
+
+// Result is the outcome of one query execution.
+type Result struct {
+	// Answers is the deduplicated answer relation.
+	Answers *datalog.Relation
+	// Stats has per-relation access accounting (relations never probed are
+	// absent).
+	Stats map[string]source.Stats
+	// EarlyEmpty reports that the fast-failing test proved the answer empty
+	// before all groups were populated.
+	EarlyEmpty bool
+	// Truncated reports that a pipelined run stopped at its answer limit;
+	// the answers are a sound subset of the obtainable ones.
+	Truncated bool
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// TimeToFirst is the time until the first answer was emitted; zero when
+	// no answer was produced or the strategy does not stream.
+	TimeToFirst time.Duration
+}
+
+// TotalAccesses sums accesses over all relations.
+func (r *Result) TotalAccesses() int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Accesses
+	}
+	return n
+}
+
+// TotalTuples sums extracted tuples over all relations.
+func (r *Result) TotalTuples() int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Tuples
+	}
+	return n
+}
+
+// SortedAnswers returns the answers as sorted strings, for deterministic
+// comparison and display.
+func (r *Result) SortedAnswers() []string {
+	if r.Answers == nil {
+		return nil
+	}
+	out := make([]string, 0, r.Answers.Len())
+	for _, t := range r.Answers.Tuples() {
+		out = append(out, strings.Join(t, ","))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnswerSet returns the answers as a set of encoded keys.
+func (r *Result) AnswerSet() map[string]bool {
+	set := make(map[string]bool)
+	if r.Answers == nil {
+		return set
+	}
+	for _, t := range r.Answers.Tuples() {
+		set[t.Key()] = true
+	}
+	return set
+}
+
+// String renders a short execution summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "answers=%d accesses=%d tuples=%d elapsed=%s",
+		r.Answers.Len(), r.TotalAccesses(), r.TotalTuples(), r.Elapsed)
+	if r.EarlyEmpty {
+		b.WriteString(" (early empty)")
+	}
+	return b.String()
+}
+
+// statsOf snapshots the counters of a counted registry.
+func statsOf(counters map[string]*source.Counter) map[string]source.Stats {
+	out := make(map[string]source.Stats, len(counters))
+	for name, c := range counters {
+		if st := c.Stats(); st.Accesses > 0 {
+			out[name] = st
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"toorjah/internal/gen"
+)
+
+// TestFig6ShapeInvariants checks the reproduction targets of Fig. 6 on a
+// small instance: answers agree, irrelevant relations (Figs. 7–9) have
+// blank optimized columns, and the optimized plan never exceeds the naive
+// access count on any relation it shares with it.
+func TestFig6ShapeInvariants(t *testing.T) {
+	results, err := RunFig6(3, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("queries = %d", len(results))
+	}
+	irrelevant := map[int][]string{
+		0: {"pub2", "sub", "rev_icde"}, // q1, Fig. 7
+		1: {"pub1", "pub2", "sub"},     // q2, Fig. 8
+		2: {"pub2"},                    // q3, Fig. 9
+	}
+	for qi, res := range results {
+		if !res.AnswersAgree {
+			t.Errorf("q%d: naive and optimized disagree", qi+1)
+		}
+		byName := map[string]Fig6Row{}
+		for _, r := range res.Rows {
+			byName[r.Relation] = r
+		}
+		for _, rel := range irrelevant[qi] {
+			row := byName[rel]
+			if row.Relevant {
+				t.Errorf("q%d: %s should be irrelevant", qi+1, rel)
+			}
+			if row.OptAccesses != 0 {
+				t.Errorf("q%d: irrelevant %s accessed %d times", qi+1, rel, row.OptAccesses)
+			}
+		}
+		for _, r := range res.Rows {
+			if r.Relevant && r.OptAccesses > r.NaiveAccesses {
+				t.Errorf("q%d: %s optimized %d > naive %d accesses",
+					qi+1, r.Relation, r.OptAccesses, r.NaiveAccesses)
+			}
+		}
+		// The cartesian blow-up of rev_icde under the naive plan.
+		ri := byName["rev_icde"]
+		if ri.NaiveAccesses < 1000 {
+			t.Errorf("q%d: rev_icde naive accesses = %d; expected a cross-product blow-up", qi+1, ri.NaiveAccesses)
+		}
+	}
+}
+
+func TestFig6Rendering(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig6(&sb, 3, 120); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"q1(R)", "q2(R)", "q3(R)", "rev_icde", "naive acc."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig10ShapeInvariants(t *testing.T) {
+	st, err := RunFig10(1, 3, 8, gen.Fig10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries < 10 {
+		t.Fatalf("only %d queries ran", st.Queries)
+	}
+	if st.Saved.Avg() < 0.4 {
+		t.Errorf("avg saved accesses %.1f%%; the paper reports 81%% — expected a large saving",
+			100*st.Saved.Avg())
+	}
+	if st.Strong.Avg() <= 0 {
+		t.Error("no strong arcs found on average")
+	}
+	if st.Deleted.Avg() <= 0 {
+		t.Error("no deleted arcs found on average")
+	}
+	if st.Arcs.Min() < 0 || st.Arcs.Max() < st.Arcs.Avg() {
+		t.Error("arc series inconsistent")
+	}
+	if st.OptAccesses.Avg() > st.NaiveAccesses.Avg() {
+		t.Errorf("optimized avg accesses %.1f > naive %.1f", st.OptAccesses.Avg(), st.NaiveAccesses.Avg())
+	}
+}
+
+func TestFig10Rendering(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig10(&sb, 1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deleted arcs", "strong arcs", "saved accesses", "avg"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Fig10 output missing %q", want)
+		}
+	}
+}
+
+// TestFig11ShapeInvariants: the optimized strategy is faster than naive in
+// every atom bucket under the per-access cost model.
+func TestFig11ShapeInvariants(t *testing.T) {
+	rows, err := RunFig11(1, 3, 8, 200*time.Microsecond, gen.Fig10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no buckets")
+	}
+	slower := 0
+	for _, r := range rows {
+		if r.OptTime > r.NaiveTime {
+			slower++
+		}
+	}
+	// Individual buckets can be noisy with few queries, but the optimized
+	// strategy must win overall.
+	if slower > len(rows)/2 {
+		t.Errorf("optimized slower in %d/%d buckets: %+v", slower, len(rows), rows)
+	}
+}
+
+func TestFig11Rendering(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig11(&sb, 1, 2, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"atoms", "naive", "speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Fig11 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+// PublicationSchemaText is the fixed schema of the paper's first series of
+// tests (Section V): published papers and their authors, conference
+// publications, reviewers, submissions, and ICDE reviews.
+const PublicationSchemaText = `
+pub1^io(Paper, Person)
+pub2^oo(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+rev^ooi(Person, ConfName, Year)
+sub^oi(Paper, Person)
+rev_icde^iio(Person, Paper, Eval)
+`
+
+// PublicationQueries are the three test queries of Fig. 6.
+var PublicationQueries = []string{
+	// q1: authors of publications in conferences where they were also
+	// reviewers.
+	"q1(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)",
+	// q2: reviewers who rejected at ICDE a paper later accepted at a
+	// conference listing the same reviewer.
+	"q2(R) :- rev_icde(R, P, rej), conf(P, C, Y), rev(R, C, Y)",
+	// q3: reviewers of ICDE 2008 who accepted at ICDE a submission authored
+	// by an ICDE coauthor.
+	"q3(R) :- rev_icde(R, S, acc), sub(S, A), pub1(P, R), pub1(P, A), rev(R, icde, y2008), conf(P, icde, Y)",
+}
+
+// PublicationConfig sizes the synthetic publication instance.
+type PublicationConfig struct {
+	// Tuples per relation (the paper used ~1000).
+	Tuples int
+	// Values per abstract domain (the paper used 100–1000 per domain).
+	Persons, Papers, Confs, Years, Evals int
+}
+
+// DefaultPublication mirrors the paper's sizes scaled to laptop runtime:
+// the Person × Paper product still dominates the naive cost of q2/q3.
+func DefaultPublication() PublicationConfig {
+	return PublicationConfig{Tuples: 1000, Persons: 400, Papers: 400, Confs: 100, Years: 20, Evals: 2}
+}
+
+// SmallPublication is a fast variant for unit tests.
+func SmallPublication() PublicationConfig {
+	return PublicationConfig{Tuples: 120, Persons: 40, Papers: 40, Confs: 10, Years: 6, Evals: 2}
+}
+
+// Publication builds the fixed schema and a random instance. Constants used
+// by the queries (icde, y2008, acc, rej) are guaranteed to occur.
+func Publication(seed int64, cfg PublicationConfig) (*schema.Schema, *storage.Database) {
+	sch := schema.MustParse(PublicationSchemaText)
+	rng := rand.New(rand.NewSource(seed))
+	person := func() string { return fmt.Sprintf("person%d", rng.Intn(cfg.Persons)) }
+	paper := func() string { return fmt.Sprintf("paper%d", rng.Intn(cfg.Papers)) }
+	conf := func() string {
+		if rng.Intn(8) == 0 {
+			return "icde"
+		}
+		return fmt.Sprintf("conf%d", rng.Intn(cfg.Confs))
+	}
+	year := func() string {
+		if rng.Intn(8) == 0 {
+			return "y2008"
+		}
+		return fmt.Sprintf("y%d", 1990+rng.Intn(cfg.Years))
+	}
+	eval := func() string {
+		if rng.Intn(2) == 0 {
+			return "acc"
+		}
+		return "rej"
+	}
+	db := storage.NewDatabase()
+	fill := func(name string, row func() storage.Row) {
+		tab, err := db.Create(name, sch.Relation(name).Arity())
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < cfg.Tuples; i++ {
+			tab.Insert(row())
+		}
+	}
+	fill("pub1", func() storage.Row { return storage.Row{paper(), person()} })
+	fill("pub2", func() storage.Row { return storage.Row{paper(), person()} })
+	fill("conf", func() storage.Row { return storage.Row{paper(), conf(), year()} })
+	fill("rev", func() storage.Row { return storage.Row{person(), conf(), year()} })
+	fill("sub", func() storage.Row { return storage.Row{paper(), person()} })
+	fill("rev_icde", func() storage.Row { return storage.Row{person(), paper(), eval()} })
+	return sch, db
+}

@@ -1,0 +1,59 @@
+package plan
+
+import (
+	"toorjah/internal/cq"
+	"toorjah/internal/schema"
+)
+
+// Orderable reports whether the query is executable as-is by some
+// left-to-right ordering of its atoms that respects the access limitations:
+// each atom's input arguments must be bound by constants or by variables
+// occurring in earlier atoms. This is the practical approximation of
+// feasibility studied by Ludäscher & Nash (PODS 2004) and the subgoal
+// ordering of Yang, Kifer & Chaudhri (PODS 2006), both discussed in the
+// paper's related work. When ok, the returned slice gives one executable
+// ordering as indexes into q.Body.
+//
+// An orderable query needs no recursion and no relation outside the query;
+// a non-orderable but answerable query (like the paper's Example 1) is
+// exactly where the recursive plans of this package are required.
+func Orderable(q *cq.CQ, s *schema.Schema) (ordering []int, ok bool) {
+	n := len(q.Body)
+	bound := make(map[string]bool)
+	placed := make([]bool, n)
+	canRun := func(a cq.Atom) bool {
+		rel := s.Relation(a.Pred)
+		if rel == nil || rel.Arity() != len(a.Args) {
+			return false
+		}
+		for _, pos := range rel.InputPositions() {
+			t := a.Args[pos]
+			if t.IsVar && !bound[t.Name] {
+				return false
+			}
+		}
+		return true
+	}
+	// Greedy placement is complete: binding variables is monotone, so a
+	// runnable atom never becomes unrunnable by running another one first.
+	for len(ordering) < n {
+		progress := false
+		for i := 0; i < n; i++ {
+			if placed[i] || !canRun(q.Body[i]) {
+				continue
+			}
+			placed[i] = true
+			ordering = append(ordering, i)
+			for _, t := range q.Body[i].Args {
+				if t.IsVar {
+					bound[t.Name] = true
+				}
+			}
+			progress = true
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return ordering, true
+}

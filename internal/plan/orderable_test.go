@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"testing"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/schema"
+)
+
+func TestOrderableChain(t *testing.T) {
+	sch := schema.MustParse(`
+free^oo(A, B)
+mid^io(B, C)
+last^io(C, D)
+`)
+	q := cq.MustParse("q(D) :- last(Z, D), mid(Y, Z), free(X, Y)")
+	ordering, ok := Orderable(q, sch)
+	if !ok {
+		t.Fatal("chain query is orderable")
+	}
+	// The only executable order is free, mid, last = body indexes 2, 1, 0.
+	if len(ordering) != 3 || ordering[0] != 2 || ordering[1] != 1 || ordering[2] != 0 {
+		t.Errorf("ordering = %v, want [2 1 0]", ordering)
+	}
+}
+
+func TestOrderableWithConstants(t *testing.T) {
+	sch := schema.MustParse("r^io(A, B)")
+	q := cq.MustParse("q(B) :- r(a, B)")
+	if _, ok := Orderable(q, sch); !ok {
+		t.Error("constant-bound input: orderable")
+	}
+	q2 := cq.MustParse("q(B) :- r(X, B)")
+	if _, ok := Orderable(q2, sch); ok {
+		t.Error("unbound input: not orderable")
+	}
+}
+
+// TestExample1NotOrderable: the paper's motivating query needs recursion —
+// no left-to-right ordering of its own atoms can execute it.
+func TestExample1NotOrderable(t *testing.T) {
+	sch := schema.MustParse(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	q := cq.MustParse("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if _, ok := Orderable(q, sch); ok {
+		t.Error("Example 1 must not be orderable: that is why recursive plans exist")
+	}
+	// Even with the free r3 added to the body, r2's Year input holds the
+	// fresh variable Y2 that no other atom binds: still not orderable.
+	q2 := cq.MustParse("q(N) :- r3(A, AL), r1(A, N, Y1), r2(volare, Y2, A)")
+	if _, ok := Orderable(q2, sch); ok {
+		t.Error("Y2 is never bound by another atom: not orderable")
+	}
+	// Joining the years (one Year domain, shared variable) makes the chain
+	// executable: r3 binds A, r1 binds Y, r2 runs with Y.
+	q3 := cq.MustParse("q(N) :- r3(A, AL), r1(A, N, Y), r2(volare, Y, A)")
+	sch2 := schema.MustParse(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	if _, ok := Orderable(q3, sch2); !ok {
+		t.Error("r3 -> r1 -> r2 binds every input: orderable")
+	}
+}
+
+// TestOrderableQ1: the paper's q1 is executable left-to-right
+// (conf, then pub1 and rev), even though the optimized recursive plan is
+// still what minimizes accesses.
+func TestOrderableQ1(t *testing.T) {
+	sch := schema.MustParse(`
+pub1^io(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+rev^ooi(Person, ConfName, Year)
+`)
+	q := cq.MustParse("q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)")
+	ordering, ok := Orderable(q, sch)
+	if !ok {
+		t.Fatal("q1 is orderable")
+	}
+	if ordering[0] != 1 {
+		t.Errorf("conf (free) must come first: %v", ordering)
+	}
+}
+
+func TestOrderableUnknownRelation(t *testing.T) {
+	sch := schema.MustParse("r^oo(A, B)")
+	q := cq.MustParse("q(X) :- nosuch(X, Y)")
+	if _, ok := Orderable(q, sch); ok {
+		t.Error("unknown relation: not orderable")
+	}
+}

@@ -1,0 +1,235 @@
+// Package plan generates ⊂-minimal query plans from optimized dependency
+// graphs, implementing Section IV of Calì & Martinenghi (ICDE 2008).
+//
+// A plan is a Datalog program with three layers:
+//
+//   - a cache predicate per surviving source of the optimized d-graph,
+//     defined by a rule "ĉ(V̄) ← r(V̄), s₁(Vᵢ₁), …, sₙ(Vᵢₙ)" with one domain
+//     predicate per input argument;
+//   - domain predicates providing the values with which input arguments may
+//     be bound: a disjunction (one rule per provider) of the caches behind
+//     weak incoming arcs, and a conjunction (a single join rule) of the
+//     caches behind strong incoming arcs;
+//   - the rewritten query over the black caches, plus one fact per
+//     artificial constant relation introduced by the preprocessing.
+//
+// The plan also carries the source ordering: the surviving sources are
+// grouped into positions 1…k (sources on a common cyclic d-path share a
+// position; weak arcs order groups non-strictly, strong arcs strictly), and
+// the fast-failing executor populates group i only after an early
+// non-emptiness test over groups j < i. A ∀-minimal plan exists iff this
+// ordering is unique, which the plan reports.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/dgraph"
+)
+
+// Cache describes the cache predicate of one surviving source.
+type Cache struct {
+	Source *dgraph.Source
+	// Pred is the cache predicate name (the paper's r̂ with occurrence).
+	Pred string
+	// Group is the zero-based position of the source's group in the
+	// ordering.
+	Group int
+	// DomainPreds maps each input position of the relation to its domain
+	// predicate name; parallel to Source.Rel.InputPositions().
+	DomainPreds []string
+	// IsConst marks caches of artificial constant relations; they are
+	// populated by a fact instead of source accesses.
+	IsConst bool
+	// ConstValue is the constant carried by an IsConst cache.
+	ConstValue string
+}
+
+// Plan is a ⊂-minimal query plan.
+type Plan struct {
+	Opt *dgraph.Optimized
+	// Program is the full Datalog program: cache rules, domain rules, the
+	// query rule, and constant facts. Its least fixpoint over the source
+	// relations is the plan's reference semantics.
+	Program *datalog.Program
+	// Query is the rewritten query whose body atoms range over the black
+	// caches (negated atoms over negated-occurrence caches).
+	Query *cq.CQ
+	// Caches lists one entry per surviving source, ordered by group then
+	// source ID.
+	Caches []*Cache
+	// Groups are the position groups of sources, in execution order.
+	Groups [][]*dgraph.Source
+	// UniqueOrdering reports whether only one ordering of the groups was
+	// possible; by Section IV this is exactly the condition under which a
+	// ∀-minimal plan exists (and then this plan is it).
+	UniqueOrdering bool
+}
+
+// CacheBySource returns the cache of the given source, or nil.
+func (p *Plan) CacheBySource(s *dgraph.Source) *Cache {
+	for _, c := range p.Caches {
+		if c.Source.ID == s.ID {
+			return c
+		}
+	}
+	return nil
+}
+
+// ForAllMinimal reports whether the plan is ∀-minimal (Section IV: the
+// ⊂-minimal plan is unique iff exactly one ordering is possible).
+func (p *Plan) ForAllMinimal() bool { return p.UniqueOrdering }
+
+// String renders the plan: ordering, program.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("ordering:")
+	for i, g := range p.Groups {
+		if i > 0 {
+			b.WriteString(" ≺")
+		}
+		var labels []string
+		for _, s := range g {
+			labels = append(labels, s.Label())
+		}
+		fmt.Fprintf(&b, " {%s}", strings.Join(labels, ", "))
+	}
+	b.WriteString("\nprogram:\n")
+	b.WriteString(p.Program.String())
+	return b.String()
+}
+
+// cachePred names the cache predicate of a source: "hat_rel_1" for the
+// first occurrence of rel in the query, "hat_rel_w" for a white source.
+func cachePred(s *dgraph.Source) string {
+	if s.Black {
+		return fmt.Sprintf("hat_%s_%d", s.Rel.Name, s.Occ)
+	}
+	return fmt.Sprintf("hat_%s_w", s.Rel.Name)
+}
+
+// domainPred names the domain predicate feeding input position pos of the
+// source's cache.
+func domainPred(s *dgraph.Source, pos int) string {
+	return fmt.Sprintf("s_%s_%d", cachePred(s), pos)
+}
+
+// Generate builds the ⊂-minimal plan for an optimized d-graph whose query
+// is answerable.
+func Generate(o *dgraph.Optimized) (*Plan, error) {
+	return GenerateWith(o, OrderOptions{})
+}
+
+// GenerateWith is Generate with explicit ordering options (statistics-based
+// or heuristic-free linearization).
+func GenerateWith(o *dgraph.Optimized, ordOpts OrderOptions) (*Plan, error) {
+	if !o.Graph.Answerable {
+		return nil, fmt.Errorf("plan: query %s is not answerable", o.Graph.Query.Name)
+	}
+	groups, unique := OrderWith(o, ordOpts)
+	p := &Plan{
+		Opt:            o,
+		Program:        &datalog.Program{},
+		Groups:         groups,
+		UniqueOrdering: unique,
+	}
+	// Caches in group order for deterministic output.
+	for gi, g := range groups {
+		for _, s := range g {
+			c := &Cache{Source: s, Pred: cachePred(s), Group: gi}
+			if v, ok := cq.IsConstRelation(s.Rel.Name); ok {
+				c.IsConst = true
+				c.ConstValue = v
+			}
+			p.Caches = append(p.Caches, c)
+		}
+	}
+
+	for _, c := range p.Caches {
+		if c.IsConst {
+			// The artificial relation ℓ_a contributes the single fact
+			// ĉ(a); no access is ever made for it.
+			p.Program.AddFact(c.Pred, c.ConstValue)
+			continue
+		}
+		rel := c.Source.Rel
+		// Cache rule over fresh variables: using the atom's own variables
+		// would wrongly restrict the cache on self-joined atoms like
+		// r(X, X); the query rule re-imposes those equalities at the end.
+		vars := make([]cq.Term, rel.Arity())
+		for i := range vars {
+			vars[i] = cq.V(fmt.Sprintf("V%d", i+1))
+		}
+		rule := &datalog.Rule{Head: cq.Atom{Pred: c.Pred, Args: vars}}
+		rule.Body = append(rule.Body, cq.Atom{Pred: rel.Name, Args: vars})
+		for _, pos := range rel.InputPositions() {
+			node := c.Source.Nodes[pos]
+			strongIn := o.StrongInArcs(node)
+			weakIn := o.WeakInArcs(node)
+			if len(strongIn)+len(weakIn) == 0 {
+				return nil, fmt.Errorf("plan: input node %s of surviving source has no live providers", node)
+			}
+			dp := domainPred(c.Source, pos)
+			c.DomainPreds = append(c.DomainPreds, dp)
+			rule.Body = append(rule.Body, cq.NewAtom(dp, vars[pos]))
+
+			// Conjunction of strong providers: one joint rule.
+			if len(strongIn) > 0 {
+				join := &datalog.Rule{Head: cq.NewAtom(dp, cq.V("X"))}
+				for ai, a := range strongIn {
+					join.Body = append(join.Body, providerAtom(a, ai))
+				}
+				p.Program.Add(join)
+			}
+			// Disjunction of weak providers: one rule each.
+			for _, a := range weakIn {
+				r := &datalog.Rule{Head: cq.NewAtom(dp, cq.V("X"))}
+				r.Body = append(r.Body, providerAtom(a, 0))
+				p.Program.Add(r)
+			}
+		}
+		p.Program.Add(rule)
+	}
+
+	// The rewritten query: each atom of the (constant-free) query ranges
+	// over its occurrence's cache.
+	q := o.Graph.Query
+	rw := &cq.CQ{Name: q.Name, Head: append([]cq.Term(nil), q.Head...)}
+	for _, s := range o.Graph.BlackSources() {
+		atom := cq.Atom{Pred: cachePred(s), Args: append([]cq.Term(nil), s.Atom.Args...)}
+		if s.Negated {
+			rw.Negated = append(rw.Negated, atom)
+		} else {
+			rw.Body = append(rw.Body, atom)
+		}
+	}
+	p.Query = rw
+	p.Program.Add(&datalog.Rule{
+		Head:    cq.Atom{Pred: rw.Name, Args: rw.Head},
+		Body:    rw.Body,
+		Negated: rw.Negated,
+	})
+	if err := p.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: generated program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// providerAtom builds the cache atom of the provider behind arc a, with the
+// shared variable X at the provider's position and fresh variables (indexed
+// by k to keep joint rules collision-free) elsewhere.
+func providerAtom(a *dgraph.Arc, k int) cq.Atom {
+	src := a.From.Source
+	args := make([]cq.Term, src.Rel.Arity())
+	for i := range args {
+		if i == a.From.Pos {
+			args[i] = cq.V("X")
+		} else {
+			args[i] = cq.V(fmt.Sprintf("W%d_%d", k, i+1))
+		}
+	}
+	return cq.Atom{Pred: cachePred(src), Args: args}
+}

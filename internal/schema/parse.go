@@ -1,0 +1,79 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a schema from its textual form, one relation per line, in the
+// paper's notation:
+//
+//	pub1^io(Paper, Person)
+//	conf^ooo(Paper, ConfName, Year)
+//
+// Blank lines and lines starting with '#' or "//" are ignored.
+// Nullary relations are written with an empty pattern and argument list:
+// "r^()".
+func Parse(text string) (*Schema, error) {
+	s := &Schema{rels: make(map[string]*Relation)}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		r, err := ParseRelation(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if err := s.Add(r); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("empty schema")
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(text string) *Schema {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseRelation parses a single relation declaration such as
+// "rev^ooi(Person, ConfName, Year)".
+func ParseRelation(line string) (*Relation, error) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("relation %q: want name^pattern(Domain,...)", line)
+	}
+	head := strings.TrimSpace(line[:open])
+	body := strings.TrimSpace(line[open+1 : len(line)-1])
+	caret := strings.IndexByte(head, '^')
+	if caret < 0 {
+		return nil, fmt.Errorf("relation %q: missing ^pattern", line)
+	}
+	name := strings.TrimSpace(head[:caret])
+	pattern := strings.TrimSpace(head[caret+1:])
+	if name == "" {
+		return nil, fmt.Errorf("relation %q: empty name", line)
+	}
+	var domains []Domain
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			d := strings.TrimSpace(part)
+			if d == "" {
+				return nil, fmt.Errorf("relation %q: empty domain name", line)
+			}
+			domains = append(domains, Domain(d))
+		}
+	}
+	if len(domains) == 0 && pattern != "" {
+		return nil, fmt.Errorf("relation %q: nullary relation must have empty pattern", line)
+	}
+	return NewRelation(name, pattern, domains...)
+}

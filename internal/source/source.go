@@ -1,0 +1,290 @@
+// Package source models the wrapped data sources of the Toorjah
+// architecture (paper Section V, Fig. 5): every relation is reachable only
+// through a Wrapper, whose single operation is an access — the probe of the
+// relation with all its input arguments bound to constants, returning the
+// matching tuples. Wrappers wrap local in-memory tables here (the paper used
+// local PostgreSQL tables); a configurable per-access latency simulates the
+// remote sources the paper targets, so that execution time is proportional
+// to the number of accesses, as in the paper's Fig. 11.
+//
+// The package also provides the access accounting used throughout the
+// experimental evaluation: a counting decorator records the number of
+// accesses and extracted tuples per relation.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+// Access identifies one probe of a relation: the values binding its input
+// positions, in input-position order. Free relations have exactly one
+// access, the empty binding.
+type Access struct {
+	Relation string
+	Binding  []string
+}
+
+// Key encodes the access for deduplication.
+func (a Access) Key() string {
+	return a.Relation + "\x00" + strings.Join(a.Binding, "\x00")
+}
+
+// String renders the access, e.g. "rev[Year=2008]".
+func (a Access) String() string {
+	return fmt.Sprintf("%s(%s)", a.Relation, strings.Join(a.Binding, ","))
+}
+
+// Wrapper is a data source with access limitations. Access probes the
+// relation with the given input binding (parallel to
+// Relation().InputPositions()) and returns every matching tuple, complete
+// with both input and output attributes.
+type Wrapper interface {
+	Relation() *schema.Relation
+	Access(binding []string) ([]storage.Row, error)
+}
+
+// TableSource is a Wrapper over an in-memory table, with an optional
+// simulated per-access latency.
+type TableSource struct {
+	rel     *schema.Relation
+	table   *storage.Table
+	latency time.Duration
+}
+
+// NewTableSource wraps a table as a limited source. The table's arity must
+// match the relation's.
+func NewTableSource(rel *schema.Relation, table *storage.Table) (*TableSource, error) {
+	if table.Arity != rel.Arity() {
+		return nil, fmt.Errorf("source %s: table arity %d, relation arity %d",
+			rel.Name, table.Arity, rel.Arity())
+	}
+	return &TableSource{rel: rel, table: table}, nil
+}
+
+// WithLatency returns a copy of the source that sleeps for d on every
+// access, simulating a remote source.
+func (s *TableSource) WithLatency(d time.Duration) *TableSource {
+	return &TableSource{rel: s.rel, table: s.table, latency: d}
+}
+
+// Relation returns the wrapped relation schema.
+func (s *TableSource) Relation() *schema.Relation { return s.rel }
+
+// Table exposes the backing table; the reference Datalog semantics of a
+// plan reads full relation contents through it.
+func (s *TableSource) Table() *storage.Table { return s.table }
+
+// Access probes the table with the binding over the relation's input
+// positions.
+func (s *TableSource) Access(binding []string) ([]storage.Row, error) {
+	inputs := s.rel.InputPositions()
+	if len(binding) != len(inputs) {
+		return nil, fmt.Errorf("source %s: binding of %d values for %d input arguments",
+			s.rel.Name, len(binding), len(inputs))
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	return s.table.Select(inputs, binding), nil
+}
+
+// Stats aggregates the access accounting of one relation.
+type Stats struct {
+	Accesses int
+	Tuples   int // total tuples extracted, summed over accesses
+}
+
+// Counter decorates a Wrapper with thread-safe access accounting and an
+// optional access log.
+type Counter struct {
+	inner Wrapper
+
+	mu       sync.Mutex
+	stats    Stats
+	log      []Access
+	keepLog  bool
+	distinct map[string]bool
+}
+
+// NewCounter wraps w; when keepLog is set every access is recorded in order.
+func NewCounter(w Wrapper, keepLog bool) *Counter {
+	return &Counter{inner: w, keepLog: keepLog, distinct: make(map[string]bool)}
+}
+
+// Relation returns the wrapped relation schema.
+func (c *Counter) Relation() *schema.Relation { return c.inner.Relation() }
+
+// Access forwards to the wrapped source, recording the probe.
+func (c *Counter) Access(binding []string) ([]storage.Row, error) {
+	rows, err := c.inner.Access(binding)
+	if err != nil {
+		return nil, err
+	}
+	a := Access{Relation: c.inner.Relation().Name, Binding: append([]string(nil), binding...)}
+	c.mu.Lock()
+	c.stats.Accesses++
+	c.stats.Tuples += len(rows)
+	c.distinct[a.Key()] = true
+	if c.keepLog {
+		c.log = append(c.log, a)
+	}
+	c.mu.Unlock()
+	return rows, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Counter) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DistinctAccesses returns the number of distinct access bindings probed.
+func (c *Counter) DistinctAccesses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.distinct)
+}
+
+// AccessSet returns the set of distinct access keys probed so far.
+func (c *Counter) AccessSet() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.distinct))
+	for k := range c.distinct {
+		out[k] = true
+	}
+	return out
+}
+
+// Log returns the recorded accesses (empty unless keepLog was set).
+func (c *Counter) Log() []Access {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Access, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Reset clears counters and log.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+	c.log = nil
+	c.distinct = make(map[string]bool)
+}
+
+// Flaky decorates a wrapper with failure injection: the first FailAfter
+// accesses succeed, every later access returns Err. Remote sources fail in
+// practice (timeouts, rate limits); the executors must surface such errors
+// without deadlocking or corrupting their caches, and the tests use this
+// wrapper to prove it.
+type Flaky struct {
+	inner     Wrapper
+	mu        sync.Mutex
+	remaining int
+	err       error
+}
+
+// NewFlaky wraps w so that accesses beyond failAfter return err.
+func NewFlaky(w Wrapper, failAfter int, err error) *Flaky {
+	return &Flaky{inner: w, remaining: failAfter, err: err}
+}
+
+// Relation returns the wrapped relation schema.
+func (f *Flaky) Relation() *schema.Relation { return f.inner.Relation() }
+
+// Access forwards to the wrapped source until the budget is exhausted.
+func (f *Flaky) Access(binding []string) ([]storage.Row, error) {
+	f.mu.Lock()
+	ok := f.remaining > 0
+	if ok {
+		f.remaining--
+	}
+	f.mu.Unlock()
+	if !ok {
+		return nil, f.err
+	}
+	return f.inner.Access(binding)
+}
+
+// Registry is the set of wrapped sources of a schema, by relation name.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string]Wrapper
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{sources: make(map[string]Wrapper)} }
+
+// Bind registers the wrapper for its relation name, replacing any previous
+// binding.
+func (r *Registry) Bind(w Wrapper) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[w.Relation().Name] = w
+}
+
+// Source returns the wrapper for a relation, or nil.
+func (r *Registry) Source(name string) Wrapper {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sources[name]
+}
+
+// Names returns the sorted bound relation names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counted returns a copy of the registry in which every source is wrapped in
+// a fresh Counter, together with the counters by relation name.
+func (r *Registry) Counted(keepLog bool) (*Registry, map[string]*Counter) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := NewRegistry()
+	counters := make(map[string]*Counter, len(r.sources))
+	for name, w := range r.sources {
+		c := NewCounter(w, keepLog)
+		counters[name] = c
+		out.sources[name] = c
+	}
+	return out, counters
+}
+
+// FromDatabase builds a registry of plain table sources for every relation
+// of the schema, reading rows from same-named tables of db. Relations
+// without a table get an empty table.
+func FromDatabase(sch *schema.Schema, db *storage.Database, latency time.Duration) (*Registry, error) {
+	reg := NewRegistry()
+	for _, rel := range sch.Relations() {
+		t := db.Table(rel.Name)
+		if t == nil {
+			t = storage.NewTable(rel.Name, rel.Arity())
+		}
+		src, err := NewTableSource(rel, t)
+		if err != nil {
+			return nil, err
+		}
+		if latency > 0 {
+			src = src.WithLatency(latency)
+		}
+		reg.Bind(src)
+	}
+	return reg, nil
+}

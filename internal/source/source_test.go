@@ -1,0 +1,176 @@
+package source
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+func revSource(t *testing.T) *TableSource {
+	t.Helper()
+	rel := schema.MustRelation("rev", "ooi", "Person", "ConfName", "Year")
+	tab := storage.NewTable("rev", 3)
+	tab.Insert(storage.Row{"alice", "icde", "2008"})
+	tab.Insert(storage.Row{"bob", "icde", "2008"})
+	tab.Insert(storage.Row{"alice", "vldb", "2007"})
+	s, err := NewTableSource(rel, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTableSourceAccess(t *testing.T) {
+	s := revSource(t)
+	rows, err := s.Access([]string{"2008"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("access 2008: %v", rows)
+	}
+	rows, err = s.Access([]string{"1999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("access 1999: %v", rows)
+	}
+	if _, err := s.Access(nil); err == nil {
+		t.Error("binding arity mismatch: want error")
+	}
+}
+
+func TestTableSourceArityMismatch(t *testing.T) {
+	rel := schema.MustRelation("r", "oo", "A", "B")
+	if _, err := NewTableSource(rel, storage.NewTable("r", 3)); err == nil {
+		t.Error("want arity mismatch error")
+	}
+}
+
+func TestFreeSourceEmptyBinding(t *testing.T) {
+	rel := schema.MustRelation("f", "oo", "A", "B")
+	tab := storage.NewTable("f", 2)
+	tab.Insert(storage.Row{"a", "b"})
+	s, _ := NewTableSource(rel, tab)
+	rows, err := s.Access([]string{})
+	if err != nil || len(rows) != 1 {
+		t.Errorf("free access: %v, %v", rows, err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(revSource(t), true)
+	c.Access([]string{"2008"})
+	c.Access([]string{"2008"}) // repeated probe still counts as an access
+	c.Access([]string{"2007"})
+	st := c.Stats()
+	if st.Accesses != 3 {
+		t.Errorf("Accesses = %d", st.Accesses)
+	}
+	if st.Tuples != 5 {
+		t.Errorf("Tuples = %d", st.Tuples)
+	}
+	if c.DistinctAccesses() != 2 {
+		t.Errorf("DistinctAccesses = %d", c.DistinctAccesses())
+	}
+	log := c.Log()
+	if len(log) != 3 || log[0].String() != "rev(2008)" {
+		t.Errorf("Log = %v", log)
+	}
+	set := c.AccessSet()
+	if !set[Access{Relation: "rev", Binding: []string{"2008"}}.Key()] {
+		t.Error("AccessSet missing key")
+	}
+	c.Reset()
+	if c.Stats().Accesses != 0 || c.DistinctAccesses() != 0 || len(c.Log()) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(revSource(t), false)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Access([]string{fmt.Sprint(2000 + j%5)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Stats().Accesses; got != 400 {
+		t.Errorf("Accesses = %d, want 400", got)
+	}
+	if got := c.DistinctAccesses(); got != 5 {
+		t.Errorf("DistinctAccesses = %d, want 5", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Bind(revSource(t))
+	if reg.Source("rev") == nil || reg.Source("nope") != nil {
+		t.Error("Source lookup misbehaves")
+	}
+	if got := reg.Names(); len(got) != 1 || got[0] != "rev" {
+		t.Errorf("Names = %v", got)
+	}
+	counted, counters := reg.Counted(false)
+	counted.Source("rev").Access([]string{"2008"})
+	if counters["rev"].Stats().Accesses != 1 {
+		t.Error("counted registry not recording")
+	}
+	// Original registry unaffected.
+	if _, ok := reg.Source("rev").(*Counter); ok {
+		t.Error("Counted mutated the original registry")
+	}
+}
+
+func TestFromDatabase(t *testing.T) {
+	sch := schema.MustParse(`
+r1^io(A, B)
+r2^oo(B, C)
+`)
+	db := storage.NewDatabase()
+	tab, _ := db.Create("r1", 2)
+	tab.Insert(storage.Row{"a", "b"})
+	reg, err := FromDatabase(sch, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := reg.Source("r1").Access([]string{"a"})
+	if err != nil || len(rows) != 1 {
+		t.Errorf("r1 access: %v, %v", rows, err)
+	}
+	// r2 has no table: empty source, not an error.
+	rows, err = reg.Source("r2").Access(nil)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("r2 access: %v, %v", rows, err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	s := revSource(t).WithLatency(5 * time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		s.Access([]string{"2008"})
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("latency not applied: %v", el)
+	}
+}
+
+func TestAccessKeyDistinguishesRelations(t *testing.T) {
+	a := Access{Relation: "r", Binding: []string{"x"}}
+	b := Access{Relation: "rx", Binding: []string{}}
+	if a.Key() == b.Key() {
+		t.Error("access keys collide")
+	}
+}

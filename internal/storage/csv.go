@@ -1,0 +1,38 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV loads rows from CSV data into a new table of the given arity.
+// Every record must have exactly arity fields.
+func ReadCSV(name string, arity int, r io.Reader) (*Table, error) {
+	t := NewTable(name, arity)
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = arity
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table %s: %w", name, err)
+		}
+		t.Insert(Row(rec))
+	}
+	return t, nil
+}
+
+// WriteCSV writes every row of the table as CSV.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, r := range t.Rows() {
+		if err := cw.Write([]string(r)); err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,205 @@
+// Package storage provides the in-memory relational store backing the data
+// sources of the reproduction. The paper's prototype kept its sources in
+// local PostgreSQL tables and translated each access into an SQL query; here
+// a Table plays that role: an immutable-after-load set of rows with lazily
+// built hash indexes on the position sets that accesses bind. The cost
+// metric of the paper is the number of accesses, not SQL time, so this
+// substitution preserves every reported behaviour.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Row is one tuple of a table.
+type Row []string
+
+// Key encodes the row into a collision-free string.
+func (r Row) Key() string { return strings.Join([]string(r), "\x00") }
+
+// Table is a named set of rows of fixed arity with hash indexes.
+type Table struct {
+	Name  string
+	Arity int
+
+	mu      sync.RWMutex
+	rows    []Row
+	seen    map[string]bool
+	indexes map[string]map[string][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, arity int) *Table {
+	return &Table{Name: name, Arity: arity, seen: make(map[string]bool)}
+}
+
+// Insert adds a row, deduplicating; it reports whether the row was new.
+func (t *Table) Insert(r Row) bool {
+	if len(r) != t.Arity {
+		panic(fmt.Sprintf("table %s: row arity %d, want %d", t.Name, len(r), t.Arity))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := r.Key()
+	if t.seen[k] {
+		return false
+	}
+	t.seen[k] = true
+	t.rows = append(t.rows, r)
+	off := len(t.rows) - 1
+	for sig, m := range t.indexes {
+		m[indexKey(r, parseSig(sig))] = append(m[indexKey(r, parseSig(sig))], off)
+	}
+	return true
+}
+
+// InsertAll adds every row, returning the number of new rows.
+func (t *Table) InsertAll(rows []Row) int {
+	n := 0
+	for _, r := range rows {
+		if t.Insert(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Contains reports row membership.
+func (t *Table) Contains(r Row) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.seen[r.Key()]
+}
+
+// Rows returns a copy of all rows.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Select returns the rows whose values at positions equal vals; with no
+// positions it returns every row. Selection is served by a hash index built
+// on first use for each distinct position set.
+func (t *Table) Select(positions []int, vals []string) []Row {
+	if len(positions) != len(vals) {
+		panic(fmt.Sprintf("table %s: %d positions for %d values", t.Name, len(positions), len(vals)))
+	}
+	if len(positions) == 0 {
+		return t.Rows()
+	}
+	sig := sigOf(positions)
+	t.mu.Lock()
+	m, ok := t.indexes[sig]
+	if !ok {
+		m = make(map[string][]int)
+		for off, r := range t.rows {
+			k := indexKey(r, positions)
+			m[k] = append(m[k], off)
+		}
+		if t.indexes == nil {
+			t.indexes = make(map[string]map[string][]int)
+		}
+		t.indexes[sig] = m
+	}
+	offs := m[strings.Join(vals, "\x00")]
+	out := make([]Row, len(offs))
+	for i, off := range offs {
+		out[i] = t.rows[off]
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Project returns the sorted, deduplicated values of one column.
+func (t *Table) Project(pos int) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, r := range t.rows {
+		set[r[pos]] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sigOf(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = fmt.Sprint(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseSig(sig string) []int {
+	parts := strings.Split(sig, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &out[i])
+	}
+	return out
+}
+
+func indexKey(r Row, positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = r[p]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Database is a collection of named tables.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{tables: make(map[string]*Table)} }
+
+// Create adds an empty table; it fails on duplicate names.
+func (d *Database) Create(name string, arity int) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("table %s already exists", name)
+	}
+	t := NewTable(name, arity)
+	d.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tables[name]
+}
+
+// Names returns the sorted table names.
+func (d *Database) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

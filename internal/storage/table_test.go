@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertDedupAndLen(t *testing.T) {
+	tab := NewTable("r", 2)
+	if !tab.Insert(Row{"a", "1"}) {
+		t.Error("first insert should be new")
+	}
+	if tab.Insert(Row{"a", "1"}) {
+		t.Error("duplicate insert should report false")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	if !tab.Contains(Row{"a", "1"}) || tab.Contains(Row{"a", "2"}) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on arity mismatch")
+		}
+	}()
+	NewTable("r", 2).Insert(Row{"a"})
+}
+
+func TestSelectWithIndex(t *testing.T) {
+	tab := NewTable("r", 3)
+	tab.Insert(Row{"a", "1", "x"})
+	tab.Insert(Row{"a", "2", "y"})
+	tab.Insert(Row{"b", "1", "x"})
+	if got := tab.Select([]int{0}, []string{"a"}); len(got) != 2 {
+		t.Errorf("Select(0=a) = %v", got)
+	}
+	if got := tab.Select([]int{0, 2}, []string{"b", "x"}); len(got) != 1 {
+		t.Errorf("Select(0=b,2=x) = %v", got)
+	}
+	if got := tab.Select(nil, nil); len(got) != 3 {
+		t.Errorf("Select(all) = %v", got)
+	}
+	// Insert after index creation must be visible.
+	tab.Insert(Row{"a", "3", "z"})
+	if got := tab.Select([]int{0}, []string{"a"}); len(got) != 3 {
+		t.Errorf("Select after insert = %v", got)
+	}
+}
+
+func TestSelectMismatchedArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on positions/values mismatch")
+		}
+	}()
+	NewTable("r", 2).Select([]int{0, 1}, []string{"a"})
+}
+
+func TestProject(t *testing.T) {
+	tab := NewTable("r", 2)
+	tab.Insert(Row{"b", "1"})
+	tab.Insert(Row{"a", "2"})
+	tab.Insert(Row{"a", "3"})
+	if got := strings.Join(tab.Project(0), ","); got != "a,b" {
+		t.Errorf("Project(0) = %s", got)
+	}
+}
+
+func TestRowKeyCollision(t *testing.T) {
+	if (Row{"ab", "c"}).Key() == (Row{"a", "bc"}).Key() {
+		t.Error("row keys collide")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Create("r", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("r", 3); err == nil {
+		t.Error("duplicate Create: want error")
+	}
+	if db.Table("r") == nil || db.Table("x") != nil {
+		t.Error("Table lookup misbehaves")
+	}
+	db.Create("a", 1)
+	if got := strings.Join(db.Names(), ","); got != "a,r" {
+		t.Errorf("Names = %s", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := NewTable("r", 2)
+	tab.Insert(Row{"a", "hello, world"})
+	tab.Insert(Row{"b", "line\nbreak"})
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("r", 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || !back.Contains(Row{"a", "hello, world"}) || !back.Contains(Row{"b", "line\nbreak"}) {
+		t.Errorf("round trip lost rows: %v", back.Rows())
+	}
+}
+
+func TestReadCSVWrongArity(t *testing.T) {
+	if _, err := ReadCSV("r", 3, strings.NewReader("a,b\n")); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+// Property: Select(positions, vals) returns exactly the rows matching the
+// predicate, for random small tables.
+func TestSelectAgreesWithScanProperty(t *testing.T) {
+	f := func(data []uint8, p0 uint8) bool {
+		tab := NewTable("r", 2)
+		var rows []Row
+		for _, d := range data {
+			r := Row{fmt.Sprint(d % 4), fmt.Sprint((d >> 2) % 4)}
+			if tab.Insert(r) {
+				rows = append(rows, r)
+			}
+		}
+		val := fmt.Sprint(p0 % 4)
+		got := tab.Select([]int{0}, []string{val})
+		want := 0
+		for _, r := range rows {
+			if r[0] == val {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentSelectInsert(t *testing.T) {
+	tab := NewTable("r", 2)
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 500; i++ {
+			tab.Insert(Row{fmt.Sprint(i % 10), fmt.Sprint(i)})
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 500; i++ {
+			tab.Select([]int{0}, []string{fmt.Sprint(i % 10)})
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+	if tab.Len() != 500 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}

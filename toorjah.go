@@ -1,0 +1,267 @@
+// Package toorjah is a Go implementation of Toorjah, the query answering
+// and optimization system of Andrea Calì and Davide Martinenghi, "Querying
+// Data under Access Limitations", ICDE 2008.
+//
+// Toorjah answers conjunctive queries over relational sources that can only
+// be probed through access patterns: some arguments must be bound by a
+// constant before a source returns anything (as with web forms or wrapped
+// legacy files). Answering such queries may require recursive query plans
+// that probe relations the query never mentions; the dominant cost is the
+// number of accesses. Toorjah builds a dependency graph of the schema and
+// query, prunes it with a greatest-fixpoint algorithm to the provably
+// relevant sources and value flows, and executes a ⊂-minimal plan — one
+// that no other plan strictly beats on accesses on every database instance
+// — with early failure detection, per-relation access deduplication, and
+// optionally a parallel pipelined engine that streams answers as they are
+// found.
+//
+// # Quick start
+//
+//	sch, _ := toorjah.ParseSchema(`
+//	    artist^ioo(Artist, Nation, Year)
+//	    song^oio(Title, Year, Artist)
+//	    album^oo(Artist, Album)`)
+//	sys := toorjah.NewSystem(sch)
+//	sys.BindRows("artist", rows...)            // or sys.Bind(rel, wrapper)
+//	q, _ := sys.Prepare("q(N) :- artist(A, N, Y1), song(volare, Y2, A)")
+//	res, _ := q.Execute()
+//	fmt.Println(res.SortedAnswers(), res.TotalAccesses())
+//
+// The internal packages expose every stage of the pipeline (schema, cq,
+// dgraph, plan, exec, …) for programmatic use; this package is the
+// high-level façade.
+package toorjah
+
+import (
+	"fmt"
+	"time"
+
+	"toorjah/internal/core"
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/dgraph"
+	"toorjah/internal/exec"
+	"toorjah/internal/plan"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// Re-exported types, so that most applications only import this package.
+type (
+	// Schema is a database schema of relations with access patterns.
+	Schema = schema.Schema
+	// Relation is one relation schema.
+	Relation = schema.Relation
+	// CQ is a conjunctive query.
+	CQ = cq.CQ
+	// Result is the outcome of one execution.
+	Result = exec.Result
+	// Tuple is one answer row.
+	Tuple = datalog.Tuple
+	// Plan is a ⊂-minimal query plan.
+	Plan = plan.Plan
+	// Wrapper is a data source with access limitations.
+	Wrapper = source.Wrapper
+	// Row is one stored tuple.
+	Row = storage.Row
+	// Options tunes the optimized executors (ablation switches).
+	Options = exec.Options
+	// PipeOptions tunes the pipelined executor.
+	PipeOptions = exec.PipeOptions
+)
+
+// ParseSchema parses a schema in the paper's notation, one relation per
+// line: "rev^ooi(Person, ConfName, Year)".
+func ParseSchema(text string) (*Schema, error) { return schema.Parse(text) }
+
+// ParseQuery parses a conjunctive query in Datalog notation:
+// "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)".
+func ParseQuery(text string) (*CQ, error) { return cq.Parse(text) }
+
+// System binds a schema to data sources and prepares queries against them.
+type System struct {
+	sch *schema.Schema
+	reg *source.Registry
+	// Latency is applied to sources bound through BindRows/BindTable,
+	// simulating remote sources.
+	Latency time.Duration
+}
+
+// NewSystem creates a system over the schema with no sources bound.
+func NewSystem(sch *Schema) *System {
+	return &System{sch: sch, reg: source.NewRegistry()}
+}
+
+// Schema returns the system's schema.
+func (s *System) Schema() *Schema { return s.sch }
+
+// Bind attaches a wrapper as the source of its relation.
+func (s *System) Bind(w Wrapper) { s.reg.Bind(w) }
+
+// BindTable attaches an in-memory table as the source of relation name.
+func (s *System) BindTable(name string, t *storage.Table) error {
+	rel := s.sch.Relation(name)
+	if rel == nil {
+		return fmt.Errorf("toorjah: unknown relation %s", name)
+	}
+	src, err := source.NewTableSource(rel, t)
+	if err != nil {
+		return err
+	}
+	if s.Latency > 0 {
+		src = src.WithLatency(s.Latency)
+	}
+	s.reg.Bind(src)
+	return nil
+}
+
+// BindRows attaches the given rows as the source of relation name.
+func (s *System) BindRows(name string, rows ...Row) error {
+	rel := s.sch.Relation(name)
+	if rel == nil {
+		return fmt.Errorf("toorjah: unknown relation %s", name)
+	}
+	t := storage.NewTable(name, rel.Arity())
+	t.InsertAll(rows)
+	return s.BindTable(name, t)
+}
+
+// BindDatabase attaches every relation to the same-named table of db
+// (missing tables become empty sources).
+func (s *System) BindDatabase(db *storage.Database) error {
+	reg, err := source.FromDatabase(s.sch, db, s.Latency)
+	if err != nil {
+		return err
+	}
+	s.reg = reg
+	return nil
+}
+
+// ensureBound verifies every schema relation has a source.
+func (s *System) ensureBound() error {
+	for _, rel := range s.sch.Relations() {
+		if s.reg.Source(rel.Name) == nil {
+			if err := s.BindRows(rel.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Query is a prepared query: the validated, minimized, optimized and
+// planned form of a conjunctive query against a System.
+type Query struct {
+	sys      *System
+	pipeline *core.Pipeline
+}
+
+// Prepare validates the query text against the schema and builds the
+// optimized plan.
+func (s *System) Prepare(queryText string) (*Query, error) {
+	q, err := cq.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return s.PrepareCQ(q)
+}
+
+// PrepareCQ is Prepare for an already-parsed query.
+func (s *System) PrepareCQ(q *CQ) (*Query, error) {
+	if err := s.ensureBound(); err != nil {
+		return nil, err
+	}
+	p, err := core.Prepare(s.sch, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{sys: s, pipeline: p}, nil
+}
+
+// Answerable reports whether the query can return any answer on any
+// instance under the access limitations.
+func (q *Query) Answerable() bool { return q.pipeline.Answerable() }
+
+// Plan returns the ⊂-minimal plan, or nil for non-answerable queries.
+func (q *Query) Plan() *Plan { return q.pipeline.Plan }
+
+// RelevantRelations returns the relations the optimized plan may access.
+func (q *Query) RelevantRelations() []string { return q.pipeline.Opt.RelevantRelations() }
+
+// IrrelevantRelations returns the queryable relations the optimization
+// proved useless for this query.
+func (q *Query) IrrelevantRelations() []string { return q.pipeline.Opt.IrrelevantRelations() }
+
+// Orderable reports whether the (minimized) query is executable without
+// recursion by some left-to-right ordering of its own atoms that respects
+// the access patterns; when it is not — like the paper's Example 1 — the
+// recursive plan of Execute is the only way to obtain answers.
+func (q *Query) Orderable() bool {
+	_, ok := plan.Orderable(q.pipeline.Query, q.sys.sch)
+	return ok
+}
+
+// IsConnectionQuery reports whether the query falls in the restricted
+// connection-query class of earlier relevance work (Section VI); Toorjah
+// handles arbitrary conjunctive queries.
+func (q *Query) IsConnectionQuery() bool {
+	return cq.IsConnectionQuery(q.pipeline.Query, q.sys.sch)
+}
+
+// ForAllMinimal reports whether the plan is ∀-minimal: no other plan makes
+// fewer accesses on any instance (Section IV: this holds exactly when the
+// source ordering is unique).
+func (q *Query) ForAllMinimal() bool {
+	return q.pipeline.Plan != nil && q.pipeline.Plan.ForAllMinimal()
+}
+
+// DGraphDOT renders the query's full d-graph in Graphviz DOT format;
+// deleted arcs are dashed.
+func (q *Query) DGraphDOT() string {
+	return dgraph.DOT(q.pipeline.Graph, q.pipeline.Opt.Solution, true)
+}
+
+// OptimizedDOT renders the optimized d-graph in Graphviz DOT format.
+func (q *Query) OptimizedDOT() string { return dgraph.DOTOptimized(q.pipeline.Opt) }
+
+// emptyResult is the constant answer of non-answerable queries.
+func (q *Query) emptyResult() *Result {
+	return &Result{
+		Answers: datalog.NewRelation(q.pipeline.Query.Name, len(q.pipeline.Query.Head)),
+		Stats:   map[string]source.Stats{},
+	}
+}
+
+// Execute runs the fast-failing ⊂-minimal strategy and returns all
+// obtainable answers.
+func (q *Query) Execute() (*Result, error) {
+	if !q.Answerable() {
+		return q.emptyResult(), nil
+	}
+	return exec.FastFailing(q.pipeline.Plan, q.sys.reg)
+}
+
+// ExecuteOpts is Execute with ablation options.
+func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
+	if !q.Answerable() {
+		return q.emptyResult(), nil
+	}
+	return exec.FastFailingOpts(q.pipeline.Plan, q.sys.reg, opts)
+}
+
+// ExecuteNaive runs the reference algorithm of the paper's Fig. 1 (probe
+// everything probeable until fixpoint).
+func (q *Query) ExecuteNaive() (*Result, error) {
+	return exec.Naive(q.sys.sch, q.sys.reg, q.pipeline.Query, q.pipeline.Typing)
+}
+
+// Stream runs the parallel pipelined engine; onAnswer is invoked for every
+// answer the moment it becomes derivable (for queries without negation) or
+// at completion (with negation).
+func (q *Query) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
+	if !q.Answerable() {
+		return q.emptyResult(), nil
+	}
+	return exec.Pipelined(q.pipeline.Plan, q.sys.reg, opts, onAnswer)
+}

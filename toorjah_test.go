@@ -1,0 +1,239 @@
+package toorjah
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func musicSystem(t *testing.T) *System {
+	t.Helper()
+	sch, err := ParseSchema(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(sch)
+	for _, bind := range []struct {
+		rel  string
+		rows []Row
+	}{
+		{"r1", []Row{{"modugno", "italy", "1928"}, {"madonna", "usa", "1958"}}},
+		{"r2", []Row{{"volare", "1958", "modugno"}, {"vogue", "1990", "madonna"}}},
+		{"r3", []Row{{"madonna", "like_a_virgin"}}},
+	} {
+		if err := sys.BindRows(bind.rel, bind.rows...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := musicSystem(t)
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Answerable() {
+		t.Fatal("answerable")
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "italy" {
+		t.Errorf("answers = %s", got)
+	}
+	naive, err := q.ExecuteNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(naive.SortedAnswers(), ";") != "italy" {
+		t.Errorf("naive answers = %v", naive.SortedAnswers())
+	}
+	if res.TotalAccesses() > naive.TotalAccesses() {
+		t.Errorf("optimized %d > naive %d accesses", res.TotalAccesses(), naive.TotalAccesses())
+	}
+	var streamed int
+	piped, err := q.Stream(PipeOptions{}, func(Tuple) { streamed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 1 || piped.Answers.Len() != 1 {
+		t.Errorf("streamed=%d, answers=%d", streamed, piped.Answers.Len())
+	}
+}
+
+func TestSystemPlanIntrospection(t *testing.T) {
+	sys := musicSystem(t)
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Plan() == nil {
+		t.Fatal("no plan")
+	}
+	rel := strings.Join(q.RelevantRelations(), ",")
+	if !strings.Contains(rel, "r3") {
+		t.Errorf("r3 should be relevant: %s", rel)
+	}
+	dot := q.DGraphDOT()
+	if !strings.Contains(dot, "digraph") {
+		t.Error("DGraphDOT output malformed")
+	}
+	if !strings.Contains(q.OptimizedDOT(), "digraph") {
+		t.Error("OptimizedDOT output malformed")
+	}
+}
+
+func TestSystemNonAnswerable(t *testing.T) {
+	sch, _ := ParseSchema(`
+r1^io(A, C)
+r2^oo(B, C)
+`)
+	sys := NewSystem(sch)
+	q, err := sys.Prepare("q(C) :- r1(X, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Answerable() {
+		t.Error("nothing provides domain A: not answerable")
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != 0 || res.TotalAccesses() != 0 {
+		t.Errorf("non-answerable: %v", res)
+	}
+	naive, err := q.ExecuteNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Answers.Len() != 0 {
+		t.Error("naive on non-answerable query must be empty")
+	}
+	if _, err := q.Stream(PipeOptions{}, nil); err != nil {
+		t.Errorf("Stream on non-answerable: %v", err)
+	}
+}
+
+func TestSystemUnboundRelationsDefaultEmpty(t *testing.T) {
+	sch, _ := ParseSchema(`
+r1^oo(A, B)
+r2^io(B, C)
+`)
+	sys := NewSystem(sch)
+	if err := sys.BindRows("r1", Row{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// r2 never bound: Prepare auto-binds an empty source.
+	q, err := sys.Prepare("q(C) :- r1(X, Y), r2(Y, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers.Len() != 0 {
+		t.Errorf("answers = %v", res.SortedAnswers())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	sch, _ := ParseSchema("r^oo(A, B)")
+	sys := NewSystem(sch)
+	if err := sys.BindRows("nope", Row{"x", "y"}); err == nil {
+		t.Error("unknown relation: want error")
+	}
+}
+
+func TestSystemLatency(t *testing.T) {
+	sys := musicSystem(t)
+	sys.Latency = 2 * time.Millisecond
+	// Rebind with latency applied.
+	if err := sys.BindRows("r3", Row{"madonna", "like_a_virgin"}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Prepare("q(AL) :- r3(A, AL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 2*time.Millisecond {
+		t.Errorf("latency not applied: %v", res.Elapsed)
+	}
+}
+
+func TestUCQEndToEnd(t *testing.T) {
+	sch, _ := ParseSchema(`
+pub1^io(Paper, Person)
+pub2^oo(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+`)
+	sys := NewSystem(sch)
+	must(t, sys.BindRows("pub1", Row{"p1", "alice"}, Row{"p2", "bob"}))
+	must(t, sys.BindRows("pub2", Row{"p1", "alice"}, Row{"p3", "carol"}))
+	must(t, sys.BindRows("conf", Row{"p1", "icde", "2008"}, Row{"p2", "vldb", "2007"}, Row{"p3", "icde", "2008"}))
+	u, err := sys.PrepareUCQ(`
+q(X) :- pub1(P, X), conf(P, icde, Y)
+q(X) :- pub2(P, X), conf(P, icde, Y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Answerable() || len(u.Disjuncts()) != 2 {
+		t.Fatal("UCQ preparation broken")
+	}
+	res, err := u.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "alice;carol" {
+		t.Errorf("UCQ answers = %s, want alice;carol", got)
+	}
+	if res.TotalAccesses() == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestUCQErrors(t *testing.T) {
+	sch, _ := ParseSchema("r^oo(A, B)")
+	sys := NewSystem(sch)
+	if _, err := sys.PrepareUCQ("q(X) :- r(X, Y)\nq(X, Y) :- r(X, Y)"); err == nil {
+		t.Error("mismatched arity: want error")
+	}
+	if _, err := sys.PrepareUCQ("q(X) :- nosuch(X)"); err == nil {
+		t.Error("unknown relation: want error")
+	}
+}
+
+func TestExecuteOptsAblation(t *testing.T) {
+	sys := musicSystem(t)
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.ExecuteOpts(Options{NoMetaCache: true, NoEarlyFailure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "italy" {
+		t.Errorf("ablation answers = %s", got)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

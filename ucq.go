@@ -1,0 +1,78 @@
+package toorjah
+
+import (
+	"fmt"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/datalog"
+	"toorjah/internal/source"
+)
+
+// UnionQuery is a prepared union of conjunctive queries (UCQ). Each
+// disjunct gets its own optimized plan; execution unions the answers. This
+// is the UCQ extension sketched in Section II of the paper (the answer to a
+// union is the union of the answers to its CQs).
+type UnionQuery struct {
+	sys     *System
+	queries []*Query
+	name    string
+	arity   int
+}
+
+// PrepareUCQ parses and prepares a union of conjunctive queries, one
+// disjunct per line, all sharing the head predicate and arity.
+func (s *System) PrepareUCQ(text string) (*UnionQuery, error) {
+	u, err := cq.ParseUCQ(text)
+	if err != nil {
+		return nil, err
+	}
+	out := &UnionQuery{sys: s, name: u.Name, arity: u.Arity()}
+	for _, d := range u.Disjuncts {
+		q, err := s.PrepareCQ(d)
+		if err != nil {
+			return nil, fmt.Errorf("disjunct %s: %w", d, err)
+		}
+		out.queries = append(out.queries, q)
+	}
+	return out, nil
+}
+
+// Disjuncts returns the prepared per-disjunct queries.
+func (u *UnionQuery) Disjuncts() []*Query { return u.queries }
+
+// Answerable reports whether at least one disjunct is answerable.
+func (u *UnionQuery) Answerable() bool {
+	for _, q := range u.queries {
+		if q.Answerable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Execute runs every answerable disjunct with the fast-failing strategy and
+// unions the answers; per-relation statistics are summed over disjuncts
+// (each disjunct's plan runs independently, as in the paper's per-CQ
+// treatment).
+func (u *UnionQuery) Execute() (*Result, error) {
+	union := datalog.NewRelation(u.name, u.arity)
+	stats := make(map[string]source.Stats)
+	out := &Result{Answers: union, Stats: stats}
+	for _, q := range u.queries {
+		r, err := q.Execute()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range r.Answers.Tuples() {
+			union.Insert(t)
+		}
+		for rel, st := range r.Stats {
+			cur := stats[rel]
+			cur.Accesses += st.Accesses
+			cur.Tuples += st.Tuples
+			stats[rel] = cur
+		}
+		out.Elapsed += r.Elapsed
+	}
+	return out, nil
+}
