@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"toorjah/internal/cache"
 	"toorjah/internal/core"
 	"toorjah/internal/cq"
 	"toorjah/internal/exec"
@@ -217,6 +218,99 @@ func BenchmarkSequentialWithLatency(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Cross-query cache benchmarks: the same prepared query executed over and
+// over, as a warm service (cmd/toorjahd) would — with the shared access
+// cache, repeat executions collapse to zero source probes, so both the
+// access count and the wall clock drop.
+func benchCrossQuery(b *testing.B, c *cache.Cache, cfg gen.PublicationConfig, queryIdx int, latency time.Duration) {
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := cq.Parse(gen.PublicationQueries[queryIdx])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.Options{Cache: c}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exec.FastFailingOpts(p.Plan, reg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.TotalAccesses()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "accesses/op")
+}
+
+func pub300() gen.PublicationConfig {
+	cfg := gen.DefaultPublication()
+	cfg.Tuples = 300
+	return cfg
+}
+
+func BenchmarkCrossQuery_Uncached(b *testing.B) {
+	benchCrossQuery(b, nil, pub300(), 1, 0)
+}
+
+func BenchmarkCrossQuery_Cached(b *testing.B) {
+	benchCrossQuery(b, cache.New(cache.Options{}), pub300(), 1, 0)
+}
+
+// With simulated per-access latency the cache's wall-clock win is directly
+// proportional to the probes it absorbs (small instance: sleep granularity
+// makes every probe cost ~1ms of wall clock).
+func BenchmarkCrossQueryLatency_Uncached(b *testing.B) {
+	benchCrossQuery(b, nil, gen.SmallPublication(), 0, 100*time.Microsecond)
+}
+
+func BenchmarkCrossQueryLatency_Cached(b *testing.B) {
+	benchCrossQuery(b, cache.New(cache.Options{}), gen.SmallPublication(), 0, 100*time.Microsecond)
+}
+
+// The pipelined engine over a warm shared cache: the service steady state.
+func benchCrossQueryPipelined(b *testing.B, c *cache.Cache) {
+	cfg := gen.SmallPublication()
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, 100*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := cq.Parse(gen.PublicationQueries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.PipeOptions{Parallelism: 4, Options: exec.Options{Cache: c}}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exec.Pipelined(p.Plan, reg, opts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.TotalAccesses()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "accesses/op")
+}
+
+func BenchmarkCrossQueryPipelined_Uncached(b *testing.B) {
+	benchCrossQueryPipelined(b, nil)
+}
+
+func BenchmarkCrossQueryPipelined_Cached(b *testing.B) {
+	benchCrossQueryPipelined(b, cache.New(cache.Options{}))
 }
 
 // Planning-time benches: the optimizer itself must stay cheap (the paper's

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toorjah"
+)
+
+// server serves concurrent conjunctive queries over one toorjah.System,
+// keeping prepared plans warm: planning (validation, d-graph construction,
+// GFP pruning, ordering) runs at most once per distinct query text, and the
+// system's cross-query access cache is shared by every request.
+// maxPreparedPlans bounds the warm-plan map: query texts carry arbitrary
+// client-chosen constants, so distinct texts are unbounded in a long-running
+// service; beyond the cap the oldest plan is dropped (plans are cheap to
+// rebuild).
+const maxPreparedPlans = 1024
+
+type server struct {
+	sys   *toorjah.System
+	pipe  toorjah.PipeOptions
+	start time.Time
+
+	mu        sync.Mutex
+	plans     map[string]*toorjah.Query
+	planOrder []string // insertion order, for FIFO eviction
+	planCap   int
+	served    atomic.Int64
+}
+
+func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
+	return &server{
+		sys:     sys,
+		pipe:    pipe,
+		start:   time.Now(),
+		plans:   make(map[string]*toorjah.Query),
+		planCap: maxPreparedPlans,
+	}
+}
+
+// handler returns the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/schema", s.handleSchema)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// prepared returns the warm plan for a query text, planning it on first
+// use. Planning runs outside the lock so one slow-to-plan query cannot
+// stall every other request; concurrent first requests for the same text
+// may plan it twice, and the first to finish wins.
+func (s *server) prepared(text string) (*toorjah.Query, error) {
+	s.mu.Lock()
+	if q, ok := s.plans[text]; ok {
+		s.mu.Unlock()
+		return q, nil
+	}
+	s.mu.Unlock()
+	q, err := s.sys.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.plans[text]; ok {
+		return existing, nil
+	}
+	if len(s.plans) >= s.planCap {
+		oldest := s.planOrder[0]
+		s.planOrder = s.planOrder[1:]
+		delete(s.plans, oldest)
+	}
+	s.plans[text] = q
+	s.planOrder = append(s.planOrder, text)
+	return q, nil
+}
+
+func (s *server) planCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.plans)
+}
+
+// answerLine / doneLine / errorLine are the NDJSON frames of /query.
+type answerLine struct {
+	Answer []string `json:"answer"`
+}
+
+type doneLine struct {
+	Done      bool    `json:"done"`
+	Answers   int     `json:"answers"`
+	Accesses  int     `json:"accesses"`
+	Tuples    int     `json:"tuples"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+type errorLine struct {
+	Error string `json:"error"`
+}
+
+// handleQuery answers one conjunctive query, streaming each answer as an
+// NDJSON line the moment the pipelined engine derives it, then a final
+// summary line. The query text comes from the q parameter (GET) or the
+// request body (POST); limit, when positive, stops after that many answers.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var text string
+	switch r.Method {
+	case http.MethodGet:
+		text = r.URL.Query().Get("q")
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		text = string(body)
+		if strings.TrimSpace(text) == "" {
+			text = r.URL.Query().Get("q")
+		}
+	default:
+		http.Error(w, "use GET ?q= or POST with the query as body", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(text) == "" {
+		http.Error(w, "empty query; pass ?q= or a request body", http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	q, err := s.prepared(text)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	opts := s.pipe
+	opts.Limit = limit
+	// A disconnected client cancels the run, so the executor stops
+	// spending accesses on an answer nobody will read.
+	opts.Ctx = r.Context()
+	// onAnswer runs on the goroutine executing Stream, so writing to the
+	// response here is single-threaded.
+	res, err := q.Stream(opts, func(t toorjah.Tuple) {
+		enc.Encode(answerLine{Answer: t})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		// The stream may already be half-written; report the error in-band.
+		enc.Encode(errorLine{Error: err.Error()})
+		return
+	}
+	if r.Context().Err() != nil {
+		return // client gone; nobody is reading the summary
+	}
+	s.served.Add(1)
+	enc.Encode(doneLine{
+		Done:      true,
+		Answers:   res.Answers.Len(),
+		Accesses:  res.TotalAccesses(),
+		Tuples:    res.TotalTuples(),
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+		Truncated: res.Truncated,
+	})
+}
+
+// statsResponse is the payload of /stats.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	QueriesServed int64            `json:"queries_served"`
+	PreparedPlans int              `json:"prepared_plans"`
+	Cache         *cacheStatsBlock `json:"cache"`
+}
+
+type cacheStatsBlock struct {
+	Entries   int                           `json:"entries"`
+	Totals    toorjah.CacheStats            `json:"totals"`
+	Relations map[string]toorjah.CacheStats `json:"relations"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueriesServed: s.served.Load(),
+		PreparedPlans: s.planCount(),
+	}
+	if c := s.sys.AccessCache(); c != nil {
+		// One snapshot pass; totals and entry count derive from it rather
+		// than re-walking (and re-locking) every cache shard.
+		snap := c.Snapshot()
+		var totals toorjah.CacheStats
+		for _, st := range snap {
+			totals.Add(st)
+		}
+		resp.Cache = &cacheStatsBlock{
+			Entries:   int(totals.Entries),
+			Totals:    totals,
+			Relations: snap,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, rel := range s.sys.Schema().Relations() {
+		fmt.Fprintln(w, rel)
+	}
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"toorjah"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+const pubSchemaText = `
+pub1^io(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+rev^ooi(Person, ConfName, Year)
+`
+
+var pubRows = map[string][]storage.Row{
+	"pub1": {{"p1", "alice"}, {"p2", "bob"}},
+	"conf": {{"p1", "icde", "y2008"}, {"p2", "vldb", "y2007"}},
+	"rev":  {{"alice", "icde", "y2008"}},
+}
+
+const pubQuery = "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)"
+
+// newTestSystem builds a cached System over Counter-wrapped table sources,
+// so the counters observe exactly the probes that reach the tables through
+// the shared cache.
+func newTestSystem(t *testing.T, opts ...toorjah.SystemOption) (*toorjah.System, map[string]*source.Counter) {
+	t.Helper()
+	sch, err := schema.Parse(pubSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := toorjah.NewSystem(sch, opts...)
+	counters := make(map[string]*source.Counter)
+	for _, rel := range sch.Relations() {
+		tab := storage.NewTable(rel.Name, rel.Arity())
+		tab.InsertAll(pubRows[rel.Name])
+		src, err := source.NewTableSource(rel, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr := source.NewCounter(src, false)
+		counters[rel.Name] = ctr
+		sys.Bind(ctr)
+	}
+	return sys, counters
+}
+
+// queryNDJSON issues one /query request and decodes the stream.
+func queryNDJSON(t *testing.T, url string) (answers []string, done doneLine) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e errorLine
+		if json.Unmarshal(line, &e) == nil && e.Error != "" {
+			t.Fatalf("in-band error: %s", e.Error)
+		}
+		var d doneLine
+		if json.Unmarshal(line, &d) == nil && d.Done {
+			done = d
+			continue
+		}
+		var a answerLine
+		if err := json.Unmarshal(line, &a); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if a.Answer != nil {
+			answers = append(answers, strings.Join(a.Answer, ","))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done {
+		t.Fatal("stream ended without a done line")
+	}
+	return answers, done
+}
+
+// TestServerConcurrentQueriesShareCache is the service acceptance property:
+// several concurrent streaming queries share one access cache with correct
+// answers, each distinct access reaches the tables at most once, and a
+// later identical query probes nothing at all.
+func TestServerConcurrentQueriesShareCache(t *testing.T) {
+	// Uncached baseline: the expected answers and access count of one run.
+	baseSys, _ := newTestSystem(t)
+	baseQ, err := baseSys.Prepare(pubQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := baseQ.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnswers := strings.Join(base.SortedAnswers(), ";")
+	if wantAnswers != "alice" {
+		t.Fatalf("baseline answers = %q", wantAnswers)
+	}
+
+	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
+	srv := newServer(sys, toorjah.PipeOptions{Parallelism: 8})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	url := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")
+
+	const G = 4
+	var wg sync.WaitGroup
+	got := make([]string, G)
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers, _ := queryNDJSON(t, url)
+			got[i] = strings.Join(answers, ";")
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != wantAnswers {
+			t.Errorf("request %d: answers = %q, want %q", i, g, wantAnswers)
+		}
+	}
+	// Singleflight + sharing: no distinct access ever hit a table twice,
+	// and the G concurrent runs together probed no more than one uncached
+	// run would.
+	underlying := 0
+	for rel, ctr := range counters {
+		st := ctr.Stats()
+		if st.Accesses != ctr.DistinctAccesses() {
+			t.Errorf("%s: %d accesses for %d distinct bindings (some probed twice)",
+				rel, st.Accesses, ctr.DistinctAccesses())
+		}
+		underlying += st.Accesses
+	}
+	if underlying > base.TotalAccesses() {
+		t.Errorf("concurrent cached runs probed %d times, uncached baseline needs %d",
+			underlying, base.TotalAccesses())
+	}
+
+	// A later identical query is served entirely from the cache.
+	answers, done := queryNDJSON(t, url)
+	if strings.Join(answers, ";") != wantAnswers {
+		t.Errorf("warm answers = %v", answers)
+	}
+	if done.Accesses != 0 {
+		t.Errorf("warm request made %d source probes, want 0", done.Accesses)
+	}
+	after := 0
+	for _, ctr := range counters {
+		after += ctr.Stats().Accesses
+	}
+	if after != underlying {
+		t.Errorf("warm request grew underlying probes %d -> %d", underlying, after)
+	}
+
+	// /stats reflects the shared cache and the warm plan.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Cache == nil || st.Cache.Totals.Hits == 0 {
+		t.Errorf("stats cache block = %+v, want hits > 0", st.Cache)
+	}
+	if st.PreparedPlans != 1 {
+		t.Errorf("prepared plans = %d, want 1", st.PreparedPlans)
+	}
+	if st.QueriesServed != G+1 {
+		t.Errorf("queries served = %d, want %d", st.QueriesServed, G+1)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	sys, _ := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
+	srv := newServer(sys, toorjah.PipeOptions{})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// POST body form of /query.
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(pubQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"alice"`) {
+		t.Errorf("POST /query: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Malformed query: a client error, not a stream.
+	resp, err = http.Get(ts.URL + "/query?q=" + "not%20a%20query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed query: status %d, want 400", resp.StatusCode)
+	}
+
+	// Empty query.
+	resp, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query: status %d, want 400", resp.StatusCode)
+	}
+
+	// /schema and /healthz.
+	resp, err = http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, rel := range []string{"pub1", "conf", "rev"} {
+		if !strings.Contains(string(body), rel) {
+			t.Errorf("/schema missing %s: %s", rel, body)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+}
+
+// TestServerLimit: the limit parameter truncates the stream soundly.
+func TestServerLimit(t *testing.T) {
+	sch, err := schema.Parse("r^o(A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := toorjah.NewSystem(sch, toorjah.WithCache(toorjah.CacheOptions{}))
+	var rows []toorjah.Row
+	for i := 0; i < 50; i++ {
+		rows = append(rows, toorjah.Row{fmt.Sprintf("v%02d", i)})
+	}
+	if err := sys.BindRows("r", rows...); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, toorjah.PipeOptions{})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	answers, done := queryNDJSON(t, ts.URL+"/query?limit=3&q=q(X)%20:-%20r(X)")
+	if len(answers) < 3 || done.Answers < 3 {
+		t.Errorf("limit run: %d streamed, done=%+v", len(answers), done)
+	}
+	if done.Answers > 50 {
+		t.Errorf("answers = %d > instance size", done.Answers)
+	}
+}
+
+// TestPlanCacheBounded: the warm-plan map evicts oldest entries beyond its
+// cap instead of growing forever.
+func TestPlanCacheBounded(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	srv := newServer(sys, toorjah.PipeOptions{})
+	srv.planCap = 2
+	texts := []string{
+		"q(N) :- pub1(P, N)",
+		"q(P) :- conf(P, icde, Y)",
+		"q(R) :- rev(R, C, y2008)",
+	}
+	for _, text := range texts {
+		if _, err := srv.prepared(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.planCount(); got != 2 {
+		t.Errorf("plan count = %d, want 2 (capped)", got)
+	}
+	srv.mu.Lock()
+	_, oldest := srv.plans[texts[0]]
+	_, newest := srv.plans[texts[2]]
+	srv.mu.Unlock()
+	if oldest || !newest {
+		t.Errorf("eviction order wrong: oldest present=%v newest present=%v", oldest, newest)
+	}
+	// An evicted plan is transparently rebuilt.
+	if _, err := srv.prepared(texts[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDatabase covers the service's CSV loading path, including the
+// tolerant parsing of storage.ReadCSV (BOM, blank trailing lines).
+func TestLoadDatabase(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"pub1.csv": "\xef\xbb\xbfp1,alice\np2,bob\n\n",
+		"conf.csv": "p1,icde,y2008\n  p2,vldb,y2007\n   \n",
+		"rev.csv":  "alice,icde,y2008\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sch, err := schema.Parse(pubSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := loadDatabase(sch, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("pub1").Len(); got != 2 {
+		t.Errorf("pub1 rows = %d, want 2", got)
+	}
+	if got := db.Table("conf").Len(); got != 2 {
+		t.Errorf("conf rows = %d, want 2", got)
+	}
+
+	sys := toorjah.NewSystem(sch, toorjah.WithCache(toorjah.CacheOptions{TTL: time.Minute}))
+	if err := sys.BindDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Prepare(pubQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "alice" {
+		t.Errorf("answers = %q, want alice", got)
+	}
+}

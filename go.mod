@@ -1,0 +1,3 @@
+module toorjah
+
+go 1.24

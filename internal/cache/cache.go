@@ -1,0 +1,390 @@
+// Package cache provides the cross-query access cache of the Toorjah
+// service layer. The paper's cost model is the number of accesses to
+// limited-access sources; the executors already deduplicate accesses within
+// one execution (per-relation meta-caches), but every new query re-probes
+// the same wrappers from scratch. A Cache is shared across executions — and
+// across concurrent clients of a long-running service like cmd/toorjahd —
+// so that an access performed once is never performed again while its entry
+// lives.
+//
+// The cache is keyed by source.Access.Key() (relation name plus input
+// binding) and is safe for concurrent use:
+//
+//   - sharded: keys are hashed over independently locked shards, so
+//     concurrent probes of different accesses do not contend;
+//   - bounded: each shard keeps an LRU list and evicts the least recently
+//     used entry when the configured capacity is exceeded;
+//   - expiring: entries older than the TTL are dropped lazily on access
+//     (remote sources change; a service must not serve stale extractions
+//     forever);
+//   - negative-caching: empty extractions are cached too — knowing that an
+//     access returns nothing is exactly as valuable under the access cost
+//     model — optionally with a shorter TTL;
+//   - collapsing: concurrent identical probes are merged into a single
+//     probe of the underlying source (singleflight), which matters under
+//     the pipelined executor's per-relation parallelism and under
+//     concurrent service traffic.
+//
+// Use Wrap to layer the cache over any source.Wrapper (composable
+// middleware, e.g. Cached(Counted(TableSource))), or WrapRegistry for a
+// whole registry. Per-relation hit/miss/eviction statistics are available
+// through Snapshot and, rendered as a text table via internal/stats,
+// through Summary.
+//
+// Errors are never cached: a failed probe is retried by the next access.
+// Results handed out by the cache are shared slices and must not be
+// mutated by callers (the same contract as storage.Table.Select).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toorjah/internal/source"
+	"toorjah/internal/stats"
+	"toorjah/internal/storage"
+)
+
+// Options configures a Cache. The zero value gives a 65536-entry cache with
+// 16 shards, no expiry, and negative caching on.
+type Options struct {
+	// Capacity bounds the total number of cached accesses across all
+	// shards; the least recently used entries are evicted beyond it.
+	// 0 means DefaultCapacity; negative means unbounded.
+	Capacity int
+	// Shards is the number of independently locked shards; 0 means
+	// DefaultShards.
+	Shards int
+	// TTL expires entries that many nanoseconds after they were stored;
+	// 0 means entries never expire.
+	TTL time.Duration
+	// NegativeTTL, when positive, overrides TTL for empty extractions, so
+	// that "nothing there" can be re-checked sooner than positive results.
+	NegativeTTL time.Duration
+	// DisableNegative turns off caching of empty extractions entirely.
+	DisableNegative bool
+
+	// now is a test hook for the clock; nil means time.Now.
+	now func() time.Time
+}
+
+// Default capacity and shard count of the zero Options value.
+const (
+	DefaultCapacity = 65536
+	DefaultShards   = 16
+)
+
+// RelStats is the per-relation accounting of one cache.
+type RelStats struct {
+	Hits        int64 `json:"hits"`        // accesses served from the cache
+	Misses      int64 `json:"misses"`      // accesses that probed the source
+	Collapsed   int64 `json:"collapsed"`   // accesses merged into an in-flight probe
+	Evictions   int64 `json:"evictions"`   // entries dropped by the LRU bound
+	Expirations int64 `json:"expirations"` // entries dropped by TTL
+	Entries     int64 `json:"entries"`     // entries currently cached (Snapshot only)
+}
+
+// Add accumulates another relation's counters into s.
+func (s *RelStats) Add(o RelStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Collapsed += o.Collapsed
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.Entries += o.Entries
+}
+
+// entry is one cached extraction.
+type entry struct {
+	key     string
+	rel     string
+	rows    []storage.Row
+	expires time.Time // zero = never
+	elem    *list.Element
+}
+
+// flight is one in-progress probe; concurrent identical probes wait on done
+// and share the outcome.
+type flight struct {
+	done chan struct{}
+	rows []storage.Row
+	err  error
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+	stats    map[string]*RelStats
+	capacity int // per-shard entry bound; 0 = unbounded
+}
+
+func (sh *shard) bump(rel string) *RelStats {
+	st, ok := sh.stats[rel]
+	if !ok {
+		st = &RelStats{}
+		sh.stats[rel] = st
+	}
+	return st
+}
+
+// removeLocked unlinks an entry; the shard lock must be held.
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
+}
+
+// Cache is a sharded, bounded, expiring access cache shared across query
+// executions. Create one with New; the zero value is not usable.
+type Cache struct {
+	opts   Options
+	shards []*shard
+	// epoch is bumped by Invalidate/Clear before entries are removed; a
+	// probe captures it when it starts and skips its store when it has
+	// moved, so an extraction read from a source that was replaced
+	// mid-probe cannot re-populate the cache after the invalidation.
+	epoch atomic.Uint64
+}
+
+// New creates a cache with the given options.
+func New(opts Options) *Cache {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.Capacity == 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	perShard := 0
+	if opts.Capacity > 0 {
+		perShard = (opts.Capacity + opts.Shards - 1) / opts.Shards
+	}
+	c := &Cache{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[string]*entry),
+			lru:      list.New(),
+			inflight: make(map[string]*flight),
+			stats:    make(map[string]*RelStats),
+			capacity: perShard,
+		}
+	}
+	return c
+}
+
+// shard picks the key's shard with an inline FNV-1a hash: this runs on
+// every probe of every query, so it must not allocate.
+func (c *Cache) shard(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// access serves one probe of w through the cache.
+func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error) {
+	rel := w.Relation().Name
+	key := source.Access{Relation: rel, Binding: binding}.Key()
+	sh := c.shard(key)
+	now := c.opts.now()
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		if e.expires.IsZero() || now.Before(e.expires) {
+			sh.lru.MoveToFront(e.elem)
+			sh.bump(rel).Hits++
+			rows := e.rows
+			sh.mu.Unlock()
+			return rows, nil
+		}
+		sh.removeLocked(e)
+		sh.bump(rel).Expirations++
+	}
+	if f, ok := sh.inflight[key]; ok {
+		sh.bump(rel).Collapsed++
+		sh.mu.Unlock()
+		<-f.done
+		return f.rows, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.inflight[key] = f
+	sh.bump(rel).Misses++
+	epoch := c.epoch.Load()
+	sh.mu.Unlock()
+
+	// A panicking wrapper must not wedge the key: unregister the flight
+	// and unblock waiters with an error before the panic propagates.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		f.err = fmt.Errorf("cache: probe of %s panicked",
+			source.Access{Relation: rel, Binding: binding})
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		sh.mu.Unlock()
+		close(f.done)
+	}()
+
+	rows, err := w.Access(binding)
+	f.rows, f.err = rows, err
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil && epoch == c.epoch.Load() &&
+		(len(rows) > 0 || !c.opts.DisableNegative) {
+		ttl := c.opts.TTL
+		if len(rows) == 0 && c.opts.NegativeTTL > 0 {
+			ttl = c.opts.NegativeTTL
+		}
+		e := &entry{key: key, rel: rel, rows: rows}
+		if ttl > 0 {
+			// TTL counts from when the extraction is stored, not from when
+			// the probe began — a slow source must not shorten its entry's
+			// life (or store it already expired).
+			e.expires = c.opts.now().Add(ttl)
+		}
+		if old, ok := sh.entries[key]; ok {
+			sh.removeLocked(old)
+		}
+		e.elem = sh.lru.PushFront(e)
+		sh.entries[key] = e
+		for sh.capacity > 0 && sh.lru.Len() > sh.capacity {
+			oldest := sh.lru.Back().Value.(*entry)
+			sh.removeLocked(oldest)
+			sh.bump(oldest.rel).Evictions++
+		}
+	}
+	sh.mu.Unlock()
+	completed = true
+	close(f.done)
+	return rows, err
+}
+
+// Lookup peeks at the cache without probing or recording a hit; it reports
+// whether the access is currently cached.
+func (c *Cache) Lookup(rel string, binding []string) ([]storage.Row, bool) {
+	key := source.Access{Relation: rel, Binding: binding}.Key()
+	sh := c.shard(key)
+	now := c.opts.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok || (!e.expires.IsZero() && !now.Before(e.expires)) {
+		return nil, false
+	}
+	return e.rows, true
+}
+
+// Len returns the number of cached accesses.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Invalidate drops every cached access of one relation (call after
+// rebinding its source) and returns the number of entries dropped. Probes
+// in flight when Invalidate runs do not store their (possibly stale)
+// extraction; an execution that started before the rebind may still probe
+// and store from the source snapshot it holds afterwards.
+func (c *Cache) Invalidate(rel string) int {
+	c.epoch.Add(1)
+	dropped := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.rel == rel {
+				sh.removeLocked(e)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// Clear drops every cached access; statistics are preserved.
+func (c *Cache) Clear() {
+	c.epoch.Add(1)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[string]*entry)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}
+
+// Snapshot returns the per-relation statistics, including the current
+// entry counts.
+func (c *Cache) Snapshot() map[string]RelStats {
+	out := make(map[string]RelStats)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for rel, st := range sh.stats {
+			cur := out[rel]
+			cur.Add(*st)
+			out[rel] = cur
+		}
+		for _, e := range sh.entries {
+			cur := out[e.rel]
+			cur.Entries++
+			out[e.rel] = cur
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Totals sums the per-relation statistics.
+func (c *Cache) Totals() RelStats {
+	var t RelStats
+	for _, st := range c.Snapshot() {
+		t.Add(st)
+	}
+	return t
+}
+
+// Summary renders the per-relation statistics as an aligned text table
+// (internal/stats), with a totals row.
+func (c *Cache) Summary() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for rel := range snap {
+		names = append(names, rel)
+	}
+	sort.Strings(names)
+	var tb stats.Table
+	tb.Header("relation", "hits", "misses", "hit%", "collapsed", "evictions", "expired", "entries")
+	row := func(name string, st RelStats) {
+		ratio := 0.0
+		if st.Hits+st.Misses > 0 {
+			ratio = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		tb.Rowf(name, st.Hits, st.Misses, stats.Pct(ratio), st.Collapsed, st.Evictions, st.Expirations, st.Entries)
+	}
+	for _, rel := range names {
+		row(rel, snap[rel])
+	}
+	var total RelStats
+	for _, st := range snap {
+		total.Add(st)
+	}
+	row("TOTAL", total)
+	return tb.String()
+}

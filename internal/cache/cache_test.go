@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// testSource builds a Counter-wrapped table source over relation text like
+// "r^i(A)" with the given rows; the counter observes the probes that reach
+// the table through the cache.
+func testSource(t *testing.T, relText string, rows ...storage.Row) (*source.Counter, *schema.Relation) {
+	t.Helper()
+	sch, err := schema.Parse(relText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sch.Relations()[0]
+	tab := storage.NewTable(rel.Name, rel.Arity())
+	tab.InsertAll(rows)
+	src, err := source.NewTableSource(rel, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return source.NewCounter(src, false), rel
+}
+
+func TestHitMissAndStats(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"}, storage.Row{"b", "2"})
+	c := New(Options{})
+	w := c.Wrap(ctr)
+
+	for i := 0; i < 3; i++ {
+		rows, err := w.Access([]string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0][1] != "1" {
+			t.Fatalf("access %d: rows = %v", i, rows)
+		}
+	}
+	if got := ctr.Stats().Accesses; got != 1 {
+		t.Errorf("underlying accesses = %d, want 1", got)
+	}
+	st := c.Snapshot()["r"]
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)") // empty table: every access is negative
+	c := New(Options{})
+	w := c.Wrap(ctr)
+	for i := 0; i < 2; i++ {
+		if rows, err := w.Access([]string{"zzz"}); err != nil || len(rows) != 0 {
+			t.Fatalf("rows=%v err=%v", rows, err)
+		}
+	}
+	if got := ctr.Stats().Accesses; got != 1 {
+		t.Errorf("negative result not cached: %d underlying accesses", got)
+	}
+
+	ctr2, _ := testSource(t, "r^io(A, B)")
+	c2 := New(Options{DisableNegative: true})
+	w2 := c2.Wrap(ctr2)
+	w2.Access([]string{"zzz"})
+	w2.Access([]string{"zzz"})
+	if got := ctr2.Stats().Accesses; got != 2 {
+		t.Errorf("DisableNegative: underlying accesses = %d, want 2", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	now := time.Unix(1000, 0)
+	c := New(Options{TTL: time.Minute, NegativeTTL: time.Second, now: func() time.Time { return now }})
+	w := c.Wrap(ctr)
+
+	w.Access([]string{"a"}) // positive, TTL 1m
+	w.Access([]string{"x"}) // negative, TTL 1s
+	if got := ctr.Stats().Accesses; got != 2 {
+		t.Fatalf("underlying = %d", got)
+	}
+
+	now = now.Add(2 * time.Second) // negative expired, positive alive
+	w.Access([]string{"a"})
+	w.Access([]string{"x"})
+	if got := ctr.Stats().Accesses; got != 3 {
+		t.Errorf("after negative TTL: underlying = %d, want 3", got)
+	}
+
+	now = now.Add(2 * time.Minute) // everything expired
+	w.Access([]string{"a"})
+	if got := ctr.Stats().Accesses; got != 4 {
+		t.Errorf("after TTL: underlying = %d, want 4", got)
+	}
+	if st := c.Snapshot()["r"]; st.Expirations != 2 {
+		t.Errorf("expirations = %d, want 2", st.Expirations)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)",
+		storage.Row{"a", "1"}, storage.Row{"b", "2"}, storage.Row{"c", "3"})
+	c := New(Options{Capacity: 2, Shards: 1})
+	w := c.Wrap(ctr)
+
+	w.Access([]string{"a"})
+	w.Access([]string{"b"})
+	w.Access([]string{"a"}) // refresh a: b is now LRU
+	w.Access([]string{"c"}) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup("r", []string{"b"}); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Lookup("r", []string{"a"}); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if st := c.Snapshot()["r"]; st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	w.Access([]string{"b"}) // re-probe after eviction
+	if got := ctr.Stats().Accesses; got != 4 {
+		t.Errorf("underlying = %d, want 4", got)
+	}
+}
+
+func TestInvalidateAndClear(t *testing.T) {
+	ctrR, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	ctrS, _ := testSource(t, "s^io(A, B)", storage.Row{"a", "9"})
+	c := New(Options{})
+	wr, ws := c.Wrap(ctrR), c.Wrap(ctrS)
+	wr.Access([]string{"a"})
+	ws.Access([]string{"a"})
+	if n := c.Invalidate("r"); n != 1 {
+		t.Errorf("Invalidate(r) = %d, want 1", n)
+	}
+	if _, ok := c.Lookup("s", []string{"a"}); !ok {
+		t.Error("s entry lost by Invalidate(r)")
+	}
+	wr.Access([]string{"a"})
+	if got := ctrR.Stats().Accesses; got != 2 {
+		t.Errorf("after invalidate: underlying r accesses = %d, want 2", got)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("after Clear: Len = %d", c.Len())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	boom := errors.New("boom")
+	flaky := source.NewFlaky(ctr, 0, boom) // every access fails
+	c := New(Options{})
+	w := c.Wrap(flaky)
+	for i := 0; i < 2; i++ {
+		if _, err := w.Access([]string{"a"}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("error result cached: Len = %d", c.Len())
+	}
+	if st := c.Snapshot()["r"]; st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (errors retried)", st.Misses)
+	}
+}
+
+// slowWrapper delays every access so that concurrent probes overlap.
+type slowWrapper struct {
+	inner source.Wrapper
+	d     time.Duration
+}
+
+func (s *slowWrapper) Relation() *schema.Relation { return s.inner.Relation() }
+func (s *slowWrapper) Access(binding []string) ([]storage.Row, error) {
+	time.Sleep(s.d)
+	return s.inner.Access(binding)
+}
+
+func TestSingleflightCollapsesConcurrentProbes(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	c := New(Options{})
+	w := c.Wrap(&slowWrapper{inner: ctr, d: 20 * time.Millisecond})
+
+	const G = 16
+	var wg sync.WaitGroup
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := w.Access([]string{"a"})
+			if err != nil || len(rows) != 1 {
+				t.Errorf("rows=%v err=%v", rows, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Stats().Accesses; got != 1 {
+		t.Errorf("underlying accesses = %d, want 1 (singleflight)", got)
+	}
+	st := c.Snapshot()["r"]
+	if st.Misses != 1 || st.Hits+st.Collapsed != G-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+collapsed", st, G-1)
+	}
+}
+
+// TestInvalidateDuringProbeSkipsStore: a probe in flight when Invalidate
+// runs must not re-populate the cache with its (possibly stale) extraction.
+func TestInvalidateDuringProbeSkipsStore(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	c := New(Options{})
+	w := c.Wrap(&slowWrapper{inner: ctr, d: 60 * time.Millisecond})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if rows, err := w.Access([]string{"a"}); err != nil || len(rows) != 1 {
+			t.Errorf("rows=%v err=%v", rows, err)
+		}
+	}()
+	time.Sleep(15 * time.Millisecond) // probe is now sleeping in the source
+	c.Invalidate("r")
+	<-done
+	if _, ok := c.Lookup("r", []string{"a"}); ok {
+		t.Error("extraction stored despite invalidation during the probe")
+	}
+	// The next access re-probes and stores normally.
+	w.Access([]string{"a"})
+	if _, ok := c.Lookup("r", []string{"a"}); !ok {
+		t.Error("cache did not recover after the skipped store")
+	}
+	if got := ctr.Stats().Accesses; got != 2 {
+		t.Errorf("underlying accesses = %d, want 2", got)
+	}
+}
+
+// panicOnceWrapper panics on its first access, then delegates.
+type panicOnceWrapper struct {
+	inner    source.Wrapper
+	panicked bool
+}
+
+func (p *panicOnceWrapper) Relation() *schema.Relation { return p.inner.Relation() }
+func (p *panicOnceWrapper) Access(binding []string) ([]storage.Row, error) {
+	if !p.panicked {
+		p.panicked = true
+		panic("wrapper bug")
+	}
+	return p.inner.Access(binding)
+}
+
+// TestPanicDoesNotWedgeKey: a panicking wrapper must not leave the access
+// key's singleflight permanently blocked; the next probe retries.
+func TestPanicDoesNotWedgeKey(t *testing.T) {
+	ctr, _ := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	c := New(Options{})
+	w := c.Wrap(&panicOnceWrapper{inner: ctr})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("first access should panic through")
+			}
+		}()
+		w.Access([]string{"a"})
+	}()
+	// The key must not be wedged: this would block forever on the dead
+	// flight if cleanup were skipped on panic.
+	rows, err := w.Access([]string{"a"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("after panic: rows=%v err=%v", rows, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestWrapRegistryAndSummary(t *testing.T) {
+	ctr, rel := testSource(t, "r^io(A, B)", storage.Row{"a", "1"})
+	_ = rel
+	reg := source.NewRegistry()
+	reg.Bind(ctr)
+	c := New(Options{})
+	wrapped := c.WrapRegistry(reg)
+	w := wrapped.Source("r")
+	if w == nil {
+		t.Fatal("r not in wrapped registry")
+	}
+	w.Access([]string{"a"})
+	w.Access([]string{"a"})
+	sum := c.Summary()
+	if sum == "" {
+		t.Fatal("empty summary")
+	}
+	for _, want := range []string{"relation", "r", "TOTAL", "50.00%"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// cachedSource is a source.Wrapper whose accesses are served through a
+// shared Cache.
+type cachedSource struct {
+	c     *Cache
+	inner source.Wrapper
+}
+
+// Relation returns the wrapped relation schema.
+func (s *cachedSource) Relation() *schema.Relation { return s.inner.Relation() }
+
+// Access serves the probe from the cache, hitting the inner wrapper only on
+// a miss; concurrent identical probes collapse into one inner access.
+func (s *cachedSource) Access(binding []string) ([]storage.Row, error) {
+	return s.c.access(s.inner, binding)
+}
+
+// Wrap layers the cache over a wrapper. Decorators compose: wrap a
+// source.Counter to count only the probes that actually reach the source,
+// e.g. Cached(Counted(TableSource)).
+func (c *Cache) Wrap(w source.Wrapper) source.Wrapper {
+	return &cachedSource{c: c, inner: w}
+}
+
+// WrapRegistry returns a registry in which every source of reg is wrapped
+// by the cache. The cache is keyed by relation name: registries sharing one
+// cache must bind the same logical sources to the same names.
+func (c *Cache) WrapRegistry(reg *source.Registry) *source.Registry {
+	out := source.NewRegistry()
+	for _, name := range reg.Names() {
+		out.Bind(c.Wrap(reg.Source(name)))
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"toorjah/internal/cache"
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
 	"toorjah/internal/plan"
@@ -18,6 +19,23 @@ type Options struct {
 	// NoMetaCache disables cross-occurrence access sharing: repeated probes
 	// of the same relation binding hit the source again.
 	NoMetaCache bool
+	// Cache, when set, serves accesses through a cross-query access cache
+	// shared between executions (and between concurrent executions). The
+	// cache is layered outside the per-run counters, so Result.Stats then
+	// reports only the probes that actually reached the sources.
+	Cache *cache.Cache
+}
+
+// instrument wraps every source of reg in a fresh Counter — the per-run
+// access accounting behind Result.Stats — and, when a cross-query cache is
+// configured, layers the cache outside the counters
+// (Cached(Counted(source))) so cache hits bypass the counters entirely.
+func instrument(reg *source.Registry, opts Options) (*source.Registry, map[string]*source.Counter) {
+	counted, counters := reg.Counted(false)
+	if opts.Cache != nil {
+		counted = opts.Cache.WrapRegistry(counted)
+	}
+	return counted, counters
 }
 
 // metaCache shares access results across the occurrences of a relation:
@@ -82,7 +100,7 @@ func FastFailing(p *plan.Plan, reg *source.Registry) (*Result, error) {
 // FastFailingOpts is FastFailing with ablation options.
 func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result, error) {
 	start := time.Now()
-	counted, counters := reg.Counted(false)
+	counted, counters := instrument(reg, opts)
 	st := newGroupState(p, counted, opts)
 
 	for gi := range p.Groups {

@@ -20,8 +20,14 @@ import (
 // The typing must come from cq.Validate(q, sch). Every access is counted
 // once; no binding is ever probed twice.
 func Naive(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing) (*Result, error) {
+	return NaiveOpts(sch, reg, q, ty, Options{})
+}
+
+// NaiveOpts is Naive with options; only the cross-query Cache option is
+// meaningful here (the ablation switches target the optimized strategies).
+func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing, opts Options) (*Result, error) {
 	start := time.Now()
-	counted, counters := reg.Counted(false)
+	counted, counters := instrument(reg, opts)
 
 	// B: known values per abstract domain, seeded with the query constants.
 	known := make(map[schema.Domain]map[string]bool)

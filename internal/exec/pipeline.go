@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,8 +25,15 @@ type PipeOptions struct {
 	// answers have been emitted — the paper's interactive early stop
 	// ("the user can stop the lengthy answering process once satisfied").
 	// The result is then a sound subset of the obtainable answers and
-	// carries Truncated.
+	// carries Truncated. For queries with negated atoms no answer is sound
+	// until every cache is complete, so the limit cannot save accesses
+	// there; it still caps the answers returned.
 	Limit int
+	// Ctx, when non-nil, cancels the extraction: once the context is done
+	// no further probes are dispatched and the run returns early with
+	// Truncated set (the answers emitted so far are a sound subset). A
+	// server uses this to stop spending accesses on abandoned requests.
+	Ctx context.Context
 	Options
 }
 
@@ -65,7 +73,7 @@ type probeResult struct {
 func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer func(datalog.Tuple)) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
-	counted, counters := reg.Counted(false)
+	counted, counters := instrument(reg, opts.Options)
 	st := newGroupState(p, counted, opts.Options)
 
 	// One queue and worker pool per relation occurring in the plan.
@@ -246,12 +254,24 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 	}
 
 	limitHit := func() bool { return opts.Limit > 0 && answers.Len() >= opts.Limit }
+	cancelled := func() bool {
+		if opts.Ctx == nil {
+			return false
+		}
+		select {
+		case <-opts.Ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	stopRequested := func() bool { return limitHit() || cancelled() }
 
 	if err := generate(); err != nil {
 		return nil, err
 	}
 	outstanding := 0
-	for (len(pending) > 0 || outstanding > 0) && !limitHit() {
+	for (len(pending) > 0 || outstanding > 0) && !stopRequested() {
 		// Dispatch as many pending jobs as the queues accept.
 		kept := pending[:0]
 		for _, j := range pending {
@@ -288,21 +308,33 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 		}
 	}
 
-	truncated := limitHit() && (len(pending) > 0 || outstanding > 0)
+	truncated := stopRequested() && (len(pending) > 0 || outstanding > 0)
+	if truncated {
+		// Stop the workers from touching the sources for jobs still queued;
+		// only probes already in flight complete.
+		stopped.Store(true)
+	}
 	// Drain probes still in flight, then stop the workers; their remaining
-	// extractions are discarded when the limit stopped the run.
+	// extractions are discarded when the limit or cancellation stopped the
+	// run.
 	for ; outstanding > 0; outstanding-- {
 		<-results
 	}
 	cleanup()
 
 	if !truncated {
-		// Authoritative final evaluation (also covers negation).
+		// Authoritative final evaluation (also covers negation). The limit
+		// applies here too: for negated queries this is where answers are
+		// first emitted, and a client who asked for N gets N.
 		final, err := datalog.EvalQuery(p.Query, st.cdb)
 		if err != nil {
 			return nil, fmt.Errorf("pipelined: final evaluation: %w", err)
 		}
 		for _, t := range final.Tuples() {
+			if limitHit() && !answers.Contains(t) {
+				truncated = true
+				break
+			}
 			emit(t)
 		}
 	}

@@ -27,6 +27,13 @@
 //	res, _ := q.Execute()
 //	fmt.Println(res.SortedAnswers(), res.TotalAccesses())
 //
+// A System can keep a cross-query access cache (see WithCache): since the
+// dominant cost is the number of accesses, a long-running service that
+// remembers extractions across queries — with LRU bounds, TTL expiry,
+// negative-result caching and collapsing of concurrent identical probes —
+// answers repeat traffic without touching the sources at all. cmd/toorjahd
+// serves exactly that setup over HTTP.
+//
 // The internal packages expose every stage of the pipeline (schema, cq,
 // dgraph, plan, exec, …) for programmatic use; this package is the
 // high-level façade.
@@ -36,6 +43,7 @@ import (
 	"fmt"
 	"time"
 
+	"toorjah/internal/cache"
 	"toorjah/internal/core"
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
@@ -69,7 +77,17 @@ type (
 	Options = exec.Options
 	// PipeOptions tunes the pipelined executor.
 	PipeOptions = exec.PipeOptions
+	// CacheOptions configures the cross-query access cache.
+	CacheOptions = cache.Options
+	// AccessCache is a shared cross-query access cache (see WithCache).
+	AccessCache = cache.Cache
+	// CacheStats is the per-relation accounting of an access cache.
+	CacheStats = cache.RelStats
 )
+
+// NewAccessCache creates a standalone access cache, for sharing between
+// several Systems over the same sources (see WithSharedCache).
+func NewAccessCache(opts CacheOptions) *AccessCache { return cache.New(opts) }
 
 // ParseSchema parses a schema in the paper's notation, one relation per
 // line: "rev^ooi(Person, ConfName, Year)".
@@ -80,24 +98,74 @@ func ParseSchema(text string) (*Schema, error) { return schema.Parse(text) }
 func ParseQuery(text string) (*CQ, error) { return cq.Parse(text) }
 
 // System binds a schema to data sources and prepares queries against them.
+// With a cache configured (WithCache / WithSharedCache), every execution —
+// Execute, ExecuteNaive, Stream, and UCQ execution — serves its accesses
+// through the shared cross-query cache; Result.Stats then counts only the
+// probes that actually reached the sources, so a fully cached run reports
+// zero accesses.
 type System struct {
-	sch *schema.Schema
-	reg *source.Registry
+	sch         *schema.Schema
+	reg         *source.Registry
+	cache       *cache.Cache
+	sharedCache bool
 	// Latency is applied to sources bound through BindRows/BindTable,
 	// simulating remote sources.
 	Latency time.Duration
 }
 
+// SystemOption configures a System at construction.
+type SystemOption func(*System)
+
+// WithCache equips the system with a private cross-query access cache.
+func WithCache(opts CacheOptions) SystemOption {
+	return func(s *System) { s.cache = cache.New(opts) }
+}
+
+// WithSharedCache makes the system serve accesses through an existing
+// cache, shared with other systems bound to the same logical sources. A
+// system sharing a cache must bind every relation its queries touch:
+// Prepare refuses to auto-bind empty sources for it, since their (empty)
+// extractions would be negative-cached under keys other systems rely on.
+func WithSharedCache(c *AccessCache) SystemOption {
+	return func(s *System) { s.cache, s.sharedCache = c, true }
+}
+
+// WithLatency sets the simulated per-access latency of sources bound
+// through BindRows/BindTable/BindDatabase.
+func WithLatency(d time.Duration) SystemOption {
+	return func(s *System) { s.Latency = d }
+}
+
 // NewSystem creates a system over the schema with no sources bound.
-func NewSystem(sch *Schema) *System {
-	return &System{sch: sch, reg: source.NewRegistry()}
+func NewSystem(sch *Schema, opts ...SystemOption) *System {
+	s := &System{sch: sch, reg: source.NewRegistry()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Schema returns the system's schema.
 func (s *System) Schema() *Schema { return s.sch }
 
-// Bind attaches a wrapper as the source of its relation.
-func (s *System) Bind(w Wrapper) { s.reg.Bind(w) }
+// AccessCache returns the system's cross-query cache, or nil when none is
+// configured; use it to read hit/miss statistics or to invalidate entries.
+func (s *System) AccessCache() *AccessCache { return s.cache }
+
+// Bind attaches a wrapper as the source of its relation, dropping any
+// cached accesses of that relation. Executions already in flight complete
+// against the sources they started with and may re-populate cache entries
+// read from the previous source; rebind quiescently, or configure a TTL
+// when sources change under live traffic.
+func (s *System) Bind(w Wrapper) {
+	// Swap first, invalidate second: an execution snapshotting the registry
+	// between the two steps reads the new source, and the invalidation
+	// merely drops its fresh entries (a wasted probe, never staleness).
+	s.reg.Bind(w)
+	if s.cache != nil {
+		s.cache.Invalidate(w.Relation().Name)
+	}
+}
 
 // BindTable attaches an in-memory table as the source of relation name.
 func (s *System) BindTable(name string, t *storage.Table) error {
@@ -112,7 +180,7 @@ func (s *System) BindTable(name string, t *storage.Table) error {
 	if s.Latency > 0 {
 		src = src.WithLatency(s.Latency)
 	}
-	s.reg.Bind(src)
+	s.Bind(src)
 	return nil
 }
 
@@ -135,13 +203,31 @@ func (s *System) BindDatabase(db *storage.Database) error {
 		return err
 	}
 	s.reg = reg
+	if s.cache != nil {
+		s.cache.Clear() // after the swap, for the same reason as Bind
+	}
 	return nil
 }
 
-// ensureBound verifies every schema relation has a source.
+// execOpts threads the system's cross-query cache into executor options.
+func (s *System) execOpts(o Options) Options {
+	if o.Cache == nil {
+		o.Cache = s.cache
+	}
+	return o
+}
+
+// ensureBound verifies every schema relation has a source, auto-binding
+// empty sources for the missing ones — except when the system shares its
+// cache with others: an implicitly empty source would poison the shared
+// cache with negative entries for relations the other systems have data
+// for, so missing bindings are an error there.
 func (s *System) ensureBound() error {
 	for _, rel := range s.sch.Relations() {
 		if s.reg.Source(rel.Name) == nil {
+			if s.sharedCache {
+				return fmt.Errorf("toorjah: relation %s has no source bound; a system sharing an access cache must bind every relation explicitly", rel.Name)
+			}
 			if err := s.BindRows(rel.Name); err != nil {
 				return err
 			}
@@ -236,24 +322,23 @@ func (q *Query) emptyResult() *Result {
 // Execute runs the fast-failing ⊂-minimal strategy and returns all
 // obtainable answers.
 func (q *Query) Execute() (*Result, error) {
-	if !q.Answerable() {
-		return q.emptyResult(), nil
-	}
-	return exec.FastFailing(q.pipeline.Plan, q.sys.reg)
+	return q.ExecuteOpts(Options{})
 }
 
-// ExecuteOpts is Execute with ablation options.
+// ExecuteOpts is Execute with ablation options; the system's cross-query
+// cache, when configured, is used unless opts carries its own.
 func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
 	if !q.Answerable() {
 		return q.emptyResult(), nil
 	}
-	return exec.FastFailingOpts(q.pipeline.Plan, q.sys.reg, opts)
+	return exec.FastFailingOpts(q.pipeline.Plan, q.sys.reg, q.sys.execOpts(opts))
 }
 
 // ExecuteNaive runs the reference algorithm of the paper's Fig. 1 (probe
 // everything probeable until fixpoint).
 func (q *Query) ExecuteNaive() (*Result, error) {
-	return exec.Naive(q.sys.sch, q.sys.reg, q.pipeline.Query, q.pipeline.Typing)
+	return exec.NaiveOpts(q.sys.sch, q.sys.reg, q.pipeline.Query, q.pipeline.Typing,
+		q.sys.execOpts(exec.Options{}))
 }
 
 // Stream runs the parallel pipelined engine; onAnswer is invoked for every
@@ -263,5 +348,6 @@ func (q *Query) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) 
 	if !q.Answerable() {
 		return q.emptyResult(), nil
 	}
+	opts.Options = q.sys.execOpts(opts.Options)
 	return exec.Pipelined(q.pipeline.Plan, q.sys.reg, opts, onAnswer)
 }

@@ -231,6 +231,179 @@ func TestExecuteOptsAblation(t *testing.T) {
 	}
 }
 
+// cachedMusicSystem is musicSystem over a System with a cross-query cache.
+func cachedMusicSystem(t *testing.T, opts ...SystemOption) *System {
+	t.Helper()
+	sch, err := ParseSchema(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(sch, opts...)
+	must(t, sys.BindRows("r1", Row{"modugno", "italy", "1928"}, Row{"madonna", "usa", "1958"}))
+	must(t, sys.BindRows("r2", Row{"volare", "1958", "modugno"}, Row{"vogue", "1990", "madonna"}))
+	must(t, sys.BindRows("r3", Row{"madonna", "like_a_virgin"}))
+	return sys
+}
+
+// TestCachedSystemSecondRunNoProbes is the cross-query cache acceptance
+// property: the second execution of the same query probes no source at all,
+// for the fast-failing, streaming and naive strategies alike.
+func TestCachedSystemSecondRunNoProbes(t *testing.T) {
+	sys := cachedMusicSystem(t, WithCache(CacheOptions{}))
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.TotalAccesses() == 0 {
+		t.Fatal("cold run made no accesses")
+	}
+	res2, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.TotalAccesses(); got != 0 {
+		t.Errorf("warm run made %d source probes, want 0", got)
+	}
+	if strings.Join(res2.SortedAnswers(), ";") != "italy" {
+		t.Errorf("warm answers = %v", res2.SortedAnswers())
+	}
+	piped, err := q.Stream(PipeOptions{Parallelism: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := piped.TotalAccesses(); got != 0 {
+		t.Errorf("warm pipelined run made %d source probes, want 0", got)
+	}
+	if strings.Join(piped.SortedAnswers(), ";") != "italy" {
+		t.Errorf("warm pipelined answers = %v", piped.SortedAnswers())
+	}
+	// Naive strategy through a fresh cached system (the cache above is
+	// already warm for this query's whole access set).
+	nsys := cachedMusicSystem(t, WithCache(CacheOptions{}))
+	nq, err := nsys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive1, err := nq.ExecuteNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive2, err := nq.ExecuteNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive1.TotalAccesses() == 0 || naive2.TotalAccesses() != 0 {
+		t.Errorf("naive accesses cold=%d warm=%d, want >0 and 0",
+			naive1.TotalAccesses(), naive2.TotalAccesses())
+	}
+	c := sys.AccessCache()
+	if c == nil {
+		t.Fatal("AccessCache() = nil")
+	}
+	if tot := c.Totals(); tot.Hits == 0 || tot.Misses == 0 {
+		t.Errorf("cache totals = %+v, want hits and misses", tot)
+	}
+}
+
+// TestCachedSystemRebindInvalidates: rebinding a relation drops its cached
+// accesses, so the next run probes it again and sees the new data.
+func TestCachedSystemRebindInvalidates(t *testing.T) {
+	sys := cachedMusicSystem(t, WithCache(CacheOptions{}))
+	q, err := sys.Prepare("q(AL) :- r3(A, AL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	must(t, sys.BindRows("r3", Row{"madonna", "like_a_prayer"}))
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAccesses() == 0 {
+		t.Error("rebinding did not invalidate the cache")
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "like_a_prayer" {
+		t.Errorf("answers = %s, want like_a_prayer", got)
+	}
+}
+
+// TestSharedCacheRequiresExplicitBinding: a system sharing a cache must not
+// auto-bind empty sources — their negative entries would poison the cache
+// for the other systems — so Prepare errors instead.
+func TestSharedCacheRequiresExplicitBinding(t *testing.T) {
+	c := NewAccessCache(CacheOptions{})
+	sysA := cachedMusicSystem(t, WithSharedCache(c))
+	qA, err := sysA.Prepare("q(AL) :- r3(A, AL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qA.Execute(); err != nil {
+		t.Fatal(err)
+	}
+
+	// sysB shares the cache but never binds its relations.
+	sch, _ := ParseSchema(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	sysB := NewSystem(sch, WithSharedCache(c))
+	if _, err := sysB.Prepare("q(AL) :- r3(A, AL)"); err == nil {
+		t.Fatal("Prepare on a shared-cache system with unbound relations must error")
+	}
+
+	// sysA's cached answers are intact.
+	res, err := qA.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.SortedAnswers(), ";"); got != "like_a_virgin" {
+		t.Errorf("sysA answers after sysB = %q, want like_a_virgin", got)
+	}
+	if res.TotalAccesses() != 0 {
+		t.Errorf("sysA warm run probed %d times", res.TotalAccesses())
+	}
+}
+
+// TestSharedCacheAcrossSystems: two systems over the same sources sharing
+// one cache — the second system's first run is already warm.
+func TestSharedCacheAcrossSystems(t *testing.T) {
+	c := NewAccessCache(CacheOptions{})
+	sysA := cachedMusicSystem(t, WithSharedCache(c))
+	sysB := cachedMusicSystem(t, WithSharedCache(c))
+	qA, err := sysA.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qA.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	qB, err := sysB.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qB.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TotalAccesses(); got != 0 {
+		t.Errorf("second system probed %d times, want 0 (shared cache)", got)
+	}
+	if strings.Join(res.SortedAnswers(), ";") != "italy" {
+		t.Errorf("answers = %v", res.SortedAnswers())
+	}
+}
+
 func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
