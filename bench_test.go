@@ -313,6 +313,49 @@ func BenchmarkCrossQueryPipelined_Cached(b *testing.B) {
 	benchCrossQueryPipelined(b, cache.New(cache.Options{}))
 }
 
+// Batched vs unbatched extraction under simulated per-access latency: a
+// batch of N bindings pays the round-trip latency once, so the wall clock
+// of a latency-bound extraction drops roughly with the mean batch size
+// (accesses stay identical — the paper's cost model is untouched).
+func benchBatch(b *testing.B, maxBatch int, pipelined bool) {
+	cfg := gen.SmallPublication()
+	sch, db := gen.Publication(1, cfg)
+	reg, err := source.FromDatabase(sch, db, 2*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := cq.Parse(gen.PublicationQueries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Prepare(sch, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exec.Options{MaxBatch: maxBatch}
+	var accesses, batches int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r *exec.Result
+		if pipelined {
+			r, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{Parallelism: 4, Options: opts}, nil)
+		} else {
+			r, err = exec.FastFailingOpts(p.Plan, reg, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses, batches = r.TotalAccesses(), r.TotalBatches()
+	}
+	b.ReportMetric(float64(accesses), "accesses")
+	b.ReportMetric(float64(batches), "roundtrips")
+}
+
+func BenchmarkBatchPipelined_Unbatched(b *testing.B) { benchBatch(b, -1, true) }
+func BenchmarkBatchPipelined_Batch16(b *testing.B)   { benchBatch(b, 16, true) }
+func BenchmarkBatchFastFail_Unbatched(b *testing.B)  { benchBatch(b, -1, false) }
+func BenchmarkBatchFastFail_Batch16(b *testing.B)    { benchBatch(b, 16, false) }
+
 // Planning-time benches: the optimizer itself must stay cheap (the paper's
 // GFP is polynomial).
 func BenchmarkPlanning_Q3(b *testing.B) {

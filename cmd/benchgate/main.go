@@ -1,0 +1,106 @@
+// Command benchgate turns `go test -bench` output into a benchstat-style
+// JSON snapshot and gates it against a committed baseline. CI runs:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | tee bench.txt
+//	go run ./cmd/benchgate -in bench.txt -json BENCH_PR2.json -baseline BENCH_BASELINE.json
+//
+// The JSON snapshot is uploaded as a build artifact; the gate exits
+// non-zero when any gated metric regresses beyond the threshold (see
+// internal/benchfmt for what is gated: access counts strictly, ns/op only
+// above a noise floor). Refresh the committed baseline by downloading a
+// healthy run's artifact — or regenerating locally — and committing it as
+// BENCH_BASELINE.json.
+//
+// Flags:
+//
+//	-in              raw benchmark output to parse (default stdin)
+//	-json            write the parsed snapshot to this path
+//	-baseline        committed snapshot to gate against (no gating when absent)
+//	-threshold       allowed fractional growth of count metrics (default 0.25)
+//	-time-threshold  allowed fractional growth of ns/op (default 1.0: wall
+//	                 time under -benchtime=1x is noisy across runners, so
+//	                 only a >2x slowdown fails)
+//	-floor           ns/op below which a benchmark's time is not gated
+//	                 (default 5ms)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"toorjah/internal/benchfmt"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	jsonOut := flag.String("json", "", "write the parsed snapshot to this path")
+	baseline := flag.String("baseline", "", "baseline snapshot to gate against")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression of count metrics")
+	timeThreshold := flag.Float64("time-threshold", 1.0, "allowed fractional regression of ns/op")
+	floor := flag.Duration("floor", 5*time.Millisecond, "baseline ns/op below which time is not gated")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := benchfmt.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	fmt.Printf("benchgate: parsed %d benchmark(s)\n", len(results))
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchfmt.WriteJSON(f, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: snapshot written to %s\n", *jsonOut)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchfmt.ReadJSON(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	regs := benchfmt.Compare(base, results, *threshold, *timeThreshold, float64(*floor))
+	if len(regs) == 0 {
+		fmt.Printf("benchgate: no regression beyond %.0f%% (counts) / %.0f%% (time) against %s\n",
+			*threshold*100, *timeThreshold*100, *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

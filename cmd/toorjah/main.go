@@ -8,16 +8,20 @@
 // ("rev^ooi(Person, ConfName, Year)"); datadir holds one CSV file per
 // relation (rev.csv, …). Flags:
 //
-//	-plan      print the optimized plan (ordering + Datalog program) and exit
-//	-dot       print the d-graph in DOT format and exit
-//	-naive     run the naive algorithm instead of the optimized plan
-//	-stats     print per-relation access statistics after the answers
-//	-latency   simulated per-access latency (e.g. 50ms)
+//	-plan       print the optimized plan (ordering + Datalog program) and exit
+//	-dot        print the d-graph in DOT format and exit
+//	-naive      run the naive algorithm instead of the optimized plan
+//	-stats      print per-relation access statistics after the answers
+//	-latency    simulated per-access latency (e.g. 50ms)
+//	-max-batch  access bindings per source round trip (0 = default 16,
+//	            negative = unbatched)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,52 +38,71 @@ import (
 )
 
 func main() {
-	schemaFile := flag.String("schema", "", "schema file (required)")
-	dataDir := flag.String("data", "", "directory of per-relation CSV files (required)")
-	queryText := flag.String("query", "", "conjunctive query (required)")
-	showPlan := flag.Bool("plan", false, "print the optimized plan and exit")
-	showDOT := flag.Bool("dot", false, "print the d-graph in DOT format and exit")
-	naive := flag.Bool("naive", false, "use the naive strategy of Fig. 1")
-	showStats := flag.Bool("stats", true, "print access statistics")
-	latency := flag.Duration("latency", 0, "simulated per-access latency")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "toorjah:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks a bad invocation (usage already printed).
+var errUsage = errors.New("usage")
+
+// run is the whole CLI, factored out of main so the tests can drive the
+// binary end to end without spawning a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("toorjah", flag.ContinueOnError)
+	schemaFile := fs.String("schema", "", "schema file (required)")
+	dataDir := fs.String("data", "", "directory of per-relation CSV files (required)")
+	queryText := fs.String("query", "", "conjunctive query (required)")
+	showPlan := fs.Bool("plan", false, "print the optimized plan and exit")
+	showDOT := fs.Bool("dot", false, "print the d-graph in DOT format and exit")
+	naive := fs.Bool("naive", false, "use the naive strategy of Fig. 1")
+	showStats := fs.Bool("stats", true, "print access statistics")
+	latency := fs.Duration("latency", 0, "simulated per-access latency")
+	maxBatch := fs.Int("max-batch", 0, "access bindings per source round trip (0 = default 16, negative = unbatched)")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 
 	if *schemaFile == "" || *queryText == "" || (*dataDir == "" && !*showPlan && !*showDOT) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 	raw, err := os.ReadFile(*schemaFile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sch, err := schema.Parse(string(raw))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	q, err := cq.Parse(*queryText)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p, err := core.Prepare(sch, q)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !p.Answerable() {
-		fmt.Println("query is not answerable: some relation in it is not queryable; the answer is empty on every instance")
-		return
+		fmt.Fprintln(stdout, "query is not answerable: some relation in it is not queryable; the answer is empty on every instance")
+		return nil
 	}
 	if *showDOT {
-		fmt.Print(dgraph.DOT(p.Graph, p.Opt.Solution, true))
-		return
+		fmt.Fprint(stdout, dgraph.DOT(p.Graph, p.Opt.Solution, true))
+		return nil
 	}
 	if *showPlan {
-		fmt.Printf("relevant relations:   %s\n", strings.Join(p.Opt.RelevantRelations(), ", "))
-		fmt.Printf("irrelevant relations: %s\n", strings.Join(p.Opt.IrrelevantRelations(), ", "))
+		fmt.Fprintf(stdout, "relevant relations:   %s\n", strings.Join(p.Opt.RelevantRelations(), ", "))
+		fmt.Fprintf(stdout, "irrelevant relations: %s\n", strings.Join(p.Opt.IrrelevantRelations(), ", "))
 		if p.Plan.ForAllMinimal() {
-			fmt.Println("the ordering is unique: this plan is ∀-minimal")
+			fmt.Fprintln(stdout, "the ordering is unique: this plan is ∀-minimal")
 		}
-		fmt.Println(p.Plan)
-		return
+		fmt.Fprintln(stdout, p.Plan)
+		return nil
 	}
 
 	db := storage.NewDatabase()
@@ -90,55 +113,54 @@ func main() {
 			if os.IsNotExist(err) {
 				continue // missing file = empty source
 			}
-			fatal(err)
+			return err
 		}
 		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		dbt, err := db.Create(rel.Name, rel.Arity())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		dbt.InsertAll(tab.Rows())
 	}
 	reg, err := source.FromDatabase(sch, db, *latency)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
+	opts := exec.Options{MaxBatch: *maxBatch}
 	start := time.Now()
 	var res *exec.Result
 	if *naive {
-		res, err = exec.Naive(sch, reg, p.Query, p.Typing)
+		res, err = exec.NaiveOpts(sch, reg, p.Query, p.Typing, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range res.Answers.Tuples() {
-			fmt.Println(strings.Join(t, ", "))
+			fmt.Fprintln(stdout, strings.Join(t, ", "))
 		}
 	} else {
 		// Stream answers as they are derived (the Toorjah way).
-		res, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{}, func(t datalog.Tuple) {
-			fmt.Printf("%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
+		res, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{Options: opts}, func(t datalog.Tuple) {
+			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	fmt.Printf("-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
 	if *showStats {
-		fmt.Printf("-- %d access(es), %d tuple(s) extracted\n", res.TotalAccesses(), res.TotalTuples())
+		fmt.Fprintf(stdout, "-- %d access(es) in %d round trip(s), %d tuple(s) extracted\n",
+			res.TotalAccesses(), res.TotalBatches(), res.TotalTuples())
 		for _, rel := range sch.Relations() {
 			if st, ok := res.Stats[rel.Name]; ok {
-				fmt.Printf("--   %-12s %6d accesses  %6d rows\n", rel.Name, st.Accesses, st.Tuples)
+				fmt.Fprintf(stdout, "--   %-12s %6d accesses  %6d round trips  %6d rows\n",
+					rel.Name, st.Accesses, st.Batches, st.Tuples)
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "toorjah:", err)
-	os.Exit(1)
+	return nil
 }

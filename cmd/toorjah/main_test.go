@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeExample lays out the quickstart example (the paper's Example 1) as
+// the schema file and CSV data directory the CLI consumes.
+func writeExample(t *testing.T) (schemaFile, dataDir string) {
+	t.Helper()
+	dir := t.TempDir()
+	schemaFile = filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(schemaFile, []byte(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir = filepath.Join(dir, "data")
+	if err := os.Mkdir(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	csvs := map[string]string{
+		"r1": "modugno,italy,1928\nmadonna,usa,1958\ndylan,usa,1941\n",
+		"r2": "volare,1958,modugno\nvogue,1990,madonna\nhurricane,1976,dylan\n",
+		"r3": "madonna,like_a_virgin\ndylan,desire\n",
+	}
+	for name, content := range csvs {
+		if err := os.WriteFile(filepath.Join(dataDir, name+".csv"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return schemaFile, dataDir
+}
+
+const exampleQuery = "q(N) :- r1(A, N, Y1), r2(volare, Y2, A)"
+
+// TestCLIEndToEnd: the default (pipelined) path loads schema and CSVs,
+// answers Example 1, and prints access statistics.
+func TestCLIEndToEnd(t *testing.T) {
+	schemaFile, dataDir := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-data", dataDir, "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "italy") {
+		t.Errorf("output lacks the answer 'italy':\n%s", got)
+	}
+	if !strings.Contains(got, "-- 1 answer(s)") {
+		t.Errorf("output lacks the answer summary:\n%s", got)
+	}
+	if !strings.Contains(got, "access(es)") || !strings.Contains(got, "round trip(s)") {
+		t.Errorf("output lacks access statistics:\n%s", got)
+	}
+}
+
+// TestCLINaive: the -naive strategy agrees on the answer.
+func TestCLINaive(t *testing.T) {
+	schemaFile, dataDir := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-data", dataDir, "-naive", "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "italy") || !strings.Contains(got, "-- 1 answer(s)") {
+		t.Errorf("naive output wrong:\n%s", got)
+	}
+}
+
+// TestCLIUnbatched: -max-batch -1 must not change the answer, and the
+// round-trip count then equals the access count.
+func TestCLIUnbatched(t *testing.T) {
+	schemaFile, dataDir := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-data", dataDir, "-max-batch", "-1", "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "italy") {
+		t.Errorf("unbatched output lacks the answer:\n%s", got)
+	}
+	// "-- N access(es) in N round trip(s)" with batching off.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "round trip(s)") {
+			f := strings.Fields(line)
+			if len(f) > 4 && f[1] != f[4] {
+				t.Errorf("unbatched accesses != round trips: %q", line)
+			}
+		}
+	}
+}
+
+// TestCLIPlanOnly: -plan prints the optimization outcome without data.
+func TestCLIPlanOnly(t *testing.T) {
+	schemaFile, _ := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-plan", "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "relevant relations") {
+		t.Errorf("plan output wrong:\n%s", got)
+	}
+}
+
+// TestCLIDot: -dot prints the d-graph.
+func TestCLIDot(t *testing.T) {
+	schemaFile, _ := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-dot", "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "digraph") {
+		t.Errorf("dot output wrong:\n%s", got)
+	}
+}
+
+// TestCLIUsageErrors: missing required flags are a usage error, not a run.
+func TestCLIUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-query", exampleQuery}, &out); err != errUsage {
+		t.Errorf("missing -schema: err = %v, want errUsage", err)
+	}
+	schemaFile, _ := writeExample(t)
+	if err := run([]string{"-schema", schemaFile}, &out); err != errUsage {
+		t.Errorf("missing -query: err = %v, want errUsage", err)
+	}
+}
+
+// TestCLIBadSchema: parse errors surface as errors, not panics.
+func TestCLIBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(bad, []byte("not a schema line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-schema", bad, "-data", dir, "-query", exampleQuery}, &out); err == nil {
+		t.Error("bad schema must error")
+	}
+}

@@ -24,6 +24,8 @@
 //	-latency             simulated per-access source latency (e.g. 50ms)
 //	-parallelism         concurrent probes per relation (default 4)
 //	-queue               per-relation access queue length (default 32)
+//	-max-batch           access bindings per source round trip (default 16;
+//	                     negative = unbatched)
 //	-no-cache            disable the cross-query access cache
 //	-cache-capacity      max cached accesses, LRU-bounded (default 65536)
 //	-cache-ttl           expiry of cached accesses (default: never)
@@ -51,6 +53,7 @@ func main() {
 	latency := flag.Duration("latency", 0, "simulated per-access latency")
 	parallelism := flag.Int("parallelism", 4, "concurrent probes per relation")
 	queueLen := flag.Int("queue", 32, "per-relation access queue length")
+	maxBatch := flag.Int("max-batch", 0, "access bindings per source round trip (0 = default 16, negative = unbatched)")
 	noCache := flag.Bool("no-cache", false, "disable the cross-query access cache")
 	cacheCap := flag.Int("cache-capacity", 0, "max cached accesses (0 = default 65536, negative = unbounded)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expiry of cached accesses (0 = never)")
@@ -75,7 +78,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := []toorjah.SystemOption{toorjah.WithLatency(*latency)}
+	opts := []toorjah.SystemOption{toorjah.WithLatency(*latency), toorjah.WithMaxBatch(*maxBatch)}
 	if !*noCache {
 		opts = append(opts, toorjah.WithCache(toorjah.CacheOptions{
 			Capacity:        *cacheCap,

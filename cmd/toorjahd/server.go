@@ -34,6 +34,9 @@ type server struct {
 	planOrder []string // insertion order, for FIFO eviction
 	planCap   int
 	served    atomic.Int64
+
+	srcMu   sync.Mutex
+	sources map[string]toorjah.SourceStats // per-relation accounting, summed over queries
 }
 
 func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
@@ -43,7 +46,33 @@ func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
 		start:   time.Now(),
 		plans:   make(map[string]*toorjah.Query),
 		planCap: maxPreparedPlans,
+		sources: make(map[string]toorjah.SourceStats),
 	}
+}
+
+// recordSources folds one execution's per-relation accounting into the
+// service totals (accesses, source round trips, extracted tuples).
+func (s *server) recordSources(stats map[string]toorjah.SourceStats) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	for rel, st := range stats {
+		cur := s.sources[rel]
+		cur.Add(st)
+		s.sources[rel] = cur
+	}
+}
+
+// sourceSnapshot copies the service-wide per-relation accounting.
+func (s *server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	out := make(map[string]toorjah.SourceStats, len(s.sources))
+	var totals toorjah.SourceStats
+	for rel, st := range s.sources {
+		out[rel] = st
+		totals.Add(st)
+	}
+	return out, totals
 }
 
 // handler returns the service's route table.
@@ -103,6 +132,7 @@ type doneLine struct {
 	Done      bool    `json:"done"`
 	Answers   int     `json:"answers"`
 	Accesses  int     `json:"accesses"`
+	Batches   int     `json:"batches"`
 	Tuples    int     `json:"tuples"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Truncated bool    `json:"truncated,omitempty"`
@@ -175,6 +205,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(errorLine{Error: err.Error()})
 		return
 	}
+	s.recordSources(res.Stats)
 	if r.Context().Err() != nil {
 		return // client gone; nobody is reading the summary
 	}
@@ -183,6 +214,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Done:      true,
 		Answers:   res.Answers.Len(),
 		Accesses:  res.TotalAccesses(),
+		Batches:   res.TotalBatches(),
 		Tuples:    res.TotalTuples(),
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		Truncated: res.Truncated,
@@ -191,10 +223,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the payload of /stats.
 type statsResponse struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	QueriesServed int64            `json:"queries_served"`
-	PreparedPlans int              `json:"prepared_plans"`
-	Cache         *cacheStatsBlock `json:"cache"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	QueriesServed int64             `json:"queries_served"`
+	PreparedPlans int               `json:"prepared_plans"`
+	Sources       *sourceStatsBlock `json:"sources"`
+	Cache         *cacheStatsBlock  `json:"cache"`
+}
+
+// sourceStatsBlock aggregates per-relation source accounting over every
+// query the service has executed: accesses (the paper's cost metric),
+// batches (actual round trips — accesses/batches is the mean batch size
+// bought by -max-batch), and extracted tuples.
+type sourceStatsBlock struct {
+	Totals    toorjah.SourceStats            `json:"totals"`
+	Relations map[string]toorjah.SourceStats `json:"relations"`
 }
 
 type cacheStatsBlock struct {
@@ -208,6 +250,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QueriesServed: s.served.Load(),
 		PreparedPlans: s.planCount(),
+	}
+	if rels, totals := s.sourceSnapshot(); len(rels) > 0 {
+		resp.Sources = &sourceStatsBlock{Totals: totals, Relations: rels}
 	}
 	if c := s.sys.AccessCache(); c != nil {
 		// One snapshot pass; totals and entry count derive from it rather

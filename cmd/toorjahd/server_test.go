@@ -189,6 +189,20 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 	if st.Cache == nil || st.Cache.Totals.Hits == 0 {
 		t.Errorf("stats cache block = %+v, want hits > 0", st.Cache)
 	}
+	// The sources block accumulates per-relation accounting across queries:
+	// the cold runs probed the sources, so accesses and round trips are
+	// positive, round trips never exceed accesses, and every probed relation
+	// appears.
+	if st.Sources == nil || st.Sources.Totals.Accesses == 0 {
+		t.Fatalf("stats sources block = %+v, want accumulated accesses", st.Sources)
+	}
+	if b, a := st.Sources.Totals.Batches, st.Sources.Totals.Accesses; b == 0 || b > a {
+		t.Errorf("sources totals: %d round trips for %d accesses", b, a)
+	}
+	if st.Sources.Totals.Accesses != underlying {
+		t.Errorf("sources totals = %d accesses, counters saw %d",
+			st.Sources.Totals.Accesses, underlying)
+	}
 	if st.PreparedPlans != 1 {
 		t.Errorf("prepared plans = %d, want 1", st.PreparedPlans)
 	}

@@ -58,7 +58,7 @@ rev^ooi(Person, ConfName, Year)
 	if got := strings.Join(res.SortedAnswers(), ";"); got != "alice" {
 		t.Errorf("answers = %s, want alice", got)
 	}
-	if q.IsConnectionQuery() != true {
+	if !q.IsConnectionQuery() {
 		t.Error("q1 is a connection query (all domains share one term)")
 	}
 	if !q.Orderable() {

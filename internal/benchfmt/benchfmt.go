@@ -1,0 +1,186 @@
+// Package benchfmt parses the text output of `go test -bench` into a
+// stable, benchstat-style JSON shape and compares two such snapshots for
+// regressions. It backs the CI benchmark gate (cmd/benchgate): every CI run
+// emits its parsed results as an artifact (BENCH_PR2.json) and fails when a
+// benchmark regresses beyond a threshold against the committed baseline.
+//
+// Two classes of metrics are gated differently:
+//
+//   - count metrics (accesses, roundtrips, accesses/op) are deterministic —
+//     the paper's cost model is the number of accesses, so these are the
+//     primary regression signal and are gated at the plain threshold;
+//   - ns/op is hardware- and load-dependent, so it is gated at its own
+//     (wider) threshold and only for benchmarks whose baseline time
+//     exceeds a floor (sub-millisecond timings under -benchtime=1x are
+//     noise).
+//
+// Every other reported metric (%saved, first-answer-µs, …) is recorded in
+// the JSON for inspection but never gated: some are higher-is-better and
+// all are too noisy at one iteration.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed outcome of one benchmark.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped, so
+	// snapshots from machines with different core counts compare.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported values are averaged over.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "accesses", "B/op", ….
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchLine matches "BenchmarkName-8   3   1234 ns/op   5 accesses".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocs strips the trailing "-N" processor-count suffix of a name.
+var gomaxprocs = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns one Result per benchmark
+// line, in input order. Non-benchmark lines (headers, PASS, ok) are
+// ignored. A benchmark appearing several times (e.g. -count>1) keeps its
+// last occurrence.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	index := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		res := Result{
+			Name:       gomaxprocs.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchfmt: odd value/unit fields in %q", sc.Text())
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q: %w", fields[i], sc.Text(), err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if at, dup := index[res.Name]; dup {
+			out[at] = res
+			continue
+		}
+		index[res.Name] = len(out)
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSON renders results as indented JSON, sorted by name for stable
+// diffs of committed baselines.
+func WriteJSON(w io.Writer, results []Result) error {
+	sorted := make([]Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}
+
+// ReadJSON parses a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var out []Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("benchfmt: bad snapshot: %w", err)
+	}
+	return out, nil
+}
+
+// Regression is one gated metric that got worse beyond the threshold.
+type Regression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is New/Old (always > 1 for a reported regression).
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%.2fx)", r.Name, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// countMetric reports whether a metric is a deterministic access-count
+// style metric (the paper's cost model), gated at the plain threshold.
+func countMetric(unit string) bool {
+	return unit == "accesses" || unit == "roundtrips" ||
+		strings.HasSuffix(unit, "accesses/op")
+}
+
+// Compare gates current against baseline: a count metric regresses when it
+// grows by more than threshold (fraction, e.g. 0.25); ns/op regresses when
+// it grows by more than timeThreshold, and only for benchmarks whose
+// baseline ns/op is at least timeFloorNS — wall time under -benchtime=1x
+// is not comparable across machines at the tightness access counts are, so
+// its threshold is typically wider. Benchmarks present on only one side are
+// never regressions (benchmarks come and go; the gate protects what both
+// snapshots measure).
+func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS float64) []Regression {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		for unit, newV := range cur.Metrics {
+			oldV, ok := old.Metrics[unit]
+			if !ok || oldV <= 0 {
+				continue
+			}
+			limit := 0.0
+			switch {
+			case countMetric(unit):
+				limit = threshold
+			case unit == "ns/op" && oldV >= timeFloorNS:
+				limit = timeThreshold
+			default:
+				continue
+			}
+			if newV > oldV*(1+limit) {
+				regs = append(regs, Regression{
+					Name: cur.Name, Metric: unit,
+					Old: oldV, New: newV, Ratio: newV / oldV,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

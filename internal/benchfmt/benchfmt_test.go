@@ -1,0 +1,129 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: toorjah
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig6_Q1_Naive-8         	       1	  5301883 ns/op	       363.0 accesses
+BenchmarkFig6_Q1_Optimized-8     	       1	   346048 ns/op	        32.00 accesses
+BenchmarkBatchPipelined_Batch16-8	       3	 12265846 ns/op	        46.00 accesses	        10.00 roundtrips
+BenchmarkCrossQuery_Cached-8     	     100	    12345 ns/op	         0 accesses/op
+PASS
+ok  	toorjah	2.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFig6_Q1_Naive" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", r.Name)
+	}
+	if r.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", r.Iterations)
+	}
+	if r.Metrics["ns/op"] != 5301883 || r.Metrics["accesses"] != 363 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if got := results[2].Metrics["roundtrips"]; got != 10 {
+		t.Errorf("roundtrips = %v, want 10", got)
+	}
+}
+
+func TestParseKeepsLastDuplicate(t *testing.T) {
+	in := "BenchmarkX-4 1 100 ns/op 5 accesses\nBenchmarkX-4 1 200 ns/op 7 accesses\n"
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Metrics["accesses"] != 7 {
+		t.Errorf("results = %v, want single entry keeping the last run", results)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d vs %d", len(back), len(results))
+	}
+	// WriteJSON sorts by name.
+	for i := 1; i < len(back); i++ {
+		if back[i-1].Name > back[i].Name {
+			t.Errorf("snapshot not sorted: %q before %q", back[i-1].Name, back[i].Name)
+		}
+	}
+}
+
+func mk(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareGatesCounts(t *testing.T) {
+	base := []Result{mk("BenchmarkA", map[string]float64{"accesses": 100, "ns/op": 5e6})}
+	cur := []Result{mk("BenchmarkA", map[string]float64{"accesses": 130, "ns/op": 5e6})}
+	regs := Compare(base, cur, 0.25, 1.0, 1e6)
+	if len(regs) != 1 || regs[0].Metric != "accesses" {
+		t.Fatalf("regs = %v, want one accesses regression", regs)
+	}
+	// 20% growth stays under a 25% threshold.
+	cur[0].Metrics["accesses"] = 120
+	if regs := Compare(base, cur, 0.25, 1.0, 1e6); len(regs) != 0 {
+		t.Errorf("regs = %v, want none at +20%%", regs)
+	}
+}
+
+func TestCompareTimeFloor(t *testing.T) {
+	base := []Result{
+		mk("BenchmarkFast", map[string]float64{"ns/op": 50_000}),
+		mk("BenchmarkSlow", map[string]float64{"ns/op": 50_000_000}),
+	}
+	cur := []Result{
+		mk("BenchmarkFast", map[string]float64{"ns/op": 500_000}),     // 10x, but under the floor
+		mk("BenchmarkSlow", map[string]float64{"ns/op": 120_000_000}), // 2.4x over the floor
+	}
+	regs := Compare(base, cur, 0.25, 1.0, 5e6)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("regs = %v, want only the slow benchmark gated", regs)
+	}
+	// 1.6x stays under a 2x time threshold.
+	cur[1].Metrics["ns/op"] = 80_000_000
+	if regs := Compare(base, cur, 0.25, 1.0, 5e6); len(regs) != 0 {
+		t.Errorf("regs = %v, want none at 1.6x under a 2x time threshold", regs)
+	}
+}
+
+func TestCompareIgnoresUngatedAndUnmatched(t *testing.T) {
+	base := []Result{
+		mk("BenchmarkGone", map[string]float64{"accesses": 1}),
+		mk("BenchmarkB", map[string]float64{"%saved": 80, "first-answer-µs": 10}),
+	}
+	cur := []Result{
+		mk("BenchmarkNew", map[string]float64{"accesses": 1e9}),
+		mk("BenchmarkB", map[string]float64{"%saved": 1, "first-answer-µs": 1e9}),
+	}
+	if regs := Compare(base, cur, 0.25, 1.0, 1e6); len(regs) != 0 {
+		t.Errorf("regs = %v, want none: unmatched and ungated metrics must pass", regs)
+	}
+}

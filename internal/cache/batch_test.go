@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+func batchWrapper(t *testing.T, rows int) source.Wrapper {
+	t.Helper()
+	sch := schema.MustParse("r^io(A, B)")
+	tab := storage.NewTable("r", 2)
+	for i := 0; i < rows; i++ {
+		tab.Insert(storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)})
+	}
+	src, err := source.NewTableSource(sch.Relation("r"), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestMultiGetMultiPut: round-tripping extractions through MultiPut makes
+// them MultiGet hits, with per-binding hit accounting.
+func TestMultiGetMultiPut(t *testing.T) {
+	c := New(Options{})
+	bindings := [][]string{{"a0"}, {"a1"}}
+	rows := [][]storage.Row{{{"a0", "b0"}}, {}}
+	c.MultiPut("r", bindings, rows)
+	got, ok := c.MultiGet("r", [][]string{{"a0"}, {"a1"}, {"a2"}})
+	if !ok[0] || !ok[1] || ok[2] {
+		t.Fatalf("ok = %v, want [true true false]", ok)
+	}
+	if !reflect.DeepEqual(got[0], rows[0]) {
+		t.Errorf("got[0] = %v, want %v", got[0], rows[0])
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("negative entry must round-trip empty, got %v", got[1])
+	}
+	st := c.Snapshot()["r"]
+	if st.Hits != 2 {
+		t.Errorf("Hits = %d, want 2", st.Hits)
+	}
+	if st.Entries != 2 {
+		t.Errorf("Entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestMultiPutRespectsNegativePolicy: empty extractions are skipped when
+// negative caching is off.
+func TestMultiPutRespectsNegativePolicy(t *testing.T) {
+	c := New(Options{DisableNegative: true})
+	c.MultiPut("r", [][]string{{"a0"}, {"a1"}}, [][]storage.Row{{}, {{"a1", "b1"}}})
+	if _, ok := c.MultiGet("r", [][]string{{"a0"}}); ok[0] {
+		t.Error("empty extraction cached despite DisableNegative")
+	}
+	if _, ok := c.MultiGet("r", [][]string{{"a1"}}); !ok[0] {
+		t.Error("non-empty extraction missing")
+	}
+}
+
+// TestMultiPutEvicts: the LRU capacity bound holds under batch stores.
+func TestMultiPutEvicts(t *testing.T) {
+	c := New(Options{Capacity: 4, Shards: 1})
+	var bindings [][]string
+	var rows [][]storage.Row
+	for i := 0; i < 10; i++ {
+		bindings = append(bindings, []string{fmt.Sprintf("a%d", i)})
+		rows = append(rows, []storage.Row{{fmt.Sprintf("a%d", i), "b"}})
+	}
+	c.MultiPut("r", bindings, rows)
+	if got := c.Len(); got > 4 {
+		t.Errorf("Len = %d, want <= 4 after batched stores", got)
+	}
+	if st := c.Snapshot()["r"]; st.Evictions == 0 {
+		t.Error("evictions not counted for batch stores")
+	}
+}
+
+// TestCachedSourceAccessBatch: the cache-wrapped source serves batches —
+// first call all misses, second call all hits, partial overlaps mixed —
+// and results always match the plain source.
+func TestCachedSourceAccessBatch(t *testing.T) {
+	plain := batchWrapper(t, 8)
+	c := New(Options{})
+	cached := c.Wrap(plain)
+	bs, ok := cached.(source.BatchSource)
+	if !ok {
+		t.Fatal("cache-wrapped source must implement BatchSource")
+	}
+	first := [][]string{{"a0"}, {"a1"}, {"a2"}}
+	got, err := bs.AccessBatch(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := source.ProbeBatch(plain, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold batch = %v, want %v", got, want)
+	}
+	st := c.Snapshot()["r"]
+	if st.Hits != 0 || st.Misses != 3 {
+		t.Fatalf("cold batch stats = %+v, want 0 hits / 3 misses", st)
+	}
+
+	// Overlapping batch: two hits, one fresh miss.
+	second := [][]string{{"a1"}, {"a2"}, {"a5"}}
+	got, err = bs.AccessBatch(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = source.ProbeBatch(plain, second)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("warm batch = %v, want %v", got, want)
+	}
+	st = c.Snapshot()["r"]
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Errorf("warm batch stats = %+v, want 2 hits / 4 misses", st)
+	}
+}
+
+// TestAccessBatchSkipsStoreAfterInvalidate: a batch probe that raced an
+// Invalidate must not re-populate the cache with its stale extraction.
+func TestAccessBatchSkipsStoreAfterInvalidate(t *testing.T) {
+	c := New(Options{})
+	inner := &invalidatingWrapper{Wrapper: batchWrapper(t, 4), c: c}
+	if _, err := c.accessBatch(inner, [][]string{{"a0"}, {"a1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("Len = %d, want 0: the batch ran against a source invalidated mid-probe", got)
+	}
+}
+
+// invalidatingWrapper invalidates its own relation while the probe is in
+// flight, simulating a rebind racing a batch.
+type invalidatingWrapper struct {
+	source.Wrapper
+	c *Cache
+}
+
+func (w *invalidatingWrapper) Access(binding []string) ([]storage.Row, error) {
+	w.c.Invalidate(w.Relation().Name)
+	return w.Wrapper.Access(binding)
+}
+
+// TestMultiGetExpiry: expired entries are dropped and counted, not served.
+func TestMultiGetExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := New(Options{TTL: time.Minute, now: func() time.Time { return now }})
+	c.MultiPut("r", [][]string{{"a0"}}, [][]storage.Row{{{"a0", "b0"}}})
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.MultiGet("r", [][]string{{"a0"}}); ok[0] {
+		t.Error("expired entry served from MultiGet")
+	}
+	if st := c.Snapshot()["r"]; st.Expirations != 1 {
+		t.Errorf("Expirations = %d, want 1", st.Expirations)
+	}
+}

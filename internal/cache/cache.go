@@ -272,6 +272,111 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 	return rows, err
 }
 
+// accessBatch serves a batch of probes of one relation through the cache:
+// cached bindings are answered in place, the misses are probed through the
+// inner wrapper in a single batched round trip, and their extractions are
+// stored. Unlike single access, batched misses are not collapsed with
+// concurrent identical probes — the batch is itself the amortisation of the
+// round trip, and a duplicate probe only costs a redundant store.
+func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.Row, error) {
+	rel := w.Relation().Name
+	out, hit := c.MultiGet(rel, bindings)
+	var missIdx []int
+	var misses [][]string
+	for i := range bindings {
+		if !hit[i] {
+			missIdx = append(missIdx, i)
+			misses = append(misses, bindings[i])
+		}
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	for _, b := range misses {
+		key := source.Access{Relation: rel, Binding: b}.Key()
+		sh := c.shard(key)
+		sh.mu.Lock()
+		sh.bump(rel).Misses++
+		sh.mu.Unlock()
+	}
+	epoch := c.epoch.Load()
+	rows, err := source.ProbeBatch(w, misses)
+	if err != nil {
+		return nil, err
+	}
+	// Same invalidation contract as the single-access path: an extraction
+	// read from a source replaced mid-probe must not re-populate the cache.
+	if epoch == c.epoch.Load() {
+		c.MultiPut(rel, misses, rows)
+	}
+	for j, i := range missIdx {
+		out[i] = rows[j]
+	}
+	return out, nil
+}
+
+// MultiGet looks up many bindings of one relation at once. Result i holds
+// the cached extraction for bindings[i] and ok[i] reports whether it was
+// present (and unexpired); hits are recorded and touched in the LRU order
+// exactly as single accesses are.
+func (c *Cache) MultiGet(rel string, bindings [][]string) (rows [][]storage.Row, ok []bool) {
+	rows = make([][]storage.Row, len(bindings))
+	ok = make([]bool, len(bindings))
+	now := c.opts.now()
+	for i, b := range bindings {
+		key := source.Access{Relation: rel, Binding: b}.Key()
+		sh := c.shard(key)
+		sh.mu.Lock()
+		if e, present := sh.entries[key]; present {
+			if e.expires.IsZero() || now.Before(e.expires) {
+				sh.lru.MoveToFront(e.elem)
+				sh.bump(rel).Hits++
+				rows[i], ok[i] = e.rows, true
+			} else {
+				sh.removeLocked(e)
+				sh.bump(rel).Expirations++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return rows, ok
+}
+
+// MultiPut stores the extractions of many bindings of one relation,
+// applying the same TTL, negative-caching and LRU-eviction rules as a
+// probed store. It does not count misses: callers that probed a source
+// account for that at the probe site.
+func (c *Cache) MultiPut(rel string, bindings [][]string, rows [][]storage.Row) {
+	now := c.opts.now()
+	for i, b := range bindings {
+		if len(rows[i]) == 0 && c.opts.DisableNegative {
+			continue
+		}
+		key := source.Access{Relation: rel, Binding: b}.Key()
+		sh := c.shard(key)
+		ttl := c.opts.TTL
+		if len(rows[i]) == 0 && c.opts.NegativeTTL > 0 {
+			ttl = c.opts.NegativeTTL
+		}
+		e := &entry{key: key, rel: rel, rows: rows[i]}
+		if ttl > 0 {
+			e.expires = now.Add(ttl)
+		}
+		sh.mu.Lock()
+		if old, present := sh.entries[key]; present {
+			sh.removeLocked(old)
+		}
+		e.elem = sh.lru.PushFront(e)
+		sh.entries[key] = e
+		for sh.capacity > 0 && sh.lru.Len() > sh.capacity {
+			oldest := sh.lru.Back().Value.(*entry)
+			sh.removeLocked(oldest)
+			sh.bump(oldest.rel).Evictions++
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Lookup peeks at the cache without probing or recording a hit; it reports
 // whether the access is currently cached.
 func (c *Cache) Lookup(rel string, binding []string) ([]storage.Row, bool) {

@@ -22,6 +22,13 @@ func (s *cachedSource) Access(binding []string) ([]storage.Row, error) {
 	return s.c.access(s.inner, binding)
 }
 
+// AccessBatch serves a batch of probes through the cache: hits are answered
+// in place, the misses travel to the inner wrapper as one batched round
+// trip, and their extractions are stored for the next query.
+func (s *cachedSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	return s.c.accessBatch(s.inner, bindings)
+}
+
 // Wrap layers the cache over a wrapper. Decorators compose: wrap a
 // source.Counter to count only the probes that actually reach the source,
 // e.g. Cached(Counted(TableSource)).

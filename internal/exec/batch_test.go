@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// wideFixture joins three relations with fan-out, so each round generates
+// many fresh bindings — the shape batching is for.
+func wideFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	var free, mid, last []storage.Row
+	for i := 0; i < n; i++ {
+		free = append(free, storage.Row{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%7)})
+		mid = append(mid, storage.Row{fmt.Sprintf("b%d", i%7), fmt.Sprintf("c%d", i)})
+		last = append(last, storage.Row{fmt.Sprintf("c%d", i), fmt.Sprintf("d%d", i%5)})
+	}
+	return setup(t, `
+free^oo(A, B)
+mid^io(B, C)
+last^io(C, D)
+`, "q(X, W) :- free(X, Y), mid(Y, Z), last(Z, W)", map[string][]storage.Row{
+		"free": free,
+		"mid":  mid,
+		"last": last,
+	})
+}
+
+// recursiveFixture is the paper's Example 1 shape: the only way into the
+// limited sources is a free relation the query never mentions.
+func recursiveFixture(t *testing.T) *fixture {
+	return setup(t, `
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`, "q(N) :- r1(A, N, Y1), r2(volare, Y2, A)", map[string][]storage.Row{
+		"r1": {
+			{"modugno", "italy", "1928"},
+			{"madonna", "usa", "1958"},
+			{"dylan", "usa", "1941"},
+		},
+		"r2": {
+			{"volare", "1958", "modugno"},
+			{"vogue", "1990", "madonna"},
+			{"hurricane", "1976", "dylan"},
+		},
+		"r3": {
+			{"madonna", "like_a_virgin"},
+			{"dylan", "desire"},
+		},
+	})
+}
+
+// TestBatchingInvariance is the batching soundness property: every executor
+// must produce the identical answer set and the identical access count with
+// batching off, at 1, at a small bound, and at the default — a batch is
+// just N accesses folded into one round trip.
+func TestBatchingInvariance(t *testing.T) {
+	fixtures := map[string]func(*testing.T) *fixture{
+		"wide":      func(t *testing.T) *fixture { return wideFixture(t, 60) },
+		"recursive": recursiveFixture,
+		"chain":     chainFixture,
+	}
+	batchSettings := []int{-1, 1, 3, DefaultMaxBatch}
+	for name, mk := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			f := mk(t)
+			type outcome struct {
+				answers  string
+				accesses int
+				batches  int
+			}
+			var baseline map[string]outcome
+			for _, mb := range batchSettings {
+				opts := Options{MaxBatch: mb}
+				got := map[string]outcome{}
+
+				nr, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, opts)
+				if err != nil {
+					t.Fatalf("naive MaxBatch=%d: %v", mb, err)
+				}
+				got["naive"] = outcome{strings.Join(nr.SortedAnswers(), ";"), nr.TotalAccesses(), nr.TotalBatches()}
+
+				fr, err := FastFailingOpts(f.plan, f.reg, opts)
+				if err != nil {
+					t.Fatalf("fastfail MaxBatch=%d: %v", mb, err)
+				}
+				got["fastfail"] = outcome{strings.Join(fr.SortedAnswers(), ";"), fr.TotalAccesses(), fr.TotalBatches()}
+
+				pr, err := Pipelined(f.plan, f.reg, PipeOptions{Options: opts}, nil)
+				if err != nil {
+					t.Fatalf("pipelined MaxBatch=%d: %v", mb, err)
+				}
+				got["pipelined"] = outcome{strings.Join(pr.SortedAnswers(), ";"), pr.TotalAccesses(), pr.TotalBatches()}
+
+				// All strategies agree on the answers at this setting.
+				if got["naive"].answers != got["fastfail"].answers || got["fastfail"].answers != got["pipelined"].answers {
+					t.Fatalf("MaxBatch=%d: strategies disagree on answers: %v", mb, got)
+				}
+				for strat, o := range got {
+					if o.batches > o.accesses {
+						t.Errorf("MaxBatch=%d %s: %d batches for %d accesses", mb, strat, o.batches, o.accesses)
+					}
+					if mb <= 1 && o.batches != o.accesses {
+						t.Errorf("MaxBatch=%d %s: batching off but %d round trips for %d accesses",
+							mb, strat, o.batches, o.accesses)
+					}
+				}
+				if baseline == nil {
+					baseline = got
+					continue
+				}
+				// Against the unbatched baseline: same answers, same access
+				// counts, per strategy.
+				for strat, o := range got {
+					b := baseline[strat]
+					if o.answers != b.answers {
+						t.Errorf("%s MaxBatch=%d: answers differ from unbatched", strat, mb)
+					}
+					if o.accesses != b.accesses {
+						t.Errorf("%s MaxBatch=%d: %d accesses, unbatched %d — batching changed the cost",
+							strat, mb, o.accesses, b.accesses)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchingSavesRoundTrips: with fan-out and the default bound, the
+// sequential executors actually fold accesses into fewer round trips.
+func TestBatchingSavesRoundTrips(t *testing.T) {
+	f := wideFixture(t, 60)
+	r, err := FastFailingOpts(f.plan, f.reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalBatches() >= r.TotalAccesses() {
+		t.Errorf("batches = %d, accesses = %d: default batching saved nothing",
+			r.TotalBatches(), r.TotalAccesses())
+	}
+}
+
+// accessBudget cancels a context once a total number of accesses has been
+// spent across every source of a fixture; the sources keep serving (the run
+// must stop because the executor checks the context, not because a source
+// fails).
+type accessBudget struct {
+	mu     sync.Mutex
+	budget int
+	cancel context.CancelFunc
+}
+
+// cancelSource routes one relation's accesses through the shared budget.
+// It deliberately has no AccessBatch: the loop fallback charges the budget
+// per access regardless of the executor's batch bound.
+type cancelSource struct {
+	source.Wrapper
+	b *accessBudget
+}
+
+func (w *cancelSource) Access(binding []string) ([]storage.Row, error) {
+	w.b.mu.Lock()
+	w.b.budget--
+	if w.b.budget <= 0 {
+		w.b.cancel()
+	}
+	w.b.mu.Unlock()
+	return w.Wrapper.Access(binding)
+}
+
+// cancelAfter rebinds every relation of the fixture behind wrappers that
+// cancel the returned context once budget accesses have been spent.
+func cancelAfter(t *testing.T, f *fixture, budget int) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	shared := &accessBudget{budget: budget, cancel: cancel}
+	for _, name := range f.reg.Names() {
+		f.reg.Bind(&cancelSource{Wrapper: f.reg.Source(name), b: shared})
+	}
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestNaiveCancellation: a cancelled context stops the naive extraction;
+// the result is flagged truncated, is a sound subset, and saved accesses.
+func TestNaiveCancellation(t *testing.T) {
+	f := wideFixture(t, 60)
+	full, err := Naive(f.sch, f.reg, f.q, f.ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cancelAfter(t, f, 10)
+	r, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, Options{Ctx: ctx, MaxBatch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Error("cancelled naive run must be flagged truncated")
+	}
+	if r.TotalAccesses() >= full.TotalAccesses() {
+		t.Errorf("cancellation saved nothing: %d vs %d accesses", r.TotalAccesses(), full.TotalAccesses())
+	}
+	fullSet := full.AnswerSet()
+	for _, tu := range r.Answers.Tuples() {
+		if !fullSet[tu.Key()] {
+			t.Errorf("truncated run produced a wrong answer %v", tu)
+		}
+	}
+}
+
+// TestFastFailingCancellation: same contract for the fast-failing strategy.
+func TestFastFailingCancellation(t *testing.T) {
+	f := wideFixture(t, 60)
+	full, err := FastFailing(f.plan, f.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cancelAfter(t, f, 10)
+	r, err := FastFailingOpts(f.plan, f.reg, Options{Ctx: ctx, MaxBatch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Error("cancelled fast-failing run must be flagged truncated")
+	}
+	if r.TotalAccesses() >= full.TotalAccesses() {
+		t.Errorf("cancellation saved nothing: %d vs %d accesses", r.TotalAccesses(), full.TotalAccesses())
+	}
+	fullSet := full.AnswerSet()
+	for _, tu := range r.Answers.Tuples() {
+		if !fullSet[tu.Key()] {
+			t.Errorf("truncated run produced a wrong answer %v", tu)
+		}
+	}
+}
+
+// TestCancelledBeforeStart: an already-cancelled context spends no
+// accesses in any sequential strategy.
+func TestCancelledBeforeStart(t *testing.T) {
+	f := wideFixture(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated || r.TotalAccesses() != 0 {
+		t.Errorf("naive: truncated=%v accesses=%d, want truncated with 0 accesses", r.Truncated, r.TotalAccesses())
+	}
+	rf, err := FastFailingOpts(f.plan, f.reg, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rf.Truncated || rf.TotalAccesses() != 0 {
+		t.Errorf("fastfail: truncated=%v accesses=%d, want truncated with 0 accesses", rf.Truncated, rf.TotalAccesses())
+	}
+}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,8 +13,12 @@ import (
 	"toorjah/internal/source"
 )
 
+// DefaultMaxBatch is the batch size used when Options.MaxBatch is zero.
+const DefaultMaxBatch = 16
+
 // Options tunes the optimized executors; the zero value is the paper's
-// fast-failing strategy. The switches exist for the ablation experiments.
+// fast-failing strategy with batching at DefaultMaxBatch. The switches
+// exist for the ablation experiments.
 type Options struct {
 	// NoEarlyFailure disables the per-group non-emptiness test.
 	NoEarlyFailure bool
@@ -24,7 +30,54 @@ type Options struct {
 	// cache is layered outside the per-run counters, so Result.Stats then
 	// reports only the probes that actually reached the sources.
 	Cache *cache.Cache
+	// MaxBatch caps how many access bindings are folded into one source
+	// round trip (source.BatchSource). 0 means DefaultMaxBatch; negative
+	// (or 1) disables batching — one round trip per access. For a run that
+	// completes, batching never changes the answer set or the access count:
+	// a batch of N bindings is exactly N accesses under the paper's cost
+	// model, it only amortises the per-probe overhead (Result.Stats reports
+	// round trips as Batches). A truncated pipelined run (answer limit or
+	// cancellation) may spend up to a batch of extra accesses per worker:
+	// a batch already in flight when the stop lands completes as one round
+	// trip and is charged in full.
+	MaxBatch int
+	// Ctx, when non-nil, cancels the extraction: once the context is done
+	// no further probes are made and the run returns early with Truncated
+	// set. The answers already derivable from the extracted tuples are
+	// returned for positive queries (a sound subset); queries with negated
+	// atoms return no answers, since no answer is sound until every cache
+	// is complete.
+	Ctx context.Context
 }
+
+// maxBatch resolves the effective batch bound (always >= 1).
+func (o Options) maxBatch() int {
+	if o.MaxBatch == 0 {
+		return DefaultMaxBatch
+	}
+	if o.MaxBatch < 1 {
+		return 1
+	}
+	return o.MaxBatch
+}
+
+// cancelled reports whether the options' context has been cancelled.
+func (o Options) cancelled() bool {
+	if o.Ctx == nil {
+		return false
+	}
+	select {
+	case <-o.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// errCancelled aborts an extraction from deep inside the probe loops when
+// the context is done; the executors translate it into a truncated result
+// rather than an error.
+var errCancelled = errors.New("exec: extraction cancelled")
 
 // instrument wraps every source of reg in a fresh Counter — the per-run
 // access accounting behind Result.Stats — and, when a cross-query cache is
@@ -48,25 +101,6 @@ type metaCache struct {
 
 func newMetaCache(disabled bool) *metaCache {
 	return &metaCache{disabled: disabled, results: make(map[string][]datalog.Tuple)}
-}
-
-// probe returns the extraction for the access, hitting the source only when
-// the binding was never probed before (or sharing is disabled).
-func (m *metaCache) probe(w source.Wrapper, binding []string) ([]datalog.Tuple, error) {
-	rel := w.Relation().Name
-	if rows, ok := m.hit(rel, binding); ok {
-		return rows, nil
-	}
-	raw, err := w.Access(binding)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]datalog.Tuple, len(raw))
-	for i, r := range raw {
-		rows[i] = datalog.Tuple(r)
-	}
-	m.store(rel, binding, rows)
-	return rows, nil
 }
 
 // hit returns the stored extraction for an already-probed binding.
@@ -120,6 +154,9 @@ func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result,
 			}
 		}
 		if err := st.populateGroup(gi, nil); err != nil {
+			if errors.Is(err, errCancelled) {
+				return truncatedResult(p.Query, st.cdb, counters, start)
+			}
 			return nil, err
 		}
 	}
@@ -219,6 +256,10 @@ func (st *groupState) populateGroup(gi int, onTuples func(pred string, tuples []
 
 // populateCacheOnce performs one pass over the candidate bindings of one
 // cache; it reports whether any new probe was made or tuple extracted.
+// The untried bindings of the pass are collected first and probed in
+// batches of at most Options.MaxBatch (meta-cache hits are folded in
+// without a probe), so a pass that generates N fresh bindings costs
+// ceil(N/MaxBatch) source round trips instead of N.
 func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []datalog.Tuple) error) (bool, error) {
 	rel := c.Source.Rel
 	w := st.reg.Source(rel.Name)
@@ -238,10 +279,32 @@ func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []d
 			pools[i] = append(pools[i], v)
 		}
 	}
+
+	// ingest folds one extraction into the cache, storing it in the
+	// meta-cache so other occurrences of the relation reuse it.
+	ingest := func(binding []string, rows []datalog.Tuple, fromMeta bool) error {
+		if !fromMeta {
+			st.meta.store(rel.Name, binding, rows)
+		}
+		var fresh []datalog.Tuple
+		for _, row := range rows {
+			if st.cdb.Insert(c.Pred, row) {
+				fresh = append(fresh, row)
+			}
+		}
+		if onTuples != nil && len(fresh) > 0 {
+			return onTuples(c.Pred, fresh)
+		}
+		return nil
+	}
+
+	// Enumerate the untried bindings of this pass in the canonical order;
+	// meta-cache hits are ingested on the spot, the rest queue for probing.
 	changed := false
+	var toProbe [][]string
 	binding := make([]string, len(pools))
-	var probe func(i int) error
-	probe = func(i int) error {
+	var walk func(i int) error
+	walk = func(i int) error {
 		if i == len(pools) {
 			key := source.Access{Relation: rel.Name, Binding: binding}.Key()
 			if st.tried[c.Pred][key] {
@@ -249,33 +312,69 @@ func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []d
 			}
 			st.tried[c.Pred][key] = true
 			changed = true
-			rows, err := st.meta.probe(w, binding)
-			if err != nil {
-				return err
+			b := append([]string(nil), binding...)
+			if rows, hit := st.meta.hit(rel.Name, b); hit {
+				return ingest(b, rows, true)
 			}
-			var fresh []datalog.Tuple
-			for _, row := range rows {
-				if st.cdb.Insert(c.Pred, row) {
-					fresh = append(fresh, row)
-				}
-			}
-			if onTuples != nil && len(fresh) > 0 {
-				return onTuples(c.Pred, fresh)
-			}
+			toProbe = append(toProbe, b)
 			return nil
 		}
 		for _, v := range pools[i] {
 			binding[i] = v
-			if err := probe(i + 1); err != nil {
+			if err := walk(i + 1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := probe(0); err != nil {
+	if err := walk(0); err != nil {
 		return false, err
 	}
+
+	maxBatch := st.opts.maxBatch()
+	for len(toProbe) > 0 {
+		if st.opts.cancelled() {
+			return changed, errCancelled
+		}
+		n := min(maxBatch, len(toProbe))
+		chunk := toProbe[:n]
+		toProbe = toProbe[n:]
+		raws, err := source.ProbeBatch(w, chunk)
+		if err != nil {
+			return false, err
+		}
+		for i, b := range chunk {
+			rows := make([]datalog.Tuple, len(raws[i]))
+			for k, r := range raws[i] {
+				rows[k] = datalog.Tuple(r)
+			}
+			if err := ingest(b, rows, false); err != nil {
+				return false, err
+			}
+		}
+	}
 	return changed, nil
+}
+
+// truncatedResult builds the result of a cancelled sequential run: the
+// answers derivable from the tuples extracted so far for positive queries
+// (each is a real answer — the caches only ever hold true tuples), none for
+// queries with negation, where no answer is sound before completion.
+func truncatedResult(q *cq.CQ, cdb datalog.DB, counters map[string]*source.Counter, start time.Time) (*Result, error) {
+	answers := datalog.NewRelation(q.Name, len(q.Head))
+	if len(q.Negated) == 0 {
+		full, err := datalog.EvalQuery(q, cdb)
+		if err != nil {
+			return nil, fmt.Errorf("truncated evaluation: %w", err)
+		}
+		answers = full
+	}
+	return &Result{
+		Answers:   answers,
+		Stats:     statsOf(counters),
+		Truncated: true,
+		Elapsed:   time.Since(start),
+	}, nil
 }
 
 // subquerySatisfiable runs the early non-emptiness test before populating

@@ -23,8 +23,11 @@ func Naive(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing) (*
 	return NaiveOpts(sch, reg, q, ty, Options{})
 }
 
-// NaiveOpts is Naive with options; only the cross-query Cache option is
-// meaningful here (the ablation switches target the optimized strategies).
+// NaiveOpts is Naive with options; the cross-query Cache, MaxBatch and Ctx
+// options are meaningful here (the ablation switches target the optimized
+// strategies). Each round's untried bindings of a relation are probed in
+// batches of at most MaxBatch; a cancelled Ctx stops the extraction and
+// returns the answers derivable so far as a truncated, sound subset.
 func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing, opts Options) (*Result, error) {
 	start := time.Now()
 	counted, counters := instrument(reg, opts)
@@ -78,20 +81,43 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 			if empty {
 				continue
 			}
+			// Collect the untried bindings of this pass in enumeration
+			// order, then probe them in batches of at most MaxBatch: the
+			// access set is identical to probing one at a time (pools are
+			// fixed for the pass; new values only feed the next round).
+			var toProbe [][]string
 			binding := make([]string, len(inputs))
-			var probe func(i int) error
-			probe = func(i int) error {
+			var walk func(i int)
+			walk = func(i int) {
 				if i == len(inputs) {
 					key := source.Access{Relation: rel.Name, Binding: binding}.Key()
 					if tried[key] {
-						return nil
+						return
 					}
 					tried[key] = true
 					changed = true
-					rows, err := w.Access(binding)
-					if err != nil {
-						return err
-					}
+					toProbe = append(toProbe, append([]string(nil), binding...))
+					return
+				}
+				for _, v := range pools[i] {
+					binding[i] = v
+					walk(i + 1)
+				}
+			}
+			walk(0)
+			maxBatch := opts.maxBatch()
+			for len(toProbe) > 0 {
+				if opts.cancelled() {
+					return truncatedResult(q, cache, counters, start)
+				}
+				n := min(maxBatch, len(toProbe))
+				chunk := toProbe[:n]
+				toProbe = toProbe[n:]
+				raws, err := source.ProbeBatch(w, chunk)
+				if err != nil {
+					return nil, err
+				}
+				for _, rows := range raws {
 					for _, row := range rows {
 						if cache.Insert(rel.Name, datalog.Tuple(row)) {
 							for pos, v := range row {
@@ -99,18 +125,7 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 							}
 						}
 					}
-					return nil
 				}
-				for _, v := range pools[i] {
-					binding[i] = v
-					if err := probe(i + 1); err != nil {
-						return err
-					}
-				}
-				return nil
-			}
-			if err := probe(0); err != nil {
-				return nil, err
 			}
 		}
 	}

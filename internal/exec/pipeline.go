@@ -33,7 +33,10 @@ type PipeOptions struct {
 	// no further probes are dispatched and the run returns early with
 	// Truncated set (the answers emitted so far are a sound subset). A
 	// server uses this to stop spending accesses on abandoned requests.
+	// When nil, Options.Ctx is used instead.
 	Ctx context.Context
+	// MaxBatch (inherited from Options) caps how many queued access tuples
+	// a wrapper worker drains into one source round trip; default 16.
 	Options
 }
 
@@ -43,6 +46,9 @@ func (o *PipeOptions) defaults() {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = 4
+	}
+	if o.Ctx == nil {
+		o.Ctx = o.Options.Ctx
 	}
 }
 
@@ -95,23 +101,54 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 		}
 		q := make(chan job, opts.QueueLen)
 		queues[name] = q
+		maxBatch := opts.Options.maxBatch()
 		for i := 0; i < opts.Parallelism; i++ {
 			wg.Add(1)
 			go func(w source.Wrapper, q chan job) {
 				defer wg.Done()
 				for j := range q {
+					// Drain the queue into a batch: every access tuple
+					// already waiting rides the same source round trip, up
+					// to the MaxBatch bound.
+					batch := []job{j}
+				drain:
+					for len(batch) < maxBatch {
+						select {
+						case j2, ok := <-q:
+							if !ok {
+								break drain
+							}
+							batch = append(batch, j2)
+						default:
+							break drain
+						}
+					}
 					if stopped.Load() {
 						// Truncated run: pass queued jobs through without
 						// touching the source.
-						results <- probeResult{cache: j.cache, binding: j.binding}
+						for _, jb := range batch {
+							results <- probeResult{cache: jb.cache, binding: jb.binding}
+						}
 						continue
 					}
-					raw, err := w.Access(j.binding)
-					rows := make([]datalog.Tuple, len(raw))
-					for i, r := range raw {
-						rows[i] = datalog.Tuple(r)
+					bindings := make([][]string, len(batch))
+					for k, jb := range batch {
+						bindings[k] = jb.binding
 					}
-					results <- probeResult{cache: j.cache, binding: j.binding, rows: rows, err: err}
+					raws, err := source.ProbeBatch(w, bindings)
+					if err != nil {
+						for _, jb := range batch {
+							results <- probeResult{cache: jb.cache, binding: jb.binding, err: err}
+						}
+						continue
+					}
+					for k, jb := range batch {
+						rows := make([]datalog.Tuple, len(raws[k]))
+						for i, r := range raws[k] {
+							rows[i] = datalog.Tuple(r)
+						}
+						results <- probeResult{cache: jb.cache, binding: jb.binding, rows: rows}
+					}
 				}
 			}(w, q)
 		}

@@ -38,8 +38,10 @@ type Result struct {
 	// EarlyEmpty reports that the fast-failing test proved the answer empty
 	// before all groups were populated.
 	EarlyEmpty bool
-	// Truncated reports that a pipelined run stopped at its answer limit;
-	// the answers are a sound subset of the obtainable ones.
+	// Truncated reports that the run stopped early — a pipelined run at its
+	// answer limit, or any executor on context cancellation; the answers
+	// are a sound subset of the obtainable ones (empty for queries with
+	// negation, where no partial answer is sound).
 	Truncated bool
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
@@ -53,6 +55,16 @@ func (r *Result) TotalAccesses() int {
 	n := 0
 	for _, s := range r.Stats {
 		n += s.Accesses
+	}
+	return n
+}
+
+// TotalBatches sums source round trips over all relations; with batching
+// disabled it equals TotalAccesses.
+func (r *Result) TotalBatches() int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Batches
 	}
 	return n
 }

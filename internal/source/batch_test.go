@@ -1,0 +1,124 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+func batchFixture(t *testing.T) (*schema.Relation, *TableSource) {
+	t.Helper()
+	sch := schema.MustParse("r^io(A, B)")
+	rel := sch.Relation("r")
+	tab := storage.NewTable("r", 2)
+	for i := 0; i < 12; i++ {
+		tab.Insert(storage.Row{fmt.Sprintf("a%d", i%4), fmt.Sprintf("b%d", i)})
+	}
+	src, err := NewTableSource(rel, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, src
+}
+
+// TestTableSourceAccessBatch: a native batch is element-wise identical to
+// probing one binding at a time.
+func TestTableSourceAccessBatch(t *testing.T) {
+	_, src := batchFixture(t)
+	bindings := [][]string{{"a0"}, {"a3"}, {"missing"}, {"a1"}}
+	batch, err := src.AccessBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bindings {
+		single, err := src.Access(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Errorf("binding %v: batch %v, single %v", b, batch[i], single)
+		}
+	}
+	if _, err := src.AccessBatch([][]string{{"a0", "extra"}}); err == nil {
+		t.Error("mis-sized binding in a batch must be rejected")
+	}
+}
+
+// TestBatcherUpgradesPlainWrapper: Batcher leaves native batch sources
+// alone and gives everything else a loop adapter with identical semantics.
+func TestBatcherUpgradesPlainWrapper(t *testing.T) {
+	_, src := batchFixture(t)
+	if b := Batcher(src); b != BatchSource(src) {
+		t.Error("Batcher must return a native BatchSource unchanged")
+	}
+	flaky := NewFlaky(src, 1000, errors.New("x")) // plain Wrapper, no batch method
+	if _, ok := Wrapper(flaky).(BatchSource); ok {
+		t.Fatal("test premise broken: Flaky must not batch natively")
+	}
+	up := Batcher(flaky)
+	bindings := [][]string{{"a0"}, {"a2"}}
+	got, err := up.AccessBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ProbeBatch(src, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("loop adapter = %v, want %v", got, want)
+	}
+}
+
+// TestCounterBatchAccounting: a batch of N bindings counts as N accesses
+// but a single round trip, and every binding lands in the log and the
+// distinct set.
+func TestCounterBatchAccounting(t *testing.T) {
+	_, src := batchFixture(t)
+	c := NewCounter(src, true)
+	bindings := [][]string{{"a0"}, {"a1"}, {"a0"}}
+	rows, err := c.AccessBatch(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	st := c.Stats()
+	if st.Accesses != 3 {
+		t.Errorf("Accesses = %d, want 3 (a batch is N accesses)", st.Accesses)
+	}
+	if st.Batches != 1 {
+		t.Errorf("Batches = %d, want 1 (one round trip)", st.Batches)
+	}
+	if got := c.DistinctAccesses(); got != 2 {
+		t.Errorf("DistinctAccesses = %d, want 2", got)
+	}
+	if got := len(c.Log()); got != 3 {
+		t.Errorf("log length = %d, want 3", got)
+	}
+	// A single access is a round trip of one: Batches tracks it too.
+	if _, err := c.Access([]string{"a2"}); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Accesses != 4 || st.Batches != 2 {
+		t.Errorf("after single access: %+v, want Accesses=4 Batches=2", st)
+	}
+}
+
+// TestProbeBatchStopsOnError: the loop fallback aborts at the failing
+// binding, like sequential probing would.
+func TestProbeBatchStopsOnError(t *testing.T) {
+	_, src := batchFixture(t)
+	errDown := errors.New("down")
+	flaky := NewFlaky(src, 2, errDown)
+	_, err := ProbeBatch(flaky, [][]string{{"a0"}, {"a1"}, {"a2"}})
+	if !errors.Is(err, errDown) {
+		t.Errorf("err = %v, want %v", err, errDown)
+	}
+}

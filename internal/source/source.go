@@ -50,6 +50,56 @@ type Wrapper interface {
 	Access(binding []string) ([]storage.Row, error)
 }
 
+// BatchSource is a Wrapper that can serve many accesses of its relation in
+// a single round trip. AccessBatch probes the relation once per binding and
+// returns the extractions in binding order: result i is exactly what
+// Access(bindings[i]) would return, so a batch is just N accesses folded
+// into one round trip — soundness and access accounting are unaffected,
+// only the per-probe overhead (network latency, lock traffic) is amortised.
+type BatchSource interface {
+	Wrapper
+	AccessBatch(bindings [][]string) ([][]storage.Row, error)
+}
+
+// ProbeBatch serves a batch of accesses through w: natively when w
+// implements BatchSource, otherwise by probing one binding at a time. An
+// error aborts the batch; the extractions of the bindings already probed
+// are discarded with it.
+func ProbeBatch(w Wrapper, bindings [][]string) ([][]storage.Row, error) {
+	if bs, ok := w.(BatchSource); ok {
+		return bs.AccessBatch(bindings)
+	}
+	out := make([][]storage.Row, len(bindings))
+	for i, b := range bindings {
+		rows, err := w.Access(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
+// Batcher upgrades any plain Wrapper to a BatchSource. Wrappers that
+// already batch natively are returned unchanged; everything else gets a
+// loop adapter, so callers can program uniformly against BatchSource.
+func Batcher(w Wrapper) BatchSource {
+	if bs, ok := w.(BatchSource); ok {
+		return bs
+	}
+	return &loopBatcher{w}
+}
+
+// loopBatcher is the fallback BatchSource: one inner access per binding,
+// with exactly ProbeBatch's semantics.
+type loopBatcher struct {
+	Wrapper
+}
+
+func (b *loopBatcher) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	return ProbeBatch(b.Wrapper, bindings)
+}
+
 // TableSource is a Wrapper over an in-memory table, with an optional
 // simulated per-access latency.
 type TableSource struct {
@@ -95,10 +145,41 @@ func (s *TableSource) Access(binding []string) ([]storage.Row, error) {
 	return s.table.Select(inputs, binding), nil
 }
 
+// AccessBatch probes the table once per binding in a single round trip: the
+// simulated latency is paid once for the whole batch (that is the point of
+// batching a remote source) and the underlying table serves every binding
+// from one locked pass.
+func (s *TableSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	inputs := s.rel.InputPositions()
+	for _, b := range bindings {
+		if len(b) != len(inputs) {
+			return nil, fmt.Errorf("source %s: binding of %d values for %d input arguments",
+				s.rel.Name, len(b), len(inputs))
+		}
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	return s.table.SelectBatch(inputs, bindings), nil
+}
+
 // Stats aggregates the access accounting of one relation.
 type Stats struct {
-	Accesses int
-	Tuples   int // total tuples extracted, summed over accesses
+	// Accesses is the paper's cost metric: the number of bindings probed.
+	// Batching never changes it — a batch of N bindings counts as N.
+	Accesses int `json:"accesses"`
+	// Batches is the number of round trips to the source; a single Access
+	// is a round trip of one, so Accesses/Batches is the mean batch size.
+	Batches int `json:"batches"`
+	// Tuples is the total tuples extracted, summed over accesses.
+	Tuples int `json:"tuples"`
+}
+
+// Add accumulates another relation's counters into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Batches += o.Batches
+	s.Tuples += o.Tuples
 }
 
 // Counter decorates a Wrapper with thread-safe access accounting and an
@@ -130,10 +211,34 @@ func (c *Counter) Access(binding []string) ([]storage.Row, error) {
 	a := Access{Relation: c.inner.Relation().Name, Binding: append([]string(nil), binding...)}
 	c.mu.Lock()
 	c.stats.Accesses++
+	c.stats.Batches++
 	c.stats.Tuples += len(rows)
 	c.distinct[a.Key()] = true
 	if c.keepLog {
 		c.log = append(c.log, a)
+	}
+	c.mu.Unlock()
+	return rows, nil
+}
+
+// AccessBatch forwards the batch to the wrapped source, recording one probe
+// per binding and one round trip for the whole batch.
+func (c *Counter) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	rows, err := ProbeBatch(c.inner, bindings)
+	if err != nil {
+		return nil, err
+	}
+	rel := c.inner.Relation().Name
+	c.mu.Lock()
+	c.stats.Accesses += len(bindings)
+	c.stats.Batches++
+	for i, b := range bindings {
+		c.stats.Tuples += len(rows[i])
+		a := Access{Relation: rel, Binding: append([]string(nil), b...)}
+		c.distinct[a.Key()] = true
+		if c.keepLog {
+			c.log = append(c.log, a)
+		}
 	}
 	c.mu.Unlock()
 	return rows, nil

@@ -1,0 +1,47 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestSelectBatch: batched selection must agree with Select binding by
+// binding, including misses and the empty position set.
+func TestSelectBatch(t *testing.T) {
+	tab := NewTable("r", 2)
+	for i := 0; i < 10; i++ {
+		tab.Insert(Row{fmt.Sprintf("a%d", i%3), fmt.Sprintf("b%d", i)})
+	}
+	bindings := [][]string{{"a0"}, {"a1"}, {"nope"}, {"a2"}, {"a0"}}
+	got := tab.SelectBatch([]int{0}, bindings)
+	if len(got) != len(bindings) {
+		t.Fatalf("got %d results for %d bindings", len(got), len(bindings))
+	}
+	for i, b := range bindings {
+		want := tab.Select([]int{0}, b)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("binding %v: batch %v, single %v", b, got[i], want)
+		}
+	}
+}
+
+func TestSelectBatchFreeRelation(t *testing.T) {
+	tab := NewTable("free", 1)
+	tab.Insert(Row{"x"})
+	tab.Insert(Row{"y"})
+	got := tab.SelectBatch(nil, [][]string{{}, {}})
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 2 {
+		t.Fatalf("free-relation batch = %v, want every row twice", got)
+	}
+}
+
+func TestSelectBatchArityMismatchPanics(t *testing.T) {
+	tab := NewTable("r", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched binding width must panic like Select does")
+		}
+	}()
+	tab.SelectBatch([]int{0}, [][]string{{"a", "b"}})
+}

@@ -100,8 +100,21 @@ func (t *Table) Select(positions []int, vals []string) []Row {
 	if len(positions) == 0 {
 		return t.Rows()
 	}
-	sig := sigOf(positions)
 	t.mu.Lock()
+	m := t.indexFor(positions)
+	offs := m[strings.Join(vals, "\x00")]
+	out := make([]Row, len(offs))
+	for i, off := range offs {
+		out[i] = t.rows[off]
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// indexFor returns the hash index of one position set, building it on
+// first use; the caller must hold t.mu.
+func (t *Table) indexFor(positions []int) map[string][]int {
+	sig := sigOf(positions)
 	m, ok := t.indexes[sig]
 	if !ok {
 		m = make(map[string][]int)
@@ -114,12 +127,38 @@ func (t *Table) Select(positions []int, vals []string) []Row {
 		}
 		t.indexes[sig] = m
 	}
-	offs := m[strings.Join(vals, "\x00")]
-	out := make([]Row, len(offs))
-	for i, off := range offs {
-		out[i] = t.rows[off]
+	return m
+}
+
+// SelectBatch answers many selections over the same position set in one
+// call: result i holds the rows matching bindings[i], exactly as
+// Select(positions, bindings[i]) would return them. The index for the
+// position set is built at most once and every binding is served under a
+// single lock acquisition, so a batch of N lookups costs one table pass
+// instead of N.
+func (t *Table) SelectBatch(positions []int, bindings [][]string) [][]Row {
+	out := make([][]Row, len(bindings))
+	if len(positions) == 0 {
+		rows := t.Rows()
+		for i := range out {
+			out[i] = rows
+		}
+		return out
 	}
-	t.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.indexFor(positions)
+	for i, b := range bindings {
+		if len(positions) != len(b) {
+			panic(fmt.Sprintf("table %s: %d positions for %d values", t.Name, len(positions), len(b)))
+		}
+		offs := m[strings.Join(b, "\x00")]
+		rows := make([]Row, len(offs))
+		for j, off := range offs {
+			rows[j] = t.rows[off]
+		}
+		out[i] = rows
+	}
 	return out
 }
 

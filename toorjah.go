@@ -34,6 +34,11 @@
 // answers repeat traffic without touching the sources at all. cmd/toorjahd
 // serves exactly that setup over HTTP.
 //
+// First-time probes are batched (see WithMaxBatch): up to MaxBatch access
+// bindings of one relation ride a single source round trip, amortising
+// per-probe latency without changing answers or access counts — a batch is
+// just N accesses. Result.Stats reports the round trips as Batches.
+//
 // The internal packages expose every stage of the pipeline (schema, cq,
 // dgraph, plan, exec, …) for programmatic use; this package is the
 // high-level façade.
@@ -83,6 +88,9 @@ type (
 	AccessCache = cache.Cache
 	// CacheStats is the per-relation accounting of an access cache.
 	CacheStats = cache.RelStats
+	// SourceStats is the per-relation access accounting of one execution
+	// (probes, source round trips, extracted tuples).
+	SourceStats = source.Stats
 )
 
 // NewAccessCache creates a standalone access cache, for sharing between
@@ -111,6 +119,10 @@ type System struct {
 	// Latency is applied to sources bound through BindRows/BindTable,
 	// simulating remote sources.
 	Latency time.Duration
+	// MaxBatch is the default batch bound of every execution: how many
+	// access bindings are folded into one source round trip. 0 means the
+	// executor default (exec.DefaultMaxBatch); negative disables batching.
+	MaxBatch int
 }
 
 // SystemOption configures a System at construction.
@@ -134,6 +146,15 @@ func WithSharedCache(c *AccessCache) SystemOption {
 // through BindRows/BindTable/BindDatabase.
 func WithLatency(d time.Duration) SystemOption {
 	return func(s *System) { s.Latency = d }
+}
+
+// WithMaxBatch sets the batch bound of every execution: up to n access
+// bindings of one relation ride a single source round trip. Batching never
+// changes answers or access counts — a batch is just N accesses — it only
+// amortises per-probe overhead. 0 keeps the executor default (16); negative
+// disables batching.
+func WithMaxBatch(n int) SystemOption {
+	return func(s *System) { s.MaxBatch = n }
 }
 
 // NewSystem creates a system over the schema with no sources bound.
@@ -209,10 +230,14 @@ func (s *System) BindDatabase(db *storage.Database) error {
 	return nil
 }
 
-// execOpts threads the system's cross-query cache into executor options.
+// execOpts threads the system's cross-query cache and batch bound into
+// executor options.
 func (s *System) execOpts(o Options) Options {
 	if o.Cache == nil {
 		o.Cache = s.cache
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = s.MaxBatch
 	}
 	return o
 }
