@@ -356,8 +356,74 @@ func BenchmarkBatchPipelined_Batch16(b *testing.B)   { benchBatch(b, 16, true) }
 func BenchmarkBatchFastFail_Unbatched(b *testing.B)  { benchBatch(b, -1, false) }
 func BenchmarkBatchFastFail_Batch16(b *testing.B)    { benchBatch(b, 16, false) }
 
-// Planning-time benches: the optimizer itself must stay cheap (the paper's
-// GFP is polynomial).
+// UCQ benchmarks: the same union executed disjunct-by-disjunct vs
+// concurrently, under per-access source latency. The three disjuncts share
+// their conf/rev tail, so the parallel run overlaps most of its latency
+// bill; the access count is identical either way (the paper's cost model is
+// untouched by concurrency) and is the gated metric.
+const benchUCQText = `
+q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)
+q(R) :- pub2(P, R), conf(P, C, Y), rev(R, C, Y)
+q(R) :- sub(P, R), conf(P, C, Y), rev(R, C, Y)
+`
+
+func benchUCQSystem(b *testing.B, opts ...SystemOption) *UnionQuery {
+	b.Helper()
+	sch, db := gen.Publication(1, gen.SmallPublication())
+	sys := NewSystem(sch, append([]SystemOption{WithLatency(2 * time.Millisecond)}, opts...)...)
+	if err := sys.BindDatabase(db); err != nil {
+		b.Fatal(err)
+	}
+	u, err := sys.PrepareUCQ(benchUCQText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.MaxConcurrent = len(u.Disjuncts())
+	return u
+}
+
+func benchUCQ(b *testing.B, parallel bool) {
+	u := benchUCQSystem(b)
+	var accesses, batches int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r *Result
+		var err error
+		if parallel {
+			r, err = u.Execute()
+		} else {
+			r, err = u.ExecuteSequential(Options{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses, batches = r.TotalAccesses(), r.TotalBatches()
+	}
+	b.ReportMetric(float64(accesses), "accesses")
+	b.ReportMetric(float64(batches), "roundtrips")
+}
+
+func BenchmarkUCQ_Sequential(b *testing.B) { benchUCQ(b, false) }
+func BenchmarkUCQ_Parallel(b *testing.B)   { benchUCQ(b, true) }
+
+// The parallel union over a cross-query cache: overlapping disjuncts share
+// probes through hits and singleflight, so the whole union costs fewer
+// source accesses than the sum of its disjuncts run in isolation.
+func BenchmarkUCQ_ParallelCached(b *testing.B) {
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := benchUCQSystem(b, WithCache(cache.Options{})) // cold cache per iteration
+		b.StartTimer()
+		r, err := u.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r.TotalAccesses()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "accesses/op")
+}
 func BenchmarkPlanning_Q3(b *testing.B) {
 	sch := schema.MustParse(gen.PublicationSchemaText)
 	q, err := cq.Parse(gen.PublicationQueries[2])

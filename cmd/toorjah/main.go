@@ -6,10 +6,14 @@
 //
 // The schema file uses the paper's notation, one relation per line
 // ("rev^ooi(Person, ConfName, Year)"); datadir holds one CSV file per
-// relation (rev.csv, …). Flags:
+// relation (rev.csv, …). A -query with several non-comment lines is a union
+// of conjunctive queries (UCQ), one disjunct per line sharing the head
+// predicate and arity; the disjuncts execute concurrently and the distinct
+// union answers stream as they are derived. Flags:
 //
 //	-plan       print the optimized plan (ordering + Datalog program) and exit
-//	-dot        print the d-graph in DOT format and exit
+//	            (for a UCQ: one plan per disjunct)
+//	-dot        print the d-graph in DOT format and exit (single CQ only)
 //	-naive      run the naive algorithm instead of the optimized plan
 //	-stats      print per-relation access statistics after the answers
 //	-latency    simulated per-access latency (e.g. 50ms)
@@ -27,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"toorjah"
 	"toorjah/internal/core"
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
@@ -56,7 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("toorjah", flag.ContinueOnError)
 	schemaFile := fs.String("schema", "", "schema file (required)")
 	dataDir := fs.String("data", "", "directory of per-relation CSV files (required)")
-	queryText := fs.String("query", "", "conjunctive query (required)")
+	queryText := fs.String("query", "", "conjunctive query, or a UCQ with one disjunct per line (required)")
 	showPlan := fs.Bool("plan", false, "print the optimized plan and exit")
 	showDOT := fs.Bool("dot", false, "print the d-graph in DOT format and exit")
 	naive := fs.Bool("naive", false, "use the naive strategy of Fig. 1")
@@ -78,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 	sch, err := schema.Parse(string(raw))
 	if err != nil {
 		return err
+	}
+	if cq.IsUnion(*queryText) {
+		return runUCQ(sch, *queryText, *dataDir, *showPlan, *showDOT, *naive, *showStats, *latency, *maxBatch, stdout)
 	}
 	q, err := cq.Parse(*queryText)
 	if err != nil {
@@ -105,26 +113,9 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	db := storage.NewDatabase()
-	for _, rel := range sch.Relations() {
-		path := filepath.Join(*dataDir, rel.Name+".csv")
-		f, err := os.Open(path)
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue // missing file = empty source
-			}
-			return err
-		}
-		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		dbt, err := db.Create(rel.Name, rel.Arity())
-		if err != nil {
-			return err
-		}
-		dbt.InsertAll(tab.Rows())
+	db, err := loadDatabase(sch, *dataDir)
+	if err != nil {
+		return err
 	}
 	reg, err := source.FromDatabase(sch, db, *latency)
 	if err != nil {
@@ -151,16 +142,110 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(stdout, "-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
-	if *showStats {
-		fmt.Fprintf(stdout, "-- %d access(es) in %d round trip(s), %d tuple(s) extracted\n",
-			res.TotalAccesses(), res.TotalBatches(), res.TotalTuples())
-		for _, rel := range sch.Relations() {
-			if st, ok := res.Stats[rel.Name]; ok {
-				fmt.Fprintf(stdout, "--   %-12s %6d accesses  %6d round trips  %6d rows\n",
-					rel.Name, st.Accesses, st.Batches, st.Tuples)
-			}
+	printSummary(stdout, sch, res, *showStats)
+	return nil
+}
+
+// runUCQ answers a union of conjunctive queries through the façade: the
+// disjuncts execute concurrently over one registry and the distinct union
+// answers stream as the first disjunct derives them.
+func runUCQ(sch *schema.Schema, queryText, dataDir string, showPlan, showDOT, naive, showStats bool, latency time.Duration, maxBatch int, stdout io.Writer) error {
+	if showDOT {
+		return errors.New("-dot renders a single CQ's d-graph; pass one disjunct at a time")
+	}
+	sys := toorjah.NewSystem(sch, toorjah.WithLatency(latency), toorjah.WithMaxBatch(maxBatch))
+	if dataDir != "" {
+		db, err := loadDatabase(sch, dataDir)
+		if err != nil {
+			return err
+		}
+		if err := sys.BindDatabase(db); err != nil {
+			return err
 		}
 	}
+	u, err := sys.PrepareUCQ(queryText)
+	if err != nil {
+		return err
+	}
+	if showPlan {
+		for i, q := range u.Disjuncts() {
+			fmt.Fprintf(stdout, "-- disjunct %d --\n", i+1)
+			if !q.Answerable() {
+				fmt.Fprintln(stdout, "not answerable: the answer is empty on every instance")
+				continue
+			}
+			fmt.Fprintf(stdout, "relevant relations:   %s\n", strings.Join(q.RelevantRelations(), ", "))
+			fmt.Fprintln(stdout, q.Plan())
+		}
+		return nil
+	}
+	if !u.Answerable() {
+		fmt.Fprintln(stdout, "no disjunct is answerable; the answer is empty on every instance")
+		return nil
+	}
+
+	start := time.Now()
+	var res *toorjah.Result
+	if naive {
+		res, err = u.ExecuteNaive()
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Answers.Tuples() {
+			fmt.Fprintln(stdout, strings.Join(t, ", "))
+		}
+	} else {
+		res, err = u.Stream(toorjah.PipeOptions{}, func(t toorjah.Tuple) {
+			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "-- union of %d disjunct(s)\n", len(u.Disjuncts()))
+	printSummary(stdout, sch, res, showStats)
 	return nil
+}
+
+// printSummary renders the shared answer/access footer of both query kinds.
+func printSummary(stdout io.Writer, sch *schema.Schema, res *exec.Result, showStats bool) {
+	fmt.Fprintf(stdout, "-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
+	if !showStats {
+		return
+	}
+	fmt.Fprintf(stdout, "-- %d access(es) in %d round trip(s), %d tuple(s) extracted\n",
+		res.TotalAccesses(), res.TotalBatches(), res.TotalTuples())
+	for _, rel := range sch.Relations() {
+		if st, ok := res.Stats[rel.Name]; ok {
+			fmt.Fprintf(stdout, "--   %-12s %6d accesses  %6d round trips  %6d rows\n",
+				rel.Name, st.Accesses, st.Batches, st.Tuples)
+		}
+	}
+}
+
+// loadDatabase reads one CSV file per schema relation from dir; missing
+// files become empty sources.
+func loadDatabase(sch *schema.Schema, dir string) (*storage.Database, error) {
+	db := storage.NewDatabase()
+	for _, rel := range sch.Relations() {
+		path := filepath.Join(dir, rel.Name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // missing file = empty source
+			}
+			return nil, err
+		}
+		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		dbt, err := db.Create(rel.Name, rel.Arity())
+		if err != nil {
+			return nil, err
+		}
+		dbt.InsertAll(tab.Rows())
+	}
+	return db, nil
 }

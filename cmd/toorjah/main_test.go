@@ -97,6 +97,64 @@ func TestCLIUnbatched(t *testing.T) {
 	}
 }
 
+// A union over the example data: both disjuncts stream into one
+// deduplicated answer set (usa appears via madonna and dylan but once).
+const exampleUCQ = "q(N) :- r1(A, N, Y1), r2(volare, Y2, A)\nq(N) :- r1(A, N, Y1), r3(A, AL)"
+
+// TestCLIUCQ: a multi-line -query runs as a union of conjunctive queries,
+// streaming deduplicated answers with merged access statistics.
+func TestCLIUCQ(t *testing.T) {
+	schemaFile, dataDir := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-data", dataDir, "-query", exampleUCQ}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Disjunct 1 answers italy; disjunct 2 answers usa (twice in the data,
+	// once in the union).
+	for _, want := range []string{"italy", "usa", "union of 2 disjunct(s)", "-- 2 answer(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("UCQ output lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "usa") != 1 {
+		t.Errorf("usa streamed more than once (dedup broken):\n%s", got)
+	}
+	if !strings.Contains(got, "access(es)") {
+		t.Errorf("UCQ output lacks access statistics:\n%s", got)
+	}
+}
+
+// TestCLIUCQNaive: the naive strategy agrees on the union.
+func TestCLIUCQNaive(t *testing.T) {
+	schemaFile, dataDir := writeExample(t)
+	var out strings.Builder
+	err := run([]string{"-schema", schemaFile, "-data", dataDir, "-naive", "-query", exampleUCQ}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "italy") || !strings.Contains(got, "usa") || !strings.Contains(got, "-- 2 answer(s)") {
+		t.Errorf("naive UCQ output wrong:\n%s", got)
+	}
+}
+
+// TestCLIUCQPlan: -plan on a union prints one plan per disjunct; -dot is a
+// single-CQ view and errors.
+func TestCLIUCQPlan(t *testing.T) {
+	schemaFile, _ := writeExample(t)
+	var out strings.Builder
+	if err := run([]string{"-schema", schemaFile, "-plan", "-query", exampleUCQ}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "disjunct 1") || !strings.Contains(got, "disjunct 2") {
+		t.Errorf("UCQ plan output wrong:\n%s", got)
+	}
+	if err := run([]string{"-schema", schemaFile, "-dot", "-query", exampleUCQ}, &out); err == nil {
+		t.Error("-dot on a UCQ must error")
+	}
+}
+
 // TestCLIPlanOnly: -plan prints the optimization outcome without data.
 func TestCLIPlanOnly(t *testing.T) {
 	schemaFile, _ := writeExample(t)

@@ -14,9 +14,18 @@
 //
 //	GET  /query?q=<CQ>[&limit=N]   stream answers as NDJSON, then a summary
 //	POST /query                    same, query text in the request body
+//	                               (bodies beyond 1 MiB are rejected with 413)
 //	GET  /stats                    cache + service statistics as JSON
 //	GET  /schema                   the loaded schema
 //	GET  /healthz                  liveness probe
+//
+// A query text with several non-comment lines is a union of conjunctive
+// queries (UCQ), one disjunct per line sharing the head predicate and
+// arity: the disjuncts execute concurrently over the shared access cache
+// and the deduplicated union answers stream as NDJSON the moment the first
+// disjunct derives them; the summary line carries the merged access
+// statistics and the disjunct count, and /stats reports how many served
+// queries were unions (ucqs_served).
 //
 // Flags:
 //

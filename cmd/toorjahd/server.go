@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,17 +13,28 @@ import (
 	"time"
 
 	"toorjah"
+	"toorjah/internal/cq"
 )
 
-// server serves concurrent conjunctive queries over one toorjah.System,
-// keeping prepared plans warm: planning (validation, d-graph construction,
-// GFP pruning, ordering) runs at most once per distinct query text, and the
-// system's cross-query access cache is shared by every request.
-// maxPreparedPlans bounds the warm-plan map: query texts carry arbitrary
-// client-chosen constants, so distinct texts are unbounded in a long-running
-// service; beyond the cap the oldest plan is dropped (plans are cheap to
-// rebuild).
+// server serves concurrent conjunctive queries — and unions of them — over
+// one toorjah.System, keeping prepared plans warm: planning (validation,
+// d-graph construction, GFP pruning, ordering) runs at most once per
+// distinct query text, and the system's cross-query access cache is shared
+// by every request. maxPreparedPlans bounds the warm-plan map: query texts
+// carry arbitrary client-chosen constants, so distinct texts are unbounded
+// in a long-running service; beyond the cap the oldest plan is dropped
+// (plans are cheap to rebuild).
 const maxPreparedPlans = 1024
+
+// maxQueryBytes bounds the /query request body; longer bodies are rejected
+// with 413 rather than silently truncated into a parse error.
+const maxQueryBytes = 1 << 20
+
+// runnable is a prepared query of either kind — a single CQ or a UCQ whose
+// disjuncts stream concurrently — behind the one entry point /query needs.
+type runnable interface {
+	Stream(opts toorjah.PipeOptions, onAnswer func(toorjah.Tuple)) (*toorjah.Result, error)
+}
 
 type server struct {
 	sys   *toorjah.System
@@ -30,10 +42,11 @@ type server struct {
 	start time.Time
 
 	mu        sync.Mutex
-	plans     map[string]*toorjah.Query
+	plans     map[string]runnable
 	planOrder []string // insertion order, for FIFO eviction
 	planCap   int
 	served    atomic.Int64
+	ucqServed atomic.Int64
 
 	srcMu   sync.Mutex
 	sources map[string]toorjah.SourceStats // per-relation accounting, summed over queries
@@ -44,7 +57,7 @@ func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
 		sys:     sys,
 		pipe:    pipe,
 		start:   time.Now(),
-		plans:   make(map[string]*toorjah.Query),
+		plans:   make(map[string]runnable),
 		planCap: maxPreparedPlans,
 		sources: make(map[string]toorjah.SourceStats),
 	}
@@ -87,18 +100,25 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// prepared returns the warm plan for a query text, planning it on first
-// use. Planning runs outside the lock so one slow-to-plan query cannot
-// stall every other request; concurrent first requests for the same text
-// may plan it twice, and the first to finish wins.
-func (s *server) prepared(text string) (*toorjah.Query, error) {
+// prepared returns the warm plan for a query text — a single CQ, or a UCQ
+// when the text has several disjunct lines — planning it on first use.
+// Planning runs outside the lock so one slow-to-plan query cannot stall
+// every other request; concurrent first requests for the same text may plan
+// it twice, and the first to finish wins.
+func (s *server) prepared(text string) (runnable, error) {
 	s.mu.Lock()
 	if q, ok := s.plans[text]; ok {
 		s.mu.Unlock()
 		return q, nil
 	}
 	s.mu.Unlock()
-	q, err := s.sys.Prepare(text)
+	var q runnable
+	var err error
+	if cq.IsUnion(text) {
+		q, err = s.sys.PrepareUCQ(text)
+	} else {
+		q, err = s.sys.Prepare(text)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -136,24 +156,33 @@ type doneLine struct {
 	Tuples    int     `json:"tuples"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Truncated bool    `json:"truncated,omitempty"`
+	// Disjuncts is the disjunct count of a UCQ request (absent for a CQ).
+	Disjuncts int `json:"disjuncts,omitempty"`
 }
 
 type errorLine struct {
 	Error string `json:"error"`
 }
 
-// handleQuery answers one conjunctive query, streaming each answer as an
-// NDJSON line the moment the pipelined engine derives it, then a final
-// summary line. The query text comes from the q parameter (GET) or the
-// request body (POST); limit, when positive, stops after that many answers.
+// handleQuery answers one conjunctive query — or a union of them, one
+// disjunct per line — streaming each distinct answer as an NDJSON line the
+// moment the engine derives it, then a final summary line. The query text
+// comes from the q parameter (GET) or the request body (POST); limit, when
+// positive, stops after that many answers.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var text string
 	switch r.Method {
 	case http.MethodGet:
 		text = r.URL.Query().Get("q")
 	case http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBytes))
 		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, fmt.Sprintf("query body exceeds %d bytes", tooLarge.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -192,8 +221,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// A disconnected client cancels the run, so the executor stops
 	// spending accesses on an answer nobody will read.
 	opts.Ctx = r.Context()
-	// onAnswer runs on the goroutine executing Stream, so writing to the
-	// response here is single-threaded.
+	// onAnswer calls are serialized by both kinds of runnable — a CQ streams
+	// from the goroutine executing Stream, a UCQ serializes its concurrent
+	// disjuncts — so writing to the response here needs no locking.
 	res, err := q.Stream(opts, func(t toorjah.Tuple) {
 		enc.Encode(answerLine{Answer: t})
 		if flusher != nil {
@@ -210,7 +240,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return // client gone; nobody is reading the summary
 	}
 	s.served.Add(1)
-	enc.Encode(doneLine{
+	done := doneLine{
 		Done:      true,
 		Answers:   res.Answers.Len(),
 		Accesses:  res.TotalAccesses(),
@@ -218,13 +248,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Tuples:    res.TotalTuples(),
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		Truncated: res.Truncated,
-	})
+	}
+	if u, ok := q.(*toorjah.UnionQuery); ok {
+		s.ucqServed.Add(1)
+		done.Disjuncts = len(u.Disjuncts())
+	}
+	enc.Encode(done)
 }
 
 // statsResponse is the payload of /stats.
 type statsResponse struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	QueriesServed int64             `json:"queries_served"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueriesServed int64   `json:"queries_served"`
+	// UCQsServed counts the served queries that were unions of CQs (already
+	// included in QueriesServed).
+	UCQsServed    int64             `json:"ucqs_served"`
 	PreparedPlans int               `json:"prepared_plans"`
 	Sources       *sourceStatsBlock `json:"sources"`
 	Cache         *cacheStatsBlock  `json:"cache"`
@@ -249,6 +287,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QueriesServed: s.served.Load(),
+		UCQsServed:    s.ucqServed.Load(),
 		PreparedPlans: s.planCount(),
 	}
 	if rels, totals := s.sourceSnapshot(); len(rels) > 0 {

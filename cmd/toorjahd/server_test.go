@@ -273,6 +273,118 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// pubUCQ unions two overlapping disjuncts: both derive alice through
+// different first atoms, so the stream must deduplicate across disjuncts.
+const pubUCQ = "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)\nq(R) :- pub1(P, R), rev(R, icde, y2008)"
+
+// TestServerUCQStream: a multi-line query streams as a UCQ — deduplicated
+// NDJSON answers, a summary carrying merged accesses/batches/tuples and the
+// disjunct count — and /stats counts the union.
+func TestServerUCQStream(t *testing.T) {
+	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
+	srv := newServer(sys, toorjah.PipeOptions{Parallelism: 4})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(pubUCQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var answers []string
+	var done doneLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e errorLine
+		if json.Unmarshal(line, &e) == nil && e.Error != "" {
+			t.Fatalf("in-band error: %s", e.Error)
+		}
+		var d doneLine
+		if json.Unmarshal(line, &d) == nil && d.Done {
+			done = d
+			continue
+		}
+		var a answerLine
+		if err := json.Unmarshal(line, &a); err == nil && a.Answer != nil {
+			answers = append(answers, strings.Join(a.Answer, ","))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(answers, ";"); got != "alice" {
+		t.Errorf("streamed answers = %q, want exactly one deduplicated alice", got)
+	}
+	if !done.Done || done.Answers != 1 || done.Disjuncts != 2 {
+		t.Errorf("done = %+v, want answers=1 disjuncts=2", done)
+	}
+	if done.Truncated {
+		t.Errorf("complete UCQ marked truncated: %+v", done)
+	}
+	if done.Accesses == 0 || done.Batches == 0 || done.Batches > done.Accesses {
+		t.Errorf("summary accounting wrong: %+v", done)
+	}
+	// The summary's access count is the probes that reached the tables.
+	under := 0
+	for _, ctr := range counters {
+		under += ctr.Stats().Accesses
+	}
+	if done.Accesses != under {
+		t.Errorf("summary reports %d accesses, tables saw %d", done.Accesses, under)
+	}
+
+	// /stats counts the union among the served queries.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.QueriesServed != 1 || st.UCQsServed != 1 {
+		t.Errorf("stats served=%d ucqs=%d, want 1 and 1", st.QueriesServed, st.UCQsServed)
+	}
+	if st.PreparedPlans != 1 {
+		t.Errorf("prepared plans = %d, want 1 (the UCQ plan is warm)", st.PreparedPlans)
+	}
+
+	// A warm repeat of the same UCQ is served from the shared cache.
+	answers2, done2 := queryNDJSON(t, ts.URL+"/query?q="+strings.ReplaceAll(strings.ReplaceAll(pubUCQ, "\n", "%0A"), " ", "%20"))
+	if strings.Join(answers2, ";") != "alice" || done2.Accesses != 0 {
+		t.Errorf("warm UCQ: answers=%v accesses=%d, want alice and 0", answers2, done2.Accesses)
+	}
+}
+
+// TestServerQueryBodyTooLarge: an oversized POST body is rejected with 413,
+// not truncated into a confusing parse error.
+func TestServerQueryBodyTooLarge(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	srv := newServer(sys, toorjah.PipeOptions{})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	big := strings.Repeat("x", maxQueryBytes+1)
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "exceeds") {
+		t.Errorf("oversized body message unclear: %q", body)
+	}
+}
+
 // TestServerLimit: the limit parameter truncates the stream soundly.
 func TestServerLimit(t *testing.T) {
 	sch, err := schema.Parse("r^o(A)")

@@ -35,6 +35,21 @@ func MustParse(text string) *CQ {
 	return q
 }
 
+// IsUnion reports whether a query text is a union under ParseUCQ's
+// line-splitting rules: more than one non-blank, non-comment line. Both
+// binaries use it to route a text to Parse or ParseUCQ.
+func IsUnion(text string) bool {
+	lines := 0
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+	}
+	return lines > 1
+}
+
 // ParseUCQ parses a union of conjunctive queries, one disjunct per line
 // (blank lines and '#' comments ignored). All disjuncts must share the head
 // predicate and arity.

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"toorjah/internal/datalog"
+	"toorjah/internal/source"
+)
+
+// UnionOptions tunes the concurrent union runner.
+type UnionOptions struct {
+	// MaxConcurrent bounds how many disjuncts execute at once; 0 means
+	// runtime.GOMAXPROCS(0), negative means one at a time (concurrent
+	// dispatch machinery with sequential occupancy).
+	MaxConcurrent int
+	// Limit, when positive, caps the distinct answers emitted: once the
+	// union holds that many, further fresh answers are discarded, the
+	// remaining disjuncts are cancelled, and the result carries Truncated.
+	// A run whose obtainable union has exactly Limit answers completes
+	// normally and is not truncated.
+	Limit int
+	// Ctx, when non-nil, cancels the union: disjuncts not yet started are
+	// skipped, running ones see a cancelled context, and the result is a
+	// truncated sound subset (matching the per-CQ executors).
+	Ctx context.Context
+}
+
+// maxConcurrent resolves the effective disjunct parallelism (always >= 1).
+func (o UnionOptions) maxConcurrent() int {
+	if o.MaxConcurrent == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrent < 1 {
+		return 1
+	}
+	return o.MaxConcurrent
+}
+
+// DisjunctRun executes one disjunct of a union. The runner hands it a
+// context derived from UnionOptions.Ctx — the run must honor it the way the
+// CQ executors honor Options.Ctx (stop probing, return a truncated sound
+// subset) — and an emit callback for streaming strategies; non-streaming
+// runs may ignore emit, since the runner also folds the returned Answers
+// into the union. A run must return a non-nil Result unless it errors.
+type DisjunctRun func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error)
+
+// Union executes the disjuncts of a union of conjunctive queries
+// concurrently with bounded parallelism and merges their outcomes into one
+// Result — the UCQ semantics of the paper's Section II (the answer to a
+// union is the union of the per-CQ answers):
+//
+//   - answers are deduplicated across disjuncts, and onAnswer (when
+//     non-nil) observes each distinct answer exactly once, the moment the
+//     first disjunct derives it; calls are serialized, never concurrent;
+//   - per-relation statistics merge via source.Stats.Add, so Accesses,
+//     Batches and Tuples all survive (a disjunct's probes are counted
+//     against whichever disjunct actually reached the source — under a
+//     shared cross-query cache, concurrent identical probes collapse into
+//     one flight and are counted once);
+//   - Truncated and EarlyEmpty are OR-ed over disjuncts: a union containing
+//     any truncated disjunct is itself a sound subset of the obtainable
+//     answers, and EarlyEmpty records that at least one disjunct's
+//     fast-failing test proved that disjunct empty early;
+//   - Elapsed and TimeToFirst are wall-clock times of the whole union, not
+//     sums over disjuncts.
+//
+// The first disjunct error cancels the rest and is returned; a cancelled
+// UnionOptions.Ctx instead yields a truncated result, never an error.
+func Union(name string, arity int, runs []DisjunctRun, opts UnionOptions, onAnswer func(datalog.Tuple)) (*Result, error) {
+	start := time.Now()
+	parent := opts.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	union := datalog.NewRelation(name, arity)
+	stats := make(map[string]source.Stats)
+	var (
+		mu          sync.Mutex // guards union, stats, flags and onAnswer
+		truncated   bool
+		earlyEmpty  bool
+		firstAnswer time.Duration
+		firstErr    error
+	)
+
+	// emit folds one answer into the union; fresh answers under the limit
+	// are forwarded to onAnswer (serialized under mu), a fresh answer beyond
+	// it proves the limit truncated the union and cancels the remaining
+	// disjuncts.
+	emit := func(t datalog.Tuple) {
+		mu.Lock()
+		defer mu.Unlock()
+		if opts.Limit > 0 && union.Len() >= opts.Limit {
+			if !union.Contains(t) {
+				truncated = true
+				cancel()
+			}
+			return
+		}
+		if union.Insert(t) {
+			if firstAnswer == 0 {
+				firstAnswer = time.Since(start)
+			}
+			if onAnswer != nil {
+				onAnswer(t)
+			}
+		}
+	}
+
+	sem := make(chan struct{}, opts.maxConcurrent())
+	var wg sync.WaitGroup
+	for _, run := range runs {
+		if ctx.Err() != nil {
+			// Cancelled (or limit-stopped) before this disjunct started: its
+			// answers are missing, so the union is a sound subset — unless a
+			// disjunct error is what tore the context down, in which case the
+			// error wins below.
+			mu.Lock()
+			truncated = true
+			mu.Unlock()
+			break
+		}
+		sem <- struct{}{} // bound occupancy; released when the disjunct ends
+		wg.Add(1)
+		go func(run DisjunctRun) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := run(ctx, emit)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel() // stop the other disjuncts from spending accesses
+				return
+			}
+			// Fold the final answer set through emit: for streaming runs this
+			// deduplicates against what they already emitted; for batch runs
+			// it is where their answers enter the union.
+			for _, t := range res.Answers.Tuples() {
+				emit(t)
+			}
+			mu.Lock()
+			for rel, st := range res.Stats {
+				cur := stats[rel]
+				cur.Add(st)
+				stats[rel] = cur
+			}
+			truncated = truncated || res.Truncated
+			earlyEmpty = earlyEmpty || res.EarlyEmpty
+			mu.Unlock()
+		}(run)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{
+		Answers:     union,
+		Stats:       stats,
+		Truncated:   truncated,
+		EarlyEmpty:  earlyEmpty,
+		Elapsed:     time.Since(start),
+		TimeToFirst: firstAnswer,
+	}, nil
+}

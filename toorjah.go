@@ -27,6 +27,15 @@
 //	res, _ := q.Execute()
 //	fmt.Println(res.SortedAnswers(), res.TotalAccesses())
 //
+// Unions of conjunctive queries are first-class too: PrepareUCQ takes one
+// disjunct per line (same head predicate and arity), and the resulting
+// UnionQuery executes its disjuncts concurrently — or streams deduplicated
+// union answers via Stream — with per-relation statistics merged across
+// disjuncts:
+//
+//	u, _ := sys.PrepareUCQ("q(N) :- artist(A, N, Y)\nq(N) :- song(N, Y, A)")
+//	ures, _ := u.Execute()
+//
 // A System can keep a cross-query access cache (see WithCache): since the
 // dominant cost is the number of accesses, a long-running service that
 // remembers extractions across queries — with LRU bounds, TTL expiry,
@@ -68,6 +77,8 @@ type (
 	Relation = schema.Relation
 	// CQ is a conjunctive query.
 	CQ = cq.CQ
+	// UCQ is a parsed union of conjunctive queries (see PrepareUCQFrom).
+	UCQ = cq.UCQ
 	// Result is the outcome of one execution.
 	Result = exec.Result
 	// Tuple is one answer row.
@@ -362,8 +373,15 @@ func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
 // ExecuteNaive runs the reference algorithm of the paper's Fig. 1 (probe
 // everything probeable until fixpoint).
 func (q *Query) ExecuteNaive() (*Result, error) {
+	return q.ExecuteNaiveOpts(Options{})
+}
+
+// ExecuteNaiveOpts is ExecuteNaive with options; Cache, MaxBatch and Ctx
+// are meaningful here (the ablation switches target the optimized
+// strategies).
+func (q *Query) ExecuteNaiveOpts(opts Options) (*Result, error) {
 	return exec.NaiveOpts(q.sys.sch, q.sys.reg, q.pipeline.Query, q.pipeline.Typing,
-		q.sys.execOpts(exec.Options{}))
+		q.sys.execOpts(opts))
 }
 
 // Stream runs the parallel pipelined engine; onAnswer is invoked for every

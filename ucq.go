@@ -1,22 +1,36 @@
 package toorjah
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
+	"toorjah/internal/exec"
 	"toorjah/internal/source"
 )
 
 // UnionQuery is a prepared union of conjunctive queries (UCQ). Each
-// disjunct gets its own optimized plan; execution unions the answers. This
-// is the UCQ extension sketched in Section II of the paper (the answer to a
-// union is the union of the answers to its CQs).
+// disjunct gets its own optimized plan; execution unions the answers — the
+// UCQ extension sketched in Section II of the paper (the answer to a union
+// is the union of the answers to its CQs). Disjuncts are independent
+// extractions over the same sources, so the concurrent entry points
+// (Execute, ExecuteOpts, ExecuteNaive, Stream) run them in parallel with
+// bounded concurrency; with a cross-query cache configured (WithCache /
+// WithSharedCache), identical probes issued by overlapping disjuncts
+// collapse into a single source access, so parallelism never costs extra
+// accesses over the sequential loop.
 type UnionQuery struct {
 	sys     *System
 	queries []*Query
 	name    string
 	arity   int
+
+	// MaxConcurrent bounds how many disjuncts execute at once in the
+	// concurrent entry points; 0 means runtime.GOMAXPROCS(0), negative
+	// means one at a time.
+	MaxConcurrent int
 }
 
 // PrepareUCQ parses and prepares a union of conjunctive queries, one
@@ -24,6 +38,14 @@ type UnionQuery struct {
 func (s *System) PrepareUCQ(text string) (*UnionQuery, error) {
 	u, err := cq.ParseUCQ(text)
 	if err != nil {
+		return nil, err
+	}
+	return s.PrepareUCQFrom(u)
+}
+
+// PrepareUCQFrom is PrepareUCQ for an already-parsed union.
+func (s *System) PrepareUCQFrom(u *UCQ) (*UnionQuery, error) {
+	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	out := &UnionQuery{sys: s, name: u.Name, arity: u.Arity()}
@@ -50,29 +72,133 @@ func (u *UnionQuery) Answerable() bool {
 	return false
 }
 
-// Execute runs every answerable disjunct with the fast-failing strategy and
-// unions the answers; per-relation statistics are summed over disjuncts
-// (each disjunct's plan runs independently, as in the paper's per-CQ
-// treatment).
+// unionOpts builds the runner options shared by the concurrent entry
+// points.
+func (u *UnionQuery) unionOpts(ctx context.Context) exec.UnionOptions {
+	return exec.UnionOptions{MaxConcurrent: u.MaxConcurrent, Ctx: ctx}
+}
+
+// disjunctRuns adapts one per-Query execution function into the runner's
+// disjunct slice; call receives the runner's derived context, which it must
+// thread into the executor options.
+func (u *UnionQuery) disjunctRuns(call func(q *Query, ctx context.Context, emit func(datalog.Tuple)) (*Result, error)) []exec.DisjunctRun {
+	runs := make([]exec.DisjunctRun, len(u.queries))
+	for i, q := range u.queries {
+		q := q
+		runs[i] = func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
+			return call(q, ctx, emit)
+		}
+	}
+	return runs
+}
+
+// Execute runs every disjunct's fast-failing ⊂-minimal strategy
+// concurrently and unions the answers.
 func (u *UnionQuery) Execute() (*Result, error) {
+	return u.ExecuteOpts(Options{})
+}
+
+// ExecuteOpts is Execute with ablation options: the disjuncts run
+// concurrently (bounded by MaxConcurrent) over the shared registry and the
+// system's cross-query cache. Per-relation statistics merge via
+// source.Stats.Add over disjuncts — accesses, source round trips (Batches)
+// and extracted tuples all survive — and Truncated/EarlyEmpty are OR-ed: a
+// cancelled Options.Ctx yields a truncated, sound subset of the obtainable
+// union, exactly as with the CQ executors. Elapsed and TimeToFirst are
+// wall-clock times of the whole union.
+func (u *UnionQuery) ExecuteOpts(opts Options) (*Result, error) {
+	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
+		o := opts
+		o.Ctx = ctx
+		return q.ExecuteOpts(o)
+	})
+	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
+}
+
+// ExecuteNaive runs the reference algorithm of the paper's Fig. 1 on every
+// disjunct, concurrently, and unions the answers.
+func (u *UnionQuery) ExecuteNaive() (*Result, error) {
+	return u.ExecuteNaiveOpts(Options{})
+}
+
+// ExecuteNaiveOpts is ExecuteNaive with options (Cache, MaxBatch, Ctx).
+func (u *UnionQuery) ExecuteNaiveOpts(opts Options) (*Result, error) {
+	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
+		o := opts
+		o.Ctx = ctx
+		return q.ExecuteNaiveOpts(o)
+	})
+	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
+}
+
+// Stream runs every disjunct's pipelined engine concurrently; onAnswer is
+// invoked exactly once per distinct union answer, the moment the first
+// disjunct derives it (cross-disjunct deduplication). Calls to onAnswer are
+// serialized — never concurrent — so a single-threaded sink (an HTTP
+// response, a terminal) needs no locking. opts.Limit caps the distinct
+// union answers; opts.Ctx (or opts.Options.Ctx) cancels the whole union
+// into a truncated sound subset.
+func (u *UnionQuery) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
+	runs := u.disjunctRuns(func(q *Query, ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
+		o := opts
+		o.Ctx = ctx
+		return q.Stream(o, emit)
+	})
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = opts.Options.Ctx
+	}
+	uo := u.unionOpts(ctx)
+	uo.Limit = opts.Limit
+	return exec.Union(u.name, u.arity, runs, uo, onAnswer)
+}
+
+// ExecuteSequential runs the disjuncts one at a time with the fast-failing
+// strategy — the historical UCQ loop, kept for measurement against the
+// concurrent Execute (the benchmarks compare them under source latency).
+// The merge is the same as ExecuteOpts: stats via source.Stats.Add, flags
+// OR-ed, wall-clock Elapsed/TimeToFirst; a cancelled Options.Ctx stops
+// between (and inside) disjuncts with a truncated sound subset.
+func (u *UnionQuery) ExecuteSequential(opts Options) (*Result, error) {
+	start := time.Now()
 	union := datalog.NewRelation(u.name, u.arity)
 	stats := make(map[string]source.Stats)
 	out := &Result{Answers: union, Stats: stats}
 	for _, q := range u.queries {
-		r, err := q.Execute()
+		if ctxDone(opts.Ctx) {
+			out.Truncated = true
+			break
+		}
+		r, err := q.ExecuteOpts(opts)
 		if err != nil {
 			return nil, err
 		}
 		for _, t := range r.Answers.Tuples() {
-			union.Insert(t)
+			if union.Insert(t) && out.TimeToFirst == 0 {
+				out.TimeToFirst = time.Since(start)
+			}
 		}
 		for rel, st := range r.Stats {
 			cur := stats[rel]
-			cur.Accesses += st.Accesses
-			cur.Tuples += st.Tuples
+			cur.Add(st)
 			stats[rel] = cur
 		}
-		out.Elapsed += r.Elapsed
+		out.Truncated = out.Truncated || r.Truncated
+		out.EarlyEmpty = out.EarlyEmpty || r.EarlyEmpty
 	}
+	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }

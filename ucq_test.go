@@ -1,0 +1,379 @@
+package toorjah
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"toorjah/internal/cq"
+	"toorjah/internal/gen"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// ucqPubSystem builds a system over a small publication instance, with every
+// table source wrapped in a Counter beneath whatever the System layers on
+// top (cache, latency), so the counters observe exactly the probes that
+// reach the tables.
+func ucqPubSystem(t *testing.T, seed int64, opts ...SystemOption) (*System, map[string]*source.Counter) {
+	t.Helper()
+	sch, db := gen.Publication(seed, gen.SmallPublication())
+	sys := NewSystem(sch, opts...)
+	counters := make(map[string]*source.Counter)
+	for _, rel := range sch.Relations() {
+		tab := db.Table(rel.Name)
+		if tab == nil {
+			tab = storage.NewTable(rel.Name, rel.Arity())
+		}
+		src, err := source.NewTableSource(rel, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Latency > 0 {
+			src = src.WithLatency(sys.Latency)
+		}
+		ctr := source.NewCounter(src, false)
+		counters[rel.Name] = ctr
+		sys.Bind(ctr)
+	}
+	return sys, counters
+}
+
+// ucqPubText is a union of three overlapping publication disjuncts: all
+// three share the conf/rev tail, so their access sets overlap heavily and a
+// shared cache has real duplicate probes to collapse.
+const ucqPubText = `
+q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)
+q(R) :- pub2(P, R), conf(P, C, Y), rev(R, C, Y)
+q(R) :- sub(P, R), conf(P, C, Y), rev(R, C, Y)
+`
+
+func underlying(counters map[string]*source.Counter) int {
+	n := 0
+	for _, c := range counters {
+		n += c.Stats().Accesses
+	}
+	return n
+}
+
+// TestUCQBatchesPropagated is the regression test for the old hand-rolled
+// stats merge that summed only Accesses and Tuples: a batched UCQ run must
+// report its source round trips, with fewer round trips than accesses.
+func TestUCQBatchesPropagated(t *testing.T) {
+	for _, mode := range []string{"parallel", "sequential"} {
+		sys, _ := ucqPubSystem(t, 1)
+		u, err := sys.PrepareUCQ(ucqPubText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *Result
+		if mode == "parallel" {
+			res, err = u.Execute() // default MaxBatch = 16
+		} else {
+			res, err = u.ExecuteSequential(Options{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalAccesses() == 0 {
+			t.Fatalf("%s: no accesses recorded", mode)
+		}
+		if got := res.TotalBatches(); got == 0 {
+			t.Errorf("%s: TotalBatches = 0 for %d accesses (Batches dropped in the merge)",
+				mode, res.TotalAccesses())
+		} else if got > res.TotalAccesses() {
+			t.Errorf("%s: %d round trips for %d accesses", mode, got, res.TotalAccesses())
+		} else if got == res.TotalAccesses() {
+			t.Errorf("%s: batching bought nothing (%d round trips = accesses)", mode, got)
+		}
+	}
+}
+
+// TestUCQParallelCachedNoMoreAccesses is the concurrency acceptance
+// property: parallel UCQ execution over a shared cross-query cache performs
+// no more total source accesses than the sequential loop on the same
+// instance, and the cache's singleflight guarantees no distinct binding is
+// ever probed twice even with every disjunct in flight at once.
+func TestUCQParallelCachedNoMoreAccesses(t *testing.T) {
+	// MaxBatch -1: the unbatched path is the one with singleflight
+	// collapsing (a batch is itself the amortisation of its round trip).
+	opts := Options{MaxBatch: -1}
+
+	seqSys, seqCounters := ucqPubSystem(t, 7, WithCache(CacheOptions{}))
+	seqU, err := seqSys.PrepareUCQ(ucqPubText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := seqU.ExecuteSequential(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqProbes := underlying(seqCounters)
+	if seqProbes == 0 {
+		t.Fatal("sequential run probed nothing")
+	}
+
+	parSys, parCounters := ucqPubSystem(t, 7, WithCache(CacheOptions{}))
+	parU, err := parSys.PrepareUCQ(ucqPubText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parU.MaxConcurrent = len(parU.Disjuncts())
+	parRes, err := parU.ExecuteOpts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parProbes := underlying(parCounters)
+
+	if parProbes > seqProbes {
+		t.Errorf("parallel cached run probed %d times, sequential needs %d", parProbes, seqProbes)
+	}
+	for rel, ctr := range parCounters {
+		if st := ctr.Stats(); st.Accesses != ctr.DistinctAccesses() {
+			t.Errorf("%s: %d probes for %d distinct bindings (singleflight failed to collapse)",
+				rel, st.Accesses, ctr.DistinctAccesses())
+		}
+	}
+	if got, want := strings.Join(parRes.SortedAnswers(), ";"), strings.Join(seqRes.SortedAnswers(), ";"); got != want {
+		t.Errorf("parallel answers = %q, sequential = %q", got, want)
+	}
+	// The overlapping disjuncts really did share work: the cache absorbed
+	// duplicate probes (hits or collapsed flights), so the merged Result
+	// stats — only probes that reached the sources — match the counters.
+	if tot := parSys.AccessCache().Totals(); tot.Hits+tot.Collapsed == 0 {
+		t.Errorf("cache absorbed nothing: %+v", tot)
+	}
+	if parRes.TotalAccesses() != parProbes {
+		t.Errorf("merged stats report %d accesses, counters saw %d", parRes.TotalAccesses(), parProbes)
+	}
+}
+
+// TestUCQPropertyUnionOfDisjuncts: on randomized schemas, queries and
+// instances, every UCQ entry point — concurrent fast-failing, sequential,
+// naive, streaming; with and without a cross-query cache — returns exactly
+// the union of the per-disjunct answer sets.
+func TestUCQPropertyUnionOfDisjuncts(t *testing.T) {
+	found := 0
+	for seed := int64(1); seed <= 40 && found < 4; seed++ {
+		g := gen.New(seed, gen.Fig10())
+		sch := g.Schema()
+		// Collect disjuncts sharing a head arity (a valid UCQ needs it).
+		byArity := make(map[int][]*cq.CQ)
+		var disjuncts []*cq.CQ
+		for i := 0; i < 12 && disjuncts == nil; i++ {
+			q, ok := g.Query(sch, "q")
+			if !ok {
+				break
+			}
+			byArity[q.Arity()] = append(byArity[q.Arity()], q)
+			if len(byArity[q.Arity()]) == 3 {
+				disjuncts = byArity[q.Arity()]
+			}
+		}
+		if disjuncts == nil {
+			continue
+		}
+		found++
+		db := g.Instance(sch)
+		ucq := &UCQ{Name: "q", Disjuncts: disjuncts}
+
+		newSys := func(opts ...SystemOption) *System {
+			sys := NewSystem(sch, opts...)
+			if err := sys.BindDatabase(db); err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}
+
+		// Expected: the union of the per-disjunct answer sets.
+		expected := make(map[string]bool)
+		refSys := newSys()
+		for _, d := range disjuncts {
+			q, err := refSys.PrepareCQ(d)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			r, err := q.Execute()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for k := range r.AnswerSet() {
+				expected[k] = true
+			}
+		}
+		wantKeys := make([]string, 0, len(expected))
+		for k := range expected {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		want := strings.Join(wantKeys, "|")
+
+		check := func(label string, res *Result, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, label, err)
+			}
+			gotKeys := make([]string, 0, res.Answers.Len())
+			for k := range res.AnswerSet() {
+				gotKeys = append(gotKeys, k)
+			}
+			sort.Strings(gotKeys)
+			if got := strings.Join(gotKeys, "|"); got != want {
+				t.Errorf("seed %d %s: answers = %q, want %q", seed, label, got, want)
+			}
+		}
+
+		for _, cached := range []bool{false, true} {
+			var opts []SystemOption
+			label := "uncached"
+			if cached {
+				opts = []SystemOption{WithCache(CacheOptions{})}
+				label = "cached"
+			}
+			sys := newSys(opts...)
+			u, err := sys.PrepareUCQFrom(ucq)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			u.MaxConcurrent = len(u.Disjuncts())
+
+			res, err := u.Execute()
+			check(label+"/parallel", res, err)
+			res, err = u.ExecuteSequential(Options{})
+			check(label+"/sequential", res, err)
+			res, err = u.ExecuteNaive()
+			check(label+"/naive", res, err)
+
+			var streamed int
+			res, err = u.Stream(PipeOptions{}, func(Tuple) { streamed++ })
+			check(label+"/stream", res, err)
+			if err == nil && streamed != res.Answers.Len() {
+				t.Errorf("seed %d %s/stream: %d streamed, %d in result (dedup broken)",
+					seed, label, streamed, res.Answers.Len())
+			}
+			if cached {
+				// A warm repeat is served entirely from the cache.
+				warm, err := u.Execute()
+				check("warm/parallel", warm, err)
+				if err == nil && warm.TotalAccesses() != 0 {
+					t.Errorf("seed %d warm run made %d probes, want 0", seed, warm.TotalAccesses())
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no seed produced a UCQ workload; loosen the search")
+	}
+}
+
+// TestUCQCancellation: a cancelled context truncates the union into a sound
+// subset of the obtainable answers, for both the concurrent executor and
+// the stream.
+func TestUCQCancellation(t *testing.T) {
+	fullSys, _ := ucqPubSystem(t, 3)
+	fullU, err := fullSys.PrepareUCQ(ucqPubText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := fullU.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obtainable := full.AnswerSet()
+
+	// Pre-cancelled: nothing runs, nothing is probed, the result is a
+	// truncated empty union.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := fullU.ExecuteOpts(Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Answers.Len() != 0 || res.TotalAccesses() != 0 {
+		t.Errorf("pre-cancelled: truncated=%v answers=%d accesses=%d",
+			res.Truncated, res.Answers.Len(), res.TotalAccesses())
+	}
+
+	// Mid-run: per-access latency makes completion impossible inside the
+	// deadline, so the run must stop early with a sound subset. Unbatched,
+	// every probe pays the latency, and the full workload needs hundreds.
+	for _, mode := range []string{"execute", "stream"} {
+		sys, _ := ucqPubSystem(t, 3, WithLatency(time.Millisecond))
+		u, err := sys.PrepareUCQ(ucqPubText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		var r *Result
+		if mode == "execute" {
+			r, err = u.ExecuteOpts(Options{Ctx: ctx, MaxBatch: -1})
+		} else {
+			r, err = u.Stream(PipeOptions{Options: Options{Ctx: ctx, MaxBatch: -1}}, nil)
+		}
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !r.Truncated {
+			t.Errorf("%s: cancelled mid-run but not Truncated", mode)
+		}
+		for k := range r.AnswerSet() {
+			if !obtainable[k] {
+				t.Errorf("%s: truncated run invented answer %q", mode, k)
+			}
+		}
+	}
+}
+
+// TestUCQStreamDedupAndLimit: overlapping disjuncts stream each distinct
+// answer once; a limit caps the stream and marks it truncated when answers
+// remained.
+func TestUCQStreamDedupAndLimit(t *testing.T) {
+	sch, err := ParseSchema(`
+pub1^io(Paper, Person)
+pub2^oo(Paper, Person)
+conf^ooo(Paper, ConfName, Year)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(sch)
+	must(t, sys.BindRows("pub1", Row{"p1", "alice"}, Row{"p2", "bob"}))
+	must(t, sys.BindRows("pub2", Row{"p1", "alice"}, Row{"p3", "carol"}))
+	must(t, sys.BindRows("conf", Row{"p1", "icde", "2008"}, Row{"p2", "vldb", "2007"}, Row{"p3", "icde", "2008"}))
+	u, err := sys.PrepareUCQ(`
+q(X) :- pub1(P, X), conf(P, icde, Y)
+q(X) :- pub2(P, X), conf(P, icde, Y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []string
+	res, err := u.Stream(PipeOptions{}, func(t Tuple) { streamed = append(streamed, t[0]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(streamed)
+	if got := strings.Join(streamed, ";"); got != "alice;carol" {
+		t.Errorf("streamed = %s, want alice;carol (deduplicated)", got)
+	}
+	if res.Truncated {
+		t.Error("complete stream marked truncated")
+	}
+	if res.TimeToFirst == 0 || res.TimeToFirst > res.Elapsed {
+		t.Errorf("TimeToFirst = %v, Elapsed = %v", res.TimeToFirst, res.Elapsed)
+	}
+
+	limited, err := u.Stream(PipeOptions{Limit: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Answers.Len() != 1 {
+		t.Errorf("limit 1: %d answers", limited.Answers.Len())
+	}
+	if !limited.Truncated {
+		t.Error("limit 1 of 2 obtainable answers: want Truncated")
+	}
+}
