@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"toorjah/internal/core"
@@ -31,11 +33,29 @@ r3^io(C, A)
 const exampleQuery = "q(C) :- r1(a, B), r2(B, C)"
 
 func main() {
-	fig := flag.String("fig", "", "paper figure to reproduce: 2, 4, 7, 8 or 9")
-	schemaFile := flag.String("schema", "", "schema file (paper notation, one relation per line)")
-	queryText := flag.String("query", "", "conjunctive query")
-	optimized := flag.Bool("optimized", false, "render the optimized d-graph instead of the full one")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "dgraphviz:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage marks a bad invocation (usage already printed).
+var errUsage = errors.New("usage")
+
+// run is the whole CLI, factored out of main so the tests can drive the
+// binary end to end without spawning a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dgraphviz", flag.ContinueOnError)
+	fig := fs.String("fig", "", "paper figure to reproduce: 2, 4, 7, 8 or 9")
+	schemaFile := fs.String("schema", "", "schema file (paper notation, one relation per line)")
+	queryText := fs.String("query", "", "conjunctive query")
+	optimized := fs.Bool("optimized", false, "render the optimized d-graph instead of the full one")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 
 	var schText, qText string
 	showOpt := *optimized
@@ -49,41 +69,36 @@ func main() {
 		qText = gen.PublicationQueries[int((*fig)[0]-'7')]
 	case "":
 		if *schemaFile == "" || *queryText == "" {
-			fmt.Fprintln(os.Stderr, "need -fig or both -schema and -query")
-			os.Exit(2)
+			fs.Usage()
+			return errUsage
 		}
 		raw, err := os.ReadFile(*schemaFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		schText, qText = string(raw), *queryText
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-		os.Exit(2)
+		return fmt.Errorf("unknown figure %q (want 2, 4, 7, 8 or 9)", *fig)
 	}
 
 	sch, err := schema.Parse(schText)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	q, err := cq.Parse(qText)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p, err := core.Prepare(sch, q)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("// query: %s\n// relevant: %v\n// irrelevant: %v\n",
+	fmt.Fprintf(stdout, "// query: %s\n// relevant: %v\n// irrelevant: %v\n",
 		qText, p.Opt.RelevantRelations(), p.Opt.IrrelevantRelations())
 	if showOpt {
-		fmt.Print(dgraph.DOTOptimized(p.Opt))
+		fmt.Fprint(stdout, dgraph.DOTOptimized(p.Opt))
 	} else {
-		fmt.Print(dgraph.DOT(p.Graph, p.Opt.Solution, true))
+		fmt.Fprint(stdout, dgraph.DOT(p.Graph, p.Opt.Solution, true))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dgraphviz:", err)
-	os.Exit(1)
+	return nil
 }

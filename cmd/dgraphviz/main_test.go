@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFigures: every built-in figure renders valid-looking DOT with the
+// relevance annotations.
+func TestFigures(t *testing.T) {
+	for _, fig := range []string{"2", "4", "7", "8", "9"} {
+		var out strings.Builder
+		if err := run([]string{"-fig", fig}, &out); err != nil {
+			t.Fatalf("-fig %s: %v", fig, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "digraph") {
+			t.Errorf("-fig %s: output is not DOT:\n%.200s", fig, got)
+		}
+		if !strings.Contains(got, "// relevant:") || !strings.Contains(got, "// query:") {
+			t.Errorf("-fig %s: missing annotations:\n%.200s", fig, got)
+		}
+	}
+}
+
+// TestCustomSchemaQuery: the -schema/-query form, plain and -optimized.
+func TestCustomSchemaQuery(t *testing.T) {
+	dir := t.TempDir()
+	schemaFile := filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(schemaFile, []byte(exampleSchema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-optimized"}} {
+		args := append([]string{"-schema", schemaFile, "-query", exampleQuery}, extra...)
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "digraph") {
+			t.Errorf("%v: output is not DOT:\n%.200s", args, out.String())
+		}
+	}
+}
+
+// TestUsageAndErrors: bad invocations fail cleanly.
+func TestUsageAndErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err != errUsage {
+		t.Errorf("no args: err = %v, want errUsage", err)
+	}
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Error("unknown figure: want error")
+	}
+	if err := run([]string{"-schema", "/does/not/exist", "-query", exampleQuery}, &out); err == nil {
+		t.Error("missing schema file: want error")
+	}
+	if err := run([]string{"-query", "q(X) :-"}, &out); err != errUsage {
+		t.Errorf("query without schema: err = %v, want errUsage", err)
+	}
+}

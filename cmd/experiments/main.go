@@ -16,37 +16,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"toorjah/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 10, 11 or all")
-	seed := flag.Int64("seed", 1, "workload seed")
-	schemas := flag.Int("schemas", 12, "random schemata for figs 10/11")
-	queries := flag.Int("queries", 25, "random queries per schema for figs 10/11")
-	tuples := flag.Int("tuples", 1000, "tuples per relation for fig 6")
-	latencyUS := flag.Int("latency-us", 200, "simulated per-access latency in µs for fig 11")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
 
+// errUsage marks a bad invocation (usage already printed).
+var errUsage = errors.New("usage")
+
+// run is the whole CLI, factored out of main so the tests can drive the
+// binary end to end without spawning a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 6, 10, 11 or all")
+	seed := fs.Int64("seed", 1, "workload seed")
+	schemas := fs.Int("schemas", 12, "random schemata for figs 10/11")
+	queries := fs.Int("queries", 25, "random queries per schema for figs 10/11")
+	tuples := fs.Int("tuples", 1000, "tuples per relation for fig 6")
+	latencyUS := fs.Int("latency-us", 200, "simulated per-access latency in µs for fig 11")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+
+	// The old main dropped the figure errors on the floor; propagate them,
+	// so a generation failure exits non-zero instead of truncating output.
 	switch *fig {
 	case "6":
-		experiments.Fig6(os.Stdout, *seed, *tuples)
+		return experiments.Fig6(stdout, *seed, *tuples)
 	case "10":
-		experiments.Fig10(os.Stdout, *seed, *schemas, *queries)
+		return experiments.Fig10(stdout, *seed, *schemas, *queries)
 	case "11":
-		experiments.Fig11(os.Stdout, *seed, *schemas, *queries, *latencyUS)
+		return experiments.Fig11(stdout, *seed, *schemas, *queries, *latencyUS)
 	case "all":
-		experiments.Fig6(os.Stdout, *seed, *tuples)
-		fmt.Fprintln(os.Stdout)
-		experiments.Fig10(os.Stdout, *seed, *schemas, *queries)
-		fmt.Fprintln(os.Stdout)
-		experiments.Fig11(os.Stdout, *seed, *schemas, *queries, *latencyUS)
+		if err := experiments.Fig6(stdout, *seed, *tuples); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := experiments.Fig10(stdout, *seed, *schemas, *queries); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		return experiments.Fig11(stdout, *seed, *schemas, *queries, *latencyUS)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 6, 10, 11 or all)\n", *fig)
-		os.Exit(2)
+		return fmt.Errorf("unknown figure %q (want 6, 10, 11 or all)", *fig)
 	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig6Smoke: the Fig. 6 reproduction renders its table on a scaled-down
+// instance.
+func TestFig6Smoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "6", "-tuples", "120", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fig. 6", "naive", "optimized"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Fig6 output missing %q:\n%.300s", want, got)
+		}
+	}
+}
+
+// TestFig10Smoke: the aggregate experiment runs on a tiny random workload.
+func TestFig10Smoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "10", "-schemas", "2", "-queries", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 10") {
+		t.Errorf("Fig10 output:\n%.300s", out.String())
+	}
+}
+
+// TestFig11Smoke: the timing experiment runs with a microscopic latency.
+func TestFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	var out strings.Builder
+	if err := run([]string{"-fig", "11", "-schemas", "1", "-queries", "2", "-latency-us", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 11") {
+		t.Errorf("Fig11 output:\n%.300s", out.String())
+	}
+}
+
+// TestUsageErrors: unknown figures and bad flags fail cleanly.
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "12"}, &out); err == nil {
+		t.Error("unknown figure: want error")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err != errUsage {
+		t.Errorf("bad flag: err = %v, want errUsage", err)
+	}
+}

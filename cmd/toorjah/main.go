@@ -9,16 +9,25 @@
 // relation (rev.csv, …). A -query with several non-comment lines is a union
 // of conjunctive queries (UCQ), one disjunct per line sharing the head
 // predicate and arity; the disjuncts execute concurrently and the distinct
-// union answers stream as they are derived. Flags:
+// union answers stream as they are derived.
 //
-//	-plan       print the optimized plan (ordering + Datalog program) and exit
-//	            (for a UCQ: one plan per disjunct)
-//	-dot        print the d-graph in DOT format and exit (single CQ only)
-//	-naive      run the naive algorithm instead of the optimized plan
-//	-stats      print per-relation access statistics after the answers
-//	-latency    simulated per-access latency (e.g. 50ms)
-//	-max-batch  access bindings per source round trip (0 = default 16,
-//	            negative = unbatched)
+// Relations need not be local: -remote attaches a running toorjahd node as
+// a federation peer, sourcing the named relations (or, with a bare
+// address, every shared relation no local CSV provides data for) over the
+// batched HTTP probe protocol, so one query can join local CSVs with
+// relations served by other machines.
+// Flags:
+//
+//	-plan            print the optimized plan (ordering + Datalog program)
+//	                 and exit (for a UCQ: one plan per disjunct)
+//	-dot             print the d-graph in DOT format and exit (single CQ only)
+//	-naive           run the naive algorithm instead of the optimized plan
+//	-stats           print per-relation access statistics after the answers
+//	-latency         simulated per-access latency (e.g. 50ms)
+//	-max-batch       access bindings per source round trip (0 = default 16,
+//	                 negative = unbatched)
+//	-remote          attach a federation peer, host[:port][=R1,R2] (repeatable)
+//	-remote-timeout  per-probe-attempt timeout against peers (default 10s)
 package main
 
 import (
@@ -32,13 +41,8 @@ import (
 	"time"
 
 	"toorjah"
-	"toorjah/internal/core"
 	"toorjah/internal/cq"
-	"toorjah/internal/datalog"
-	"toorjah/internal/dgraph"
-	"toorjah/internal/exec"
 	"toorjah/internal/schema"
-	"toorjah/internal/source"
 	"toorjah/internal/storage"
 )
 
@@ -55,6 +59,12 @@ func main() {
 // errUsage marks a bad invocation (usage already printed).
 var errUsage = errors.New("usage")
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 // run is the whole CLI, factored out of main so the tests can drive the
 // binary end to end without spawning a process.
 func run(args []string, stdout io.Writer) error {
@@ -68,11 +78,15 @@ func run(args []string, stdout io.Writer) error {
 	showStats := fs.Bool("stats", true, "print access statistics")
 	latency := fs.Duration("latency", 0, "simulated per-access latency")
 	maxBatch := fs.Int("max-batch", 0, "access bindings per source round trip (0 = default 16, negative = unbatched)")
+	var remotes multiFlag
+	fs.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
+	remoteTimeout := fs.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
 
-	if *schemaFile == "" || *queryText == "" || (*dataDir == "" && !*showPlan && !*showDOT) {
+	if *schemaFile == "" || *queryText == "" ||
+		(*dataDir == "" && len(remotes) == 0 && !*showPlan && !*showDOT) {
 		fs.Usage()
 		return errUsage
 	}
@@ -84,49 +98,55 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	sys := toorjah.NewSystem(sch,
+		toorjah.WithLatency(*latency),
+		toorjah.WithMaxBatch(*maxBatch),
+		toorjah.WithRemoteOptions(toorjah.RemoteOptions{Timeout: *remoteTimeout}))
+	if *dataDir != "" {
+		db, err := loadDatabase(sch, *dataDir)
+		if err != nil {
+			return err
+		}
+		if err := sys.BindDatabase(db); err != nil {
+			return err
+		}
+	}
+	for _, spec := range remotes {
+		if err := sys.AttachRemote(spec); err != nil {
+			return err
+		}
+	}
+
 	if cq.IsUnion(*queryText) {
-		return runUCQ(sch, *queryText, *dataDir, *showPlan, *showDOT, *naive, *showStats, *latency, *maxBatch, stdout)
+		return runUCQ(sys, *queryText, *showPlan, *showDOT, *naive, *showStats, stdout)
 	}
-	q, err := cq.Parse(*queryText)
+	q, err := sys.Prepare(*queryText)
 	if err != nil {
 		return err
 	}
-	p, err := core.Prepare(sch, q)
-	if err != nil {
-		return err
-	}
-	if !p.Answerable() {
+	if !q.Answerable() {
 		fmt.Fprintln(stdout, "query is not answerable: some relation in it is not queryable; the answer is empty on every instance")
 		return nil
 	}
 	if *showDOT {
-		fmt.Fprint(stdout, dgraph.DOT(p.Graph, p.Opt.Solution, true))
+		fmt.Fprint(stdout, q.DGraphDOT())
 		return nil
 	}
 	if *showPlan {
-		fmt.Fprintf(stdout, "relevant relations:   %s\n", strings.Join(p.Opt.RelevantRelations(), ", "))
-		fmt.Fprintf(stdout, "irrelevant relations: %s\n", strings.Join(p.Opt.IrrelevantRelations(), ", "))
-		if p.Plan.ForAllMinimal() {
+		fmt.Fprintf(stdout, "relevant relations:   %s\n", strings.Join(q.RelevantRelations(), ", "))
+		fmt.Fprintf(stdout, "irrelevant relations: %s\n", strings.Join(q.IrrelevantRelations(), ", "))
+		if q.ForAllMinimal() {
 			fmt.Fprintln(stdout, "the ordering is unique: this plan is ∀-minimal")
 		}
-		fmt.Fprintln(stdout, p.Plan)
+		fmt.Fprintln(stdout, q.Plan())
 		return nil
 	}
 
-	db, err := loadDatabase(sch, *dataDir)
-	if err != nil {
-		return err
-	}
-	reg, err := source.FromDatabase(sch, db, *latency)
-	if err != nil {
-		return err
-	}
-
-	opts := exec.Options{MaxBatch: *maxBatch}
 	start := time.Now()
-	var res *exec.Result
+	var res *toorjah.Result
 	if *naive {
-		res, err = exec.NaiveOpts(sch, reg, p.Query, p.Typing, opts)
+		res, err = q.ExecuteNaive()
 		if err != nil {
 			return err
 		}
@@ -135,7 +155,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	} else {
 		// Stream answers as they are derived (the Toorjah way).
-		res, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{Options: opts}, func(t datalog.Tuple) {
+		res, err = q.Stream(toorjah.PipeOptions{}, func(t toorjah.Tuple) {
 			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
 		})
 		if err != nil {
@@ -149,19 +169,9 @@ func run(args []string, stdout io.Writer) error {
 // runUCQ answers a union of conjunctive queries through the façade: the
 // disjuncts execute concurrently over one registry and the distinct union
 // answers stream as the first disjunct derives them.
-func runUCQ(sch *schema.Schema, queryText, dataDir string, showPlan, showDOT, naive, showStats bool, latency time.Duration, maxBatch int, stdout io.Writer) error {
+func runUCQ(sys *toorjah.System, queryText string, showPlan, showDOT, naive, showStats bool, stdout io.Writer) error {
 	if showDOT {
 		return errors.New("-dot renders a single CQ's d-graph; pass one disjunct at a time")
-	}
-	sys := toorjah.NewSystem(sch, toorjah.WithLatency(latency), toorjah.WithMaxBatch(maxBatch))
-	if dataDir != "" {
-		db, err := loadDatabase(sch, dataDir)
-		if err != nil {
-			return err
-		}
-		if err := sys.BindDatabase(db); err != nil {
-			return err
-		}
 	}
 	u, err := sys.PrepareUCQ(queryText)
 	if err != nil {
@@ -203,12 +213,12 @@ func runUCQ(sch *schema.Schema, queryText, dataDir string, showPlan, showDOT, na
 		}
 	}
 	fmt.Fprintf(stdout, "-- union of %d disjunct(s)\n", len(u.Disjuncts()))
-	printSummary(stdout, sch, res, showStats)
+	printSummary(stdout, sys.Schema(), res, showStats)
 	return nil
 }
 
 // printSummary renders the shared answer/access footer of both query kinds.
-func printSummary(stdout io.Writer, sch *schema.Schema, res *exec.Result, showStats bool) {
+func printSummary(stdout io.Writer, sch *schema.Schema, res *toorjah.Result, showStats bool) {
 	fmt.Fprintf(stdout, "-- %d answer(s) in %s\n", res.Answers.Len(), res.Elapsed.Round(time.Millisecond))
 	if !showStats {
 		return

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"toorjah/internal/remote"
+	"toorjah/internal/schema"
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
 )
 
 // writeExample lays out the quickstart example (the paper's Example 1) as
@@ -203,5 +209,78 @@ func TestCLIBadSchema(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-schema", bad, "-data", dir, "-query", exampleQuery}, &out); err == nil {
 		t.Error("bad schema must error")
+	}
+}
+
+// TestCLIRemote: -remote attaches a federation peer, so the CLI answers a
+// query joining a local CSV relation with relations served by another node.
+func TestCLIRemote(t *testing.T) {
+	// The peer serves r2 and r3; only r1 exists locally.
+	peerSch := schema.MustParse(`
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	db := storage.NewDatabase()
+	for name, rows := range map[string][]storage.Row{
+		"r2": {{"volare", "1958", "modugno"}, {"vogue", "1990", "madonna"}},
+		"r3": {{"madonna", "like_a_virgin"}},
+	} {
+		tab, err := db.Create(name, peerSch.Relation(name).Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.InsertAll(rows)
+	}
+	reg, err := source.FromDatabase(peerSch, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(remote.PeerMux(reg))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	schemaFile := filepath.Join(dir, "schema.txt")
+	if err := os.WriteFile(schemaFile, []byte(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	if err := os.Mkdir(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "r1.csv"),
+		[]byte("modugno,italy,1928\nmadonna,usa,1958\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{"-schema", schemaFile, "-data", dataDir,
+		"-remote", ts.URL, "-query", exampleQuery}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "italy") {
+		t.Errorf("federated CLI output lacks the answer 'italy':\n%s", out.String())
+	}
+
+	// All-remote: no -data at all, explicit relation list.
+	var out2 strings.Builder
+	err = run([]string{"-schema", schemaFile,
+		"-remote", ts.URL + "=r2,r3", "-query", "q(T) :- r2(T, 1958, A)"}, &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "volare") {
+		t.Errorf("all-remote CLI output lacks 'volare':\n%s", out2.String())
+	}
+
+	// An unreachable peer is a startup error, not a silent empty answer.
+	var out3 strings.Builder
+	if err := run([]string{"-schema", schemaFile, "-data", dataDir,
+		"-remote", "http://127.0.0.1:1", "-query", exampleQuery}, &out3); err == nil {
+		t.Error("dead peer: want error")
 	}
 }

@@ -1,0 +1,622 @@
+package main
+
+// Federation acceptance tests: a toorjahd node must answer any CQ or UCQ
+// over relations sourced from other toorjahd nodes exactly as it would over
+// local tables — same answers, same per-relation access counts — across all
+// three executors, with and without the cross-query cache, batched and
+// unbatched; and injected transport faults (timeouts, 5xx) must be retried
+// or surfaced as errors/truncated sound subsets, never as wrong answers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"toorjah"
+	"toorjah/internal/cq"
+	"toorjah/internal/gen"
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+// fastRemote keeps the resilience delays test-sized.
+func fastRemote() toorjah.RemoteOptions {
+	return toorjah.RemoteOptions{
+		Timeout:   5 * time.Second,
+		RetryBase: time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+	}
+}
+
+// startToorjahd runs a real toorjahd server (the full route table, /probe
+// included) over the given relations and rows; wrap, when set, intercepts
+// the handler for fault injection.
+func startToorjahd(t *testing.T, rels []*schema.Relation, db *storage.Database, wrap func(http.Handler) http.Handler) string {
+	t.Helper()
+	sch, err := schema.New(rels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := toorjah.NewSystem(sch)
+	if err := sys.BindDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	h := http.Handler(newServer(sys, toorjah.PipeOptions{}).handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// subDatabase copies the named tables out of a full instance.
+func subDatabase(t *testing.T, db *storage.Database, rels []*schema.Relation) *storage.Database {
+	t.Helper()
+	out := storage.NewDatabase()
+	for _, rel := range rels {
+		tab, err := out.Create(rel.Name, rel.Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src := db.Table(rel.Name); src != nil {
+			tab.InsertAll(src.Rows())
+		}
+	}
+	return out
+}
+
+// execKind selects one of the three executors through the facade.
+type execKind string
+
+const (
+	execFastFail  execKind = "fastfail"
+	execNaive     execKind = "naive"
+	execPipelined execKind = "pipelined"
+)
+
+var allExecutors = []execKind{execFastFail, execNaive, execPipelined}
+
+// runCQ executes a prepared query with the chosen executor.
+func runCQ(q *toorjah.Query, kind execKind) (*toorjah.Result, error) {
+	switch kind {
+	case execNaive:
+		return q.ExecuteNaive()
+	case execPipelined:
+		return q.Stream(toorjah.PipeOptions{}, func(toorjah.Tuple) {})
+	default:
+		return q.Execute()
+	}
+}
+
+// runUCQ executes a prepared union with the chosen executor.
+func runUCQ(u *toorjah.UnionQuery, kind execKind) (*toorjah.Result, error) {
+	switch kind {
+	case execNaive:
+		return u.ExecuteNaive()
+	case execPipelined:
+		return u.Stream(toorjah.PipeOptions{}, func(toorjah.Tuple) {})
+	default:
+		return u.Execute()
+	}
+}
+
+// compareResults asserts the federated run reproduced the local one: same
+// answers, same per-relation accesses and extracted tuples. Round trips are
+// not compared — batch grouping is scheduling-dependent; the access count
+// is the paper's cost model and must be exact.
+func compareResults(t *testing.T, label string, got, want *toorjah.Result) {
+	t.Helper()
+	if g, w := strings.Join(got.SortedAnswers(), ";"), strings.Join(want.SortedAnswers(), ";"); g != w {
+		t.Errorf("%s: answers = %q, want %q", label, g, w)
+	}
+	rels := make(map[string]bool)
+	for r := range got.Stats {
+		rels[r] = true
+	}
+	for r := range want.Stats {
+		rels[r] = true
+	}
+	for r := range rels {
+		g, w := got.Stats[r], want.Stats[r]
+		if g.Accesses != w.Accesses || g.Tuples != w.Tuples {
+			t.Errorf("%s: relation %s: accesses/tuples = %d/%d, want %d/%d",
+				label, r, g.Accesses, g.Tuples, w.Accesses, w.Tuples)
+		}
+	}
+}
+
+// federationWorkload is one randomized scenario: a generated schema and
+// instance, its relations sharded over two toorjahd peers plus this node,
+// and the attach specs for the shards.
+type federationWorkload struct {
+	sch      *schema.Schema
+	db       *storage.Database
+	local    []*schema.Relation
+	specs    []string // one per peer
+	queries  []*cq.CQ
+	ucq      *cq.UCQ
+	shardOf  map[string]string
+	peerURLs []string
+}
+
+// newFederationWorkload generates the scenario for one seed: every third
+// relation stays local, the rest are sharded round-robin across two peers.
+func newFederationWorkload(t *testing.T, seed int64) *federationWorkload {
+	t.Helper()
+	cfg := gen.Scaled()
+	// Small instances: the naive executor probes input-domain cross
+	// products, and every probe here is a real HTTP round trip.
+	cfg.MinTuples, cfg.MaxTuples = 5, 30
+	cfg.MinDomainValues, cfg.MaxDomainValues = 5, 15
+	g := gen.New(seed, cfg)
+	sch := g.Schema()
+	db := g.Instance(sch)
+
+	var local, peerA, peerB []*schema.Relation
+	shardOf := make(map[string]string)
+	for i, rel := range sch.Relations() {
+		switch i % 3 {
+		case 0:
+			local = append(local, rel)
+			shardOf[rel.Name] = "local"
+		case 1:
+			peerA = append(peerA, rel)
+			shardOf[rel.Name] = "peerA"
+		default:
+			peerB = append(peerB, rel)
+			shardOf[rel.Name] = "peerB"
+		}
+	}
+	if len(peerA) == 0 || len(peerB) == 0 {
+		t.Fatalf("seed %d: schema of %d relations left a peer empty", seed, sch.Len())
+	}
+	w := &federationWorkload{sch: sch, db: db, local: local, shardOf: shardOf}
+	for _, shard := range [][]*schema.Relation{peerA, peerB} {
+		url := startToorjahd(t, shard, subDatabase(t, db, shard), nil)
+		var names []string
+		for _, rel := range shard {
+			names = append(names, rel.Name)
+		}
+		w.peerURLs = append(w.peerURLs, url)
+		w.specs = append(w.specs, url+"="+strings.Join(names, ","))
+	}
+
+	// A few generated queries (the generator only emits answerable ones),
+	// plus a UCQ built from two same-arity queries when the draw allows.
+	byArity := make(map[int][]*cq.CQ)
+	for tries := 0; tries < 60 && len(w.queries) < 3; tries++ {
+		q, ok := g.Query(sch, fmt.Sprintf("q%d", len(w.queries)))
+		if !ok {
+			continue
+		}
+		w.queries = append(w.queries, q)
+		a := len(q.Head)
+		byArity[a] = append(byArity[a], q)
+		if w.ucq == nil && len(byArity[a]) == 2 {
+			d1, d2 := byArity[a][0].Clone(), byArity[a][1].Clone()
+			d2.Name = d1.Name
+			w.ucq = &cq.UCQ{Name: d1.Name, Disjuncts: []*cq.CQ{d1, d2}}
+		}
+	}
+	if len(w.queries) == 0 {
+		t.Fatalf("seed %d: no answerable query generated", seed)
+	}
+	return w
+}
+
+// localSystem binds the full instance locally.
+func (w *federationWorkload) localSystem(t *testing.T, opts ...toorjah.SystemOption) *toorjah.System {
+	t.Helper()
+	sys := toorjah.NewSystem(w.sch, opts...)
+	if err := sys.BindDatabase(w.db); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// federatedSystem binds the local shard's tables and attaches both peers.
+func (w *federationWorkload) federatedSystem(t *testing.T, opts ...toorjah.SystemOption) *toorjah.System {
+	t.Helper()
+	opts = append([]toorjah.SystemOption{toorjah.WithRemoteOptions(fastRemote())}, opts...)
+	sys := toorjah.NewSystem(w.sch, opts...)
+	if err := sys.BindDatabase(subDatabase(t, w.db, w.local)); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range w.specs {
+		if err := sys.AttachRemote(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestFederationEquivalenceRandomized is the acceptance property: randomized
+// CQs and UCQs answered over two in-process toorjahd peers return exactly
+// the answers and per-relation access counts of the same query over local
+// tables, across all three executors, with and without the cache, batched
+// and unbatched.
+func TestFederationEquivalenceRandomized(t *testing.T) {
+	seeds := []int64{7, 19}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		w := newFederationWorkload(t, seed)
+		for _, cached := range []bool{false, true} {
+			for _, maxBatch := range []int{-1, 0} { // unbatched / default batching
+				var opts []toorjah.SystemOption
+				if cached {
+					opts = append(opts, toorjah.WithCache(toorjah.CacheOptions{}))
+				}
+				opts = append(opts, toorjah.WithMaxBatch(maxBatch))
+				for _, kind := range allExecutors {
+					for qi, q := range w.queries {
+						label := fmt.Sprintf("seed=%d %s cached=%v batch=%d q%d", seed, kind, cached, maxBatch, qi)
+						// Fresh systems per run: cache state must not leak
+						// across combinations.
+						lq, err := w.localSystem(t, opts...).PrepareCQ(q)
+						if err != nil {
+							t.Fatalf("%s: local prepare: %v", label, err)
+						}
+						want, err := runCQ(lq, kind)
+						if err != nil {
+							t.Fatalf("%s: local run: %v", label, err)
+						}
+						fq, err := w.federatedSystem(t, opts...).PrepareCQ(q)
+						if err != nil {
+							t.Fatalf("%s: federated prepare: %v", label, err)
+						}
+						got, err := runCQ(fq, kind)
+						if err != nil {
+							t.Fatalf("%s: federated run: %v", label, err)
+						}
+						compareResults(t, label, got, want)
+					}
+					if w.ucq != nil {
+						label := fmt.Sprintf("seed=%d %s cached=%v batch=%d ucq", seed, kind, cached, maxBatch)
+						lu, err := w.localSystem(t, opts...).PrepareUCQFrom(w.ucq)
+						if err != nil {
+							t.Fatalf("%s: local prepare: %v", label, err)
+						}
+						want, err := runUCQ(lu, kind)
+						if err != nil {
+							t.Fatalf("%s: local run: %v", label, err)
+						}
+						fu, err := w.federatedSystem(t, opts...).PrepareUCQFrom(w.ucq)
+						if err != nil {
+							t.Fatalf("%s: federated prepare: %v", label, err)
+						}
+						got, err := runUCQ(fu, kind)
+						if err != nil {
+							t.Fatalf("%s: federated run: %v", label, err)
+						}
+						compareResults(t, label, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// faultingPeer wraps a node handler so /probe requests are failed while
+// fail() says so.
+func faultingPeer(fail func(n int64) bool, how http.HandlerFunc) (func(http.Handler) http.Handler, *atomic.Int64) {
+	var probes atomic.Int64
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(wr http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/probe" && fail(probes.Add(1)) {
+				how(wr, r)
+				return
+			}
+			inner.ServeHTTP(wr, r)
+		})
+	}, &probes
+}
+
+// TestFederationFaults: transient 5xx and timeouts on the wire are retried
+// into exact answers; a hard-down peer surfaces as an error or a truncated
+// sound subset — never as wrong answers.
+func TestFederationFaults(t *testing.T) {
+	sch := schema.MustParse(pubSchemaText)
+	db := storage.NewDatabase()
+	for name, rows := range pubRows {
+		tab, err := db.Create(name, sch.Relation(name).Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.InsertAll(rows)
+	}
+	local := toorjah.NewSystem(sch)
+	if err := local.BindDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lq, err := local.Prepare(pubQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnswers := want.AnswerSet()
+
+	serve503 := func(wr http.ResponseWriter, r *http.Request) {
+		http.Error(wr, "injected fault", http.StatusServiceUnavailable)
+	}
+	hang := func(wr http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+		}
+	}
+
+	// federated builds a fresh querying node against a peer serving every
+	// relation behind the given fault policy.
+	federated := func(t *testing.T, wrap func(http.Handler) http.Handler, ropts toorjah.RemoteOptions) *toorjah.Query {
+		t.Helper()
+		url := startToorjahd(t, sch.Relations(), db, wrap)
+		sys := toorjah.NewSystem(sch.Clone(), toorjah.WithRemoteOptions(ropts))
+		if err := sys.AttachRemote(url); err != nil {
+			t.Fatal(err)
+		}
+		q, err := sys.Prepare(pubQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	t.Run("transient 5xx retried", func(t *testing.T) {
+		wrap, probes := faultingPeer(func(n int64) bool { return n%3 == 1 }, serve503)
+		q := federated(t, wrap, fastRemote())
+		for _, kind := range allExecutors {
+			res, err := runCQ(q, kind)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			compareResults(t, string(kind), res, want)
+		}
+		if probes.Load() == 0 {
+			t.Fatal("fault injector never saw a probe")
+		}
+	})
+
+	t.Run("timeouts retried", func(t *testing.T) {
+		ropts := fastRemote()
+		ropts.Timeout = 100 * time.Millisecond
+		wrap, _ := faultingPeer(func(n int64) bool { return n%4 == 1 }, hang)
+		q := federated(t, wrap, ropts)
+		res, err := q.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, "timeout-retry", res, want)
+	})
+
+	t.Run("hard-down peer never yields wrong answers", func(t *testing.T) {
+		ropts := fastRemote()
+		ropts.MaxRetries = 1
+		wrap, _ := faultingPeer(func(int64) bool { return true }, serve503)
+		q := federated(t, wrap, ropts)
+		for _, kind := range allExecutors {
+			var streamed []toorjah.Tuple
+			var res *toorjah.Result
+			var err error
+			if kind == execPipelined {
+				res, err = q.Stream(toorjah.PipeOptions{}, func(tp toorjah.Tuple) { streamed = append(streamed, tp) })
+			} else {
+				res, err = runCQ(q, kind)
+			}
+			if err == nil {
+				// A completed run must be exact; a truncated one sound.
+				if res.Truncated {
+					for _, a := range res.SortedAnswers() {
+						if !wantAnswers[toorjah.Tuple(strings.Split(a, ",")).Key()] {
+							t.Errorf("%s: truncated result contains wrong answer %q", kind, a)
+						}
+					}
+				} else {
+					compareResults(t, string(kind), res, want)
+				}
+			}
+			// Anything streamed before the failure must be a sound subset.
+			for _, tp := range streamed {
+				if !wantAnswers[tp.Key()] {
+					t.Errorf("%s: streamed wrong answer %v before failing", kind, tp)
+				}
+			}
+		}
+	})
+
+	t.Run("breaker trips on repeated failure", func(t *testing.T) {
+		ropts := fastRemote()
+		ropts.MaxRetries = -1
+		ropts.BreakerThreshold = 2
+		ropts.BreakerCooldown = time.Minute
+		wrap, probes := faultingPeer(func(int64) bool { return true }, serve503)
+		q := federated(t, wrap, ropts)
+		for i := 0; i < 6; i++ {
+			if _, err := q.Execute(); err == nil {
+				t.Fatalf("run %d: err = nil against a dead peer", i)
+			}
+		}
+		// The circuit opened after the threshold: the peer saw only the
+		// first failures, not 6 runs' worth of probes.
+		if got := probes.Load(); got > 4 {
+			t.Errorf("dead peer saw %d probes; breaker should have cut them off", got)
+		}
+	})
+}
+
+// TestServerFederationEndpoints: the server-level federation surface — a
+// front node answering /query over a peer's relations, probe accounting in
+// the peer's /stats, outbound telemetry in the front's /stats, and the
+// /healthz?ready readiness view tracking peer reachability.
+func TestServerFederationEndpoints(t *testing.T) {
+	sch := schema.MustParse(pubSchemaText)
+	// The peer serves rev; pub1 and conf stay on the front node.
+	db := storage.NewDatabase()
+	for name, rows := range pubRows {
+		tab, err := db.Create(name, sch.Relation(name).Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.InsertAll(rows)
+	}
+	peerURL := startToorjahd(t, []*schema.Relation{sch.Relation("rev")},
+		subDatabase(t, db, []*schema.Relation{sch.Relation("rev")}), nil)
+
+	front := toorjah.NewSystem(sch.Clone(),
+		toorjah.WithCache(toorjah.CacheOptions{}),
+		toorjah.WithRemoteOptions(fastRemote()))
+	if err := front.BindDatabase(subDatabase(t, db,
+		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.AttachRemote(peerURL + "=rev"); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(newServer(front, toorjah.PipeOptions{}).handler())
+	defer fsrv.Close()
+
+	answers, done := queryNDJSON(t, fsrv.URL+"/query?q="+strings.ReplaceAll(pubQuery, " ", "%20"))
+	if strings.Join(answers, ";") != "alice" || !done.Done {
+		t.Fatalf("federated /query = %v %+v, want alice", answers, done)
+	}
+
+	// Front node /stats: outbound telemetry for the peer.
+	var fst statsResponse
+	getJSON(t, fsrv.URL+"/stats", &fst)
+	tel, ok := fst.RemotePeers[peerURL]
+	if !ok {
+		t.Fatalf("front /stats remote_peers = %v, want %s", fst.RemotePeers, peerURL)
+	}
+	if tel["rev"].RoundTrips == 0 || tel["rev"].LatencyMS <= 0 {
+		t.Errorf("front telemetry for rev = %+v, want round trips and latency", tel["rev"])
+	}
+
+	// Peer /stats: the served probes are accounted per relation.
+	var pst statsResponse
+	getJSON(t, peerURL+"/stats", &pst)
+	if pst.ProbesServed == 0 || pst.Probes == nil {
+		t.Fatalf("peer /stats probes_served=%d probes=%v, want served probes", pst.ProbesServed, pst.Probes)
+	}
+	if st := pst.Probes.Relations["rev"]; st.Accesses == 0 || st.Batches == 0 || st.Batches > st.Accesses {
+		t.Errorf("peer probe accounting for rev = %+v", st)
+	}
+
+	// Readiness: healthy while the peer is up, 503 once it is gone.
+	resp, err := http.Get(fsrv.URL + "/healthz?ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Ready bool                       `json:"ready"`
+		Peers map[string]json.RawMessage `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !ready.Ready || len(ready.Peers) != 1 {
+		t.Fatalf("ready view = %d %+v, want ready with 1 peer", resp.StatusCode, ready)
+	}
+
+	// queryNDJSON(fsrv) again: the front's cache absorbs the repeat — the
+	// peer's probe count must not grow.
+	probesBefore := pst.ProbesServed
+	if a2, _ := queryNDJSON(t, fsrv.URL+"/query?q="+strings.ReplaceAll(pubQuery, " ", "%20")); strings.Join(a2, ";") != "alice" {
+		t.Fatalf("warm federated query = %v", a2)
+	}
+	getJSON(t, peerURL+"/stats", &pst)
+	if pst.ProbesServed != probesBefore {
+		t.Errorf("warm query reached the peer: probes %d -> %d", probesBefore, pst.ProbesServed)
+	}
+}
+
+// getJSON fetches and decodes a JSON endpoint.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadinessReportsDeadPeer: the readiness view flips to 503 when an
+// attached peer disappears.
+func TestReadinessReportsDeadPeer(t *testing.T) {
+	sch := schema.MustParse(pubSchemaText)
+	db := storage.NewDatabase()
+	for name, rows := range pubRows {
+		tab, err := db.Create(name, sch.Relation(name).Arity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.InsertAll(rows)
+	}
+	revOnly := []*schema.Relation{sch.Relation("rev")}
+	peerSys := toorjah.NewSystem(schema.MustNew(revOnly...))
+	if err := peerSys.BindDatabase(subDatabase(t, db, revOnly)); err != nil {
+		t.Fatal(err)
+	}
+	peer := httptest.NewServer(newServer(peerSys, toorjah.PipeOptions{}).handler())
+
+	ropts := fastRemote()
+	ropts.Timeout = 200 * time.Millisecond
+	front := toorjah.NewSystem(sch.Clone(), toorjah.WithRemoteOptions(ropts))
+	if err := front.BindDatabase(subDatabase(t, db,
+		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.AttachRemote(peer.URL + "=rev"); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(newServer(front, toorjah.PipeOptions{}).handler())
+	defer fsrv.Close()
+
+	peer.Close() // the peer vanishes
+	resp, err := http.Get(fsrv.URL + "/healthz?ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := struct {
+		Ready bool `json:"ready"`
+		Peers map[string]struct {
+			Reachable bool   `json:"reachable"`
+			Error     string `json:"error"`
+		} `json:"peers"`
+	}{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Ready {
+		t.Errorf("dead peer: status %d ready %v, want 503 not-ready", resp.StatusCode, body.Ready)
+	}
+	p, ok := body.Peers[peer.URL]
+	if !ok || p.Reachable || p.Error == "" {
+		t.Errorf("dead peer entry = %+v", body.Peers)
+	}
+	// Liveness stays green: the node itself is up.
+	lresp, err := http.Get(fsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 16)
+	n, _ := lresp.Body.Read(b)
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusOK || !strings.Contains(string(b[:n]), "ok") {
+		t.Errorf("liveness = %d %q", lresp.StatusCode, b[:n])
+	}
+}

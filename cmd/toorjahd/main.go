@@ -27,6 +27,19 @@
 // statistics and the disjunct count, and /stats reports how many served
 // queries were unions (ucqs_served).
 //
+// A node is also a federation peer: POST /probe serves batched
+// binding-pattern probes of its relations to other toorjahd/toorjah nodes
+// (behind the shared access cache, so repeat federated probes cost no local
+// access), and -remote attaches relations served by other nodes as this
+// node's own sources — a deployment shards its relations across machines
+// and every node answers queries over the union. GET /healthz?ready is the
+// readiness view, reporting the reachability of the attached peers; /stats
+// reports probes served (probes_served, probes) and per-peer outbound
+// telemetry (remote_peers: round trips, retries, breaker opens, latency).
+//
+// The process drains gracefully: SIGINT/SIGTERM stop accepting connections
+// and in-flight query streams get up to 15s to finish.
+//
 // Flags:
 //
 //	-addr                listen address (default :8344)
@@ -40,20 +53,36 @@
 //	-cache-ttl           expiry of cached accesses (default: never)
 //	-cache-negative-ttl  expiry of cached empty accesses (default: cache-ttl)
 //	-no-negative         do not cache empty accesses
+//	-remote              attach a federation peer: http://host:8344=R1,R2
+//	                     (bare address = every shared relation this node
+//	                     holds no data for; repeatable)
+//	-remote-timeout      per-probe-attempt timeout against peers (default 10s)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"toorjah"
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	schemaFile := flag.String("schema", "", "schema file (required)")
@@ -68,6 +97,9 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "expiry of cached accesses (0 = never)")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "expiry of cached empty accesses (0 = same as cache-ttl)")
 	noNegative := flag.Bool("no-negative", false, "do not cache empty accesses")
+	var remotes multiFlag
+	flag.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
+	remoteTimeout := flag.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
 	flag.Parse()
 
 	if *schemaFile == "" || *dataDir == "" {
@@ -87,7 +119,11 @@ func main() {
 		fatal(err)
 	}
 
-	opts := []toorjah.SystemOption{toorjah.WithLatency(*latency), toorjah.WithMaxBatch(*maxBatch)}
+	opts := []toorjah.SystemOption{
+		toorjah.WithLatency(*latency),
+		toorjah.WithMaxBatch(*maxBatch),
+		toorjah.WithRemoteOptions(toorjah.RemoteOptions{Timeout: *remoteTimeout}),
+	}
 	if !*noCache {
 		opts = append(opts, toorjah.WithCache(toorjah.CacheOptions{
 			Capacity:        *cacheCap,
@@ -100,11 +136,57 @@ func main() {
 	if err := sys.BindDatabase(db); err != nil {
 		fatal(err)
 	}
+	for _, spec := range remotes {
+		if err := sys.AttachRemote(spec); err != nil {
+			fatal(err)
+		}
+		log.Printf("toorjahd: attached federation peer %s", spec)
+	}
 
+	// The server snapshots the probe registry, so it is built after every
+	// local and remote relation is bound.
 	srv := newServer(sys, toorjah.PipeOptions{Parallelism: *parallelism, QueueLen: *queueLen})
-	log.Printf("toorjahd: %d relation(s) loaded from %s, listening on %s", sch.Len(), *dataDir, *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Header reads and idle keep-alives are bounded; request
+		// read/write stay unbounded because /query streams answers for as
+		// long as the extraction runs.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	if err := serve(hs, sch.Len(), *dataDir); err != nil {
 		fatal(err)
+	}
+}
+
+// serve runs the HTTP server until it fails or a SIGINT/SIGTERM arrives,
+// then shuts down gracefully: the listener closes immediately and in-flight
+// requests get drainTimeout to finish.
+const drainTimeout = 15 * time.Second
+
+func serve(hs *http.Server, relations int, dataDir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("toorjahd: %d relation(s) loaded from %s, listening on %s", relations, dataDir, hs.Addr)
+	select {
+	case err := <-errc:
+		return err // never ErrServerClosed: only Shutdown below closes it
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		log.Printf("toorjahd: signal received, draining connections (up to %s)", drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("toorjahd: drained, bye")
+		return nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"toorjah"
 	"toorjah/internal/cq"
+	"toorjah/internal/remote"
 )
 
 // server serves concurrent conjunctive queries — and unions of them — over
@@ -48,19 +50,55 @@ type server struct {
 	served    atomic.Int64
 	ucqServed atomic.Int64
 
-	srcMu   sync.Mutex
-	sources map[string]toorjah.SourceStats // per-relation accounting, summed over queries
+	srcMu        sync.Mutex
+	sources      map[string]toorjah.SourceStats // per-relation accounting, summed over queries
+	probeSources map[string]toorjah.SourceStats // per-relation accounting of probes served to peers
+
+	probeH       *remote.Handler
+	probesServed atomic.Int64
 }
 
+// newServer builds the route table's state over a fully bound system: the
+// /probe endpoint snapshots the system's sources (behind its cross-query
+// cache) at construction, so bind every relation — including remote
+// attaches — first.
 func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
-	return &server{
-		sys:     sys,
-		pipe:    pipe,
-		start:   time.Now(),
-		plans:   make(map[string]runnable),
-		planCap: maxPreparedPlans,
-		sources: make(map[string]toorjah.SourceStats),
+	s := &server{
+		sys:          sys,
+		pipe:         pipe,
+		start:        time.Now(),
+		plans:        make(map[string]runnable),
+		planCap:      maxPreparedPlans,
+		sources:      make(map[string]toorjah.SourceStats),
+		probeSources: make(map[string]toorjah.SourceStats),
 	}
+	s.probeH = remote.NewHandler(sys.ProbeRegistry())
+	s.probeH.Record = s.recordProbe
+	return s
+}
+
+// recordProbe folds one served /probe into the federation accounting: a
+// request is one round trip of `accesses` bindings.
+func (s *server) recordProbe(rel string, accesses, tuples int) {
+	s.probesServed.Add(1)
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	cur := s.probeSources[rel]
+	cur.Add(toorjah.SourceStats{Accesses: accesses, Batches: 1, Tuples: tuples})
+	s.probeSources[rel] = cur
+}
+
+// probeSnapshot copies the served-probe accounting.
+func (s *server) probeSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	out := make(map[string]toorjah.SourceStats, len(s.probeSources))
+	var totals toorjah.SourceStats
+	for rel, st := range s.probeSources {
+		out[rel] = st
+		totals.Add(st)
+	}
+	return out, totals
 }
 
 // recordSources folds one execution's per-relation accounting into the
@@ -92,12 +130,61 @@ func (s *server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.Sourc
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.Handle("/probe", s.probeH)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/schema", s.handleSchema)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness probe; with ?ready it becomes the readiness
+// view, checking every attached federation peer's reachability in parallel
+// and answering 503 when any is down (so a load balancer can stop routing
+// federated queries to a node whose peers are unreachable).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !r.URL.Query().Has("ready") {
+		io.WriteString(w, "ok\n")
+		return
+	}
+	type peerStatus struct {
+		Reachable bool   `json:"reachable"`
+		Error     string `json:"error,omitempty"`
+	}
+	resp := struct {
+		Ready bool                  `json:"ready"`
+		Peers map[string]peerStatus `json:"peers"`
+	}{Ready: true, Peers: make(map[string]peerStatus)}
+
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	peers := s.sys.RemotePeers()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *toorjah.RemotePeer) {
+			defer wg.Done()
+			err := p.Healthy(ctx)
+			st := peerStatus{Reachable: err == nil}
+			if err != nil {
+				st.Error = err.Error()
+			}
+			mu.Lock()
+			resp.Peers[p.Base()] = st
+			if err != nil {
+				resp.Ready = false
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 // prepared returns the warm plan for a query text — a single CQ, or a UCQ
@@ -266,6 +353,15 @@ type statsResponse struct {
 	PreparedPlans int               `json:"prepared_plans"`
 	Sources       *sourceStatsBlock `json:"sources"`
 	Cache         *cacheStatsBlock  `json:"cache"`
+	// ProbesServed counts the /probe round trips this node answered for
+	// federated peers; Probes breaks them down per relation (accesses =
+	// bindings probed, batches = round trips, tuples streamed).
+	ProbesServed int64             `json:"probes_served"`
+	Probes       *sourceStatsBlock `json:"probes,omitempty"`
+	// RemotePeers is the outbound federation telemetry: for every attached
+	// peer, per sourced relation, the HTTP round trips, retries, circuit
+	// breaker opens and cumulative probe latency this node spent on it.
+	RemotePeers map[string]map[string]toorjah.RemoteTelemetry `json:"remote_peers,omitempty"`
 }
 
 // sourceStatsBlock aggregates per-relation source accounting over every
@@ -292,6 +388,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if rels, totals := s.sourceSnapshot(); len(rels) > 0 {
 		resp.Sources = &sourceStatsBlock{Totals: totals, Relations: rels}
+	}
+	resp.ProbesServed = s.probesServed.Load()
+	if rels, totals := s.probeSnapshot(); len(rels) > 0 {
+		resp.Probes = &sourceStatsBlock{Totals: totals, Relations: rels}
+	}
+	if peers := s.sys.RemotePeers(); len(peers) > 0 {
+		resp.RemotePeers = make(map[string]map[string]toorjah.RemoteTelemetry, len(peers))
+		for _, p := range peers {
+			resp.RemotePeers[p.Base()] = p.Telemetry()
+		}
 	}
 	if c := s.sys.AccessCache(); c != nil {
 		// One snapshot pass; totals and entry count derive from it rather

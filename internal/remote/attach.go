@@ -1,0 +1,95 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"toorjah/internal/schema"
+)
+
+// AttachSpec names a peer and the relations to source from it, as given on
+// the command line: "http://host:8344=R1,R2" attaches R1 and R2;
+// "http://host:8344" alone attaches every peer relation the local schema
+// also declares.
+type AttachSpec struct {
+	Base string
+	// Relations to attach; nil means all shared relations.
+	Relations []string
+}
+
+// ParseAttachSpec parses the -remote flag syntax base[=R1,R2,...].
+func ParseAttachSpec(s string) (AttachSpec, error) {
+	spec := AttachSpec{Base: strings.TrimSpace(s)}
+	if eq := strings.IndexByte(s, '='); eq >= 0 {
+		spec.Base = strings.TrimSpace(s[:eq])
+		for _, r := range strings.Split(s[eq+1:], ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			spec.Relations = append(spec.Relations, r)
+		}
+		if len(spec.Relations) == 0 {
+			return spec, fmt.Errorf("remote spec %q: empty relation list after '='", s)
+		}
+	}
+	if spec.Base == "" {
+		return spec, fmt.Errorf("remote spec %q: empty peer address", s)
+	}
+	if !strings.Contains(spec.Base, "://") {
+		spec.Base = "http://" + spec.Base
+	}
+	return spec, nil
+}
+
+// Attach discovers the peer's schema and builds one Source per attached
+// relation. With an explicit relation list, every listed relation must be
+// served by the peer; with none, all peer relations also declared locally
+// are attached (and there must be at least one). Either way, each attached
+// relation's declaration — name, access pattern, and domains — must be
+// identical on both sides: a pattern mismatch would let the planner issue
+// probes the peer rejects, and a domain mismatch would corrupt the
+// relevance analysis.
+func Attach(ctx context.Context, c *Client, local *schema.Schema, relations []string) ([]*Source, error) {
+	peer, err := c.FetchSchema(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return AttachDiscovered(c, local, peer, relations)
+}
+
+// AttachDiscovered is Attach for a peer schema already fetched (callers
+// that inspect the discovery before choosing relations avoid a second
+// round trip).
+func AttachDiscovered(c *Client, local, peer *schema.Schema, relations []string) ([]*Source, error) {
+	if relations == nil {
+		for _, rel := range peer.Relations() {
+			if local.Has(rel.Name) {
+				relations = append(relations, rel.Name)
+			}
+		}
+		sort.Strings(relations)
+		if len(relations) == 0 {
+			return nil, fmt.Errorf("remote %s: no peer relation appears in the local schema", c.base)
+		}
+	}
+	out := make([]*Source, 0, len(relations))
+	for _, name := range relations {
+		lrel := local.Relation(name)
+		if lrel == nil {
+			return nil, fmt.Errorf("remote %s: relation %s is not in the local schema", c.base, name)
+		}
+		prel := peer.Relation(name)
+		if prel == nil {
+			return nil, fmt.Errorf("remote %s: peer does not serve relation %s", c.base, name)
+		}
+		if lrel.String() != prel.String() {
+			return nil, fmt.Errorf("remote %s: relation %s declared as %s locally but %s on the peer",
+				c.base, name, lrel, prel)
+		}
+		out = append(out, c.Source(lrel))
+	}
+	return out, nil
+}

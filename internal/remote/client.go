@@ -1,0 +1,447 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+// Options tunes a remote-source client; the zero value means every default
+// below. Where zero is a meaningful setting (MaxRetries), negative selects
+// it, following the repo's MaxBatch convention.
+type Options struct {
+	// Timeout bounds each probe attempt (connection + full response
+	// stream). Default 10s.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed probe is retried after the
+	// first attempt. 0 means the default (2); negative disables retries.
+	MaxRetries int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// retries: attempt n waits RetryBase<<n, capped at RetryMax, jittered
+	// to [wait/2, wait] so synchronized clients do not stampede a
+	// recovering peer. Defaults 50ms and 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerThreshold consecutive probe failures of one relation open its
+	// circuit breaker for BreakerCooldown; while open, probes fail fast
+	// with ErrBreakerOpen, and the first probe after the cooldown is the
+	// half-open trial. Defaults 5 and 10s; a negative threshold disables
+	// the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxResponseBytes caps one probe response stream. Default 32 MiB.
+	MaxResponseBytes int64
+	// MaxIdleConns bounds the pooled idle connections to the peer.
+	// Default 32.
+	MaxIdleConns int
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.MaxResponseBytes <= 0 {
+		o.MaxResponseBytes = 32 << 20
+	}
+	if o.MaxIdleConns <= 0 {
+		o.MaxIdleConns = 32
+	}
+	return o
+}
+
+// Telemetry is the accumulated accounting of one relation's probes against
+// one peer: HTTP round trips attempted (including retries), retries among
+// them, times the circuit breaker opened, and cumulative wall-clock probe
+// latency.
+type Telemetry struct {
+	RoundTrips   int     `json:"round_trips"`
+	Retries      int     `json:"retries"`
+	BreakerOpens int     `json:"breaker_opens"`
+	LatencyMS    float64 `json:"latency_ms"`
+}
+
+// Add accumulates another relation's counters into t.
+func (t *Telemetry) Add(o Telemetry) {
+	t.RoundTrips += o.RoundTrips
+	t.Retries += o.Retries
+	t.BreakerOpens += o.BreakerOpens
+	t.LatencyMS += o.LatencyMS
+}
+
+// relState is the per-relation resilience state of a client.
+type relState struct {
+	br *breaker
+
+	mu         sync.Mutex
+	roundTrips int
+	retries    int
+	latency    time.Duration
+}
+
+// Client speaks the probe protocol to one peer. It owns a per-host
+// connection pool shared by every relation sourced from the peer, and keeps
+// per-relation circuit breakers and telemetry. A Client is safe for
+// concurrent use; the executors probe through it from many goroutines.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts Options
+
+	mu   sync.Mutex
+	rels map[string]*relState
+}
+
+// Dial prepares a client for the peer at base (e.g. "http://host:8344").
+// No connection is made until the first probe.
+func Dial(base string, opts Options) *Client {
+	o := opts.withDefaults()
+	tr := &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        o.MaxIdleConns,
+		MaxIdleConnsPerHost: o.MaxIdleConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Transport: tr},
+		opts: o,
+		rels: make(map[string]*relState),
+	}
+}
+
+// Base returns the peer's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Close releases the pooled idle connections.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// relStateFor returns (creating on first use) the relation's state.
+func (c *Client) relStateFor(relation string) *relState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.rels[relation]
+	if !ok {
+		threshold := c.opts.BreakerThreshold
+		if threshold < 0 {
+			threshold = int(^uint(0) >> 1) // disabled: never trips
+		}
+		st = &relState{br: newBreaker(threshold, c.opts.BreakerCooldown)}
+		c.rels[relation] = st
+	}
+	return st
+}
+
+// Telemetry snapshots the per-relation probe accounting.
+func (c *Client) Telemetry() map[string]Telemetry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Telemetry, len(c.rels))
+	for name, st := range c.rels {
+		st.mu.Lock()
+		out[name] = Telemetry{
+			RoundTrips:   st.roundTrips,
+			Retries:      st.retries,
+			BreakerOpens: st.br.openCount(),
+			LatencyMS:    float64(st.latency.Microseconds()) / 1000,
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// Healthy probes the peer's /healthz; nil means reachable.
+func (c *Client) Healthy(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s/healthz: %s", c.base, resp.Status)
+	}
+	return nil
+}
+
+// FetchSchema discovers the peer's relations: it reads /schema (the paper's
+// textual notation, one relation per line — exactly what toorjahd serves)
+// and parses it.
+func (c *Client) FetchSchema(ctx context.Context) (*schema.Schema, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/schema", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: schema discovery: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: schema discovery: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote %s: schema discovery: %s: %s",
+			c.base, resp.Status, bytes.TrimSpace(text))
+	}
+	sch, err := schema.Parse(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: bad /schema: %w", c.base, err)
+	}
+	return sch, nil
+}
+
+// errResponseTooLarge aborts a stream that exceeds MaxResponseBytes.
+var errResponseTooLarge = errors.New("remote: probe response too large")
+
+// limitedReader is io.LimitReader that remembers tripping the limit, so the
+// decode error can be classified as non-retryable.
+type limitedReader struct {
+	r        io.Reader
+	n        int64
+	exceeded bool
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		l.exceeded = true
+		return 0, errResponseTooLarge
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// Probe serves one batched probe of a relation: a single HTTP round trip
+// for the whole batch, retried with exponential backoff and jitter on
+// retryable failures (network errors, timeouts, 5xx, 408/429, truncated
+// streams), failing fast while the relation's circuit breaker is open.
+// Result i holds exactly the rows matching bindings[i].
+func (c *Client) Probe(ctx context.Context, relation string, bindings [][]string) ([][]storage.Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := c.relStateFor(relation)
+	if !st.br.allow() {
+		return nil, fmt.Errorf("remote %s: relation %s: %w", c.base, relation, ErrBreakerOpen)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		rows, retryable, err := c.probeOnce(ctx, relation, bindings)
+		st.mu.Lock()
+		st.roundTrips++
+		st.latency += time.Since(start)
+		st.mu.Unlock()
+		if err == nil {
+			st.br.success()
+			return rows, nil
+		}
+		st.br.failure()
+		lastErr = fmt.Errorf("remote %s: relation %s: %w", c.base, relation, err)
+		if !retryable || attempt >= c.opts.MaxRetries {
+			break
+		}
+		if err := c.backoff(ctx, attempt); err != nil {
+			break // cancelled mid-backoff; lastErr is the more informative error
+		}
+		// The breaker may have opened on this very failure streak; stop
+		// stacking retries against a tripped circuit. (allow also admits
+		// the half-open trial when the cooldown is already over.)
+		if !st.br.allow() {
+			break
+		}
+		st.mu.Lock()
+		st.retries++
+		st.mu.Unlock()
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps the jittered exponential delay of the given attempt,
+// returning early if ctx is done.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	wait := c.opts.RetryBase << uint(attempt)
+	if wait <= 0 || wait > c.opts.RetryMax {
+		wait = c.opts.RetryMax
+	}
+	// Jitter to [wait/2, wait]: enough spread to desynchronize peers
+	// without losing the exponential shape.
+	wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// probeOnce is one HTTP round trip: POST the request, stream the NDJSON
+// frames back, and classify any failure as retryable or not.
+func (c *Client) probeOnce(ctx context.Context, relation string, bindings [][]string) (_ [][]storage.Row, retryable bool, _ error) {
+	body, err := json.Marshal(ProbeRequest{Relation: relation, Bindings: bindings})
+	if err != nil {
+		return nil, false, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/probe", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, true, err // connection refused, reset, timeout: all retryable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		retry := resp.StatusCode >= 500 ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusRequestTimeout
+		return nil, retry, fmt.Errorf("probe: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	out := make([][]storage.Row, len(bindings))
+	lr := &limitedReader{r: resp.Body, n: c.opts.MaxResponseBytes}
+	dec := json.NewDecoder(lr)
+	tuples := 0
+	for {
+		var f probeFrame
+		err := dec.Decode(&f)
+		if err == io.EOF {
+			// The peer died mid-stream; a retry re-probes from scratch
+			// (probes are idempotent reads).
+			return nil, true, errors.New("probe stream ended without a done frame")
+		}
+		if err != nil {
+			if lr.exceeded || errors.Is(err, errResponseTooLarge) {
+				return nil, false, fmt.Errorf("probe response exceeds %d bytes", c.opts.MaxResponseBytes)
+			}
+			return nil, true, fmt.Errorf("bad probe frame: %w", err)
+		}
+		switch {
+		case f.Error != "":
+			return nil, true, fmt.Errorf("peer: %s", f.Error)
+		case f.Done:
+			if f.Tuples != tuples {
+				return nil, true, fmt.Errorf("probe stream carried %d tuples, done frame says %d", tuples, f.Tuples)
+			}
+			return out, false, nil
+		case f.Row != nil:
+			if f.B < 0 || f.B >= len(out) {
+				return nil, false, fmt.Errorf("row frame for binding %d of a %d-binding probe", f.B, len(out))
+			}
+			out[f.B] = append(out[f.B], storage.Row(f.Row))
+			tuples++
+		default:
+			return nil, false, errors.New("unclassifiable probe frame")
+		}
+	}
+}
+
+// Source is one remote relation as a data source: a source.Wrapper (and
+// source.BatchSource — a batch rides a single HTTP round trip) probing the
+// relation on the client's peer. All sources of one client share its
+// connection pool; each relation has its own breaker and telemetry.
+type Source struct {
+	c   *Client
+	rel *schema.Relation
+}
+
+// Source binds a relation schema to the peer. The relation must match the
+// peer's own declaration — Attach discovers and verifies that; this
+// constructor trusts the caller.
+func (c *Client) Source(rel *schema.Relation) *Source {
+	return &Source{c: c, rel: rel}
+}
+
+// Relation returns the relation schema this source serves.
+func (s *Source) Relation() *schema.Relation { return s.rel }
+
+// Access probes the relation with one binding: a batch of one.
+func (s *Source) Access(binding []string) ([]storage.Row, error) {
+	out, err := s.AccessBatch([][]string{binding})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// AccessBatch probes the relation with the whole batch in one HTTP round
+// trip; result i is exactly what Access(bindings[i]) would return.
+func (s *Source) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	inputs := s.rel.InputPositions()
+	for _, b := range bindings {
+		if len(b) != len(inputs) {
+			return nil, fmt.Errorf("remote source %s: binding of %d values for %d input arguments",
+				s.rel.Name, len(b), len(inputs))
+		}
+	}
+	results, err := s.c.Probe(context.Background(), s.rel.Name, bindings)
+	if err != nil {
+		return nil, err
+	}
+	// Soundness guard: every returned row must have the relation's arity
+	// and agree with its binding on the input positions. A misconfigured or
+	// buggy peer surfaces as an error, never as wrong answers.
+	for i, rows := range results {
+		for _, row := range rows {
+			if len(row) != s.rel.Arity() {
+				return nil, fmt.Errorf("remote source %s: peer %s returned a row of arity %d, want %d",
+					s.rel.Name, s.c.base, len(row), s.rel.Arity())
+			}
+			for k, pos := range inputs {
+				if row[pos] != bindings[i][k] {
+					return nil, fmt.Errorf("remote source %s: peer %s returned a row not matching its binding at position %d",
+						s.rel.Name, s.c.base, pos+1)
+				}
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,145 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"toorjah/internal/source"
+	"toorjah/internal/storage"
+)
+
+// Server-side bounds of one /probe request; both are defensive caps, not
+// tuning knobs — a well-behaved client batches far below them.
+const (
+	// DefaultMaxBindings caps the bindings of one probe request.
+	DefaultMaxBindings = 4096
+	// DefaultMaxRequestBytes caps the request body.
+	DefaultMaxRequestBytes = 8 << 20
+)
+
+// Handler serves the /probe protocol over a source registry: each request
+// is one batched probe of a single relation, honoring the relation's
+// binding pattern (a binding must cover exactly the input positions) and
+// streaming every matching tuple back as NDJSON row frames.
+type Handler struct {
+	reg *source.Registry
+
+	// Record, when set, observes every served probe: the relation, the
+	// number of bindings probed (accesses — one request is one round trip),
+	// and the tuples streamed. toorjahd feeds its /stats from it.
+	Record func(relation string, accesses, tuples int)
+
+	// MaxBindings and MaxRequestBytes bound one request; zero means the
+	// package defaults.
+	MaxBindings     int
+	MaxRequestBytes int64
+}
+
+// NewHandler serves probes of the registry's relations.
+func NewHandler(reg *source.Registry) *Handler {
+	return &Handler{reg: reg}
+}
+
+// ServeHTTP answers one POST /probe.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST with a JSON probe request", http.StatusMethodNotAllowed)
+		return
+	}
+	maxBytes := h.MaxRequestBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxRequestBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("probe body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req ProbeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad probe request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxBindings := h.MaxBindings
+	if maxBindings <= 0 {
+		maxBindings = DefaultMaxBindings
+	}
+	if len(req.Bindings) > maxBindings {
+		http.Error(w, fmt.Sprintf("probe of %d bindings exceeds the %d-binding cap",
+			len(req.Bindings), maxBindings), http.StatusBadRequest)
+		return
+	}
+	src := h.reg.Source(req.Relation)
+	if src == nil {
+		http.Error(w, "unknown relation "+req.Relation, http.StatusNotFound)
+		return
+	}
+	inputs := len(src.Relation().InputPositions())
+	for i, b := range req.Bindings {
+		if len(b) != inputs {
+			http.Error(w, fmt.Sprintf("binding %d has %d values for %d input arguments of %s",
+				i, len(b), inputs, req.Relation), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Probe before streaming: the batch either succeeds whole (the
+	// extractions are in memory anyway, the sources are local tables or a
+	// cache over them) or fails as a clean, retryable 500.
+	results, err := source.ProbeBatch(src, req.Bindings)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	tuples := 0
+	for i, rows := range results {
+		for _, row := range rows {
+			if row == nil {
+				row = storage.Row{}
+			}
+			enc.Encode(rowFrame{B: i, Row: row})
+		}
+		tuples += len(rows)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples})
+	if h.Record != nil {
+		h.Record(req.Relation, len(req.Bindings), tuples)
+	}
+}
+
+// PeerMux is a minimal federation peer over a registry: the /probe
+// endpoint, the /schema text the discovery client parses (one relation per
+// line, in the paper's notation), and a /healthz liveness probe. toorjahd
+// mounts the same Handler into its richer route table; PeerMux serves the
+// tests, benchmarks, and embedders that need a probe-able node and nothing
+// else.
+func PeerMux(reg *source.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/probe", NewHandler(reg))
+	mux.HandleFunc("/schema", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, name := range reg.Names() {
+			fmt.Fprintln(w, reg.Source(name).Relation())
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}

@@ -1,0 +1,71 @@
+// Package remote federates access-limited sources across toorjahd nodes:
+// it turns every relation a peer serves into a source.Wrapper on this node,
+// so a deployment can shard relations across machines and answer queries
+// over the union (the web sources the paper targets, reached over a real
+// network instead of the simulated WithLatency sleeps).
+//
+// The wire protocol is one operation, the probe — exactly the paper's
+// access, batched: POST /probe carries a relation name and a batch of input
+// bindings, and the peer streams every matching tuple back as NDJSON,
+// tagged with the index of the binding it answers. A batch is N accesses in
+// one round trip, so the executors' batching machinery amortises real
+// network latency the same way it amortises the simulated kind.
+//
+// The client half (Client, Source) implements source.Wrapper and
+// source.BatchSource over that protocol with the resilience a real network
+// needs: per-host connection pooling, per-attempt timeouts, bounded retries
+// with exponential backoff and jitter, a per-relation circuit breaker, and
+// response-size limits. Schema discovery (FetchSchema, Attach) builds the
+// remote relations from a peer's /schema endpoint.
+package remote
+
+// The /probe wire format. Request: a JSON body naming the relation and the
+// batch of input bindings (each parallel to the relation's input
+// positions). Response: application/x-ndjson — zero or more row frames
+// {"b":i,"row":[...]}, each a full tuple (inputs and outputs) matching
+// binding i, terminated by a done frame {"done":true,...}. A failure after
+// the stream has started is reported in-band as {"error":"..."}; failures
+// before it use plain HTTP status codes.
+
+// ProbeRequest is the body of a POST /probe: one batched probe of a single
+// relation. Bindings holds one input binding per access, each parallel to
+// the relation's input positions; a free relation probes with the single
+// empty binding.
+type ProbeRequest struct {
+	Relation string     `json:"relation"`
+	Bindings [][]string `json:"bindings"`
+}
+
+// rowFrame is one matching tuple: a full row (inputs and outputs) of the
+// probed relation, answering binding B. Row is always present, so that the
+// empty row of a nullary relation survives the trip.
+type rowFrame struct {
+	B   int      `json:"b"`
+	Row []string `json:"row"`
+}
+
+// doneFrame terminates a successful stream, carrying the served accounting:
+// bindings probed (always len(Bindings)) and total tuples streamed.
+type doneFrame struct {
+	Done     bool `json:"done"`
+	Accesses int  `json:"accesses"`
+	Tuples   int  `json:"tuples"`
+}
+
+// errorFrame reports a failure in-band once the stream has started.
+type errorFrame struct {
+	Error string `json:"error"`
+}
+
+// probeFrame is the decoding union of the three frame shapes: a frame is an
+// error when Error is non-empty, done when Done is set, and a row when Row
+// is non-nil (JSON "row":[] decodes to a non-nil empty slice, so nullary
+// rows classify correctly); anything else is a protocol violation.
+type probeFrame struct {
+	B        int      `json:"b"`
+	Row      []string `json:"row"`
+	Done     bool     `json:"done"`
+	Accesses int      `json:"accesses"`
+	Tuples   int      `json:"tuples"`
+	Error    string   `json:"error"`
+}

@@ -1,0 +1,185 @@
+package toorjah
+
+// Federation: a System can source relations from remote toorjahd peers
+// instead of (or mixed with) local tables. A peer serves its relations over
+// the probe protocol of internal/remote (POST /probe, batched bindings in,
+// NDJSON rows out); this node attaches them as ordinary sources, so every
+// layer above — the executors, the batcher, the cross-query cache, the
+// parallel union runner — composes unchanged, now amortising real network
+// round trips instead of simulated latency.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"toorjah/internal/remote"
+	"toorjah/internal/source"
+)
+
+// Re-exported remote types, so applications configure federation without
+// importing the internal package.
+type (
+	// RemoteOptions tunes the remote-source clients: per-attempt timeout,
+	// bounded retries with backoff and jitter, per-relation circuit
+	// breaker, response-size limit, connection pool.
+	RemoteOptions = remote.Options
+	// RemotePeer is an attached peer: one probe client with per-relation
+	// breakers and telemetry, shared by every relation sourced from it.
+	RemotePeer = remote.Client
+	// RemoteTelemetry is the accumulated probe accounting of one relation
+	// against one peer.
+	RemoteTelemetry = remote.Telemetry
+)
+
+// WithRemoteOptions sets the client tuning used by every subsequently
+// attached peer (WithRemote / AttachRemote); the zero value is the package
+// defaults.
+func WithRemoteOptions(o RemoteOptions) SystemOption {
+	return func(s *System) { s.remoteOpts = o }
+}
+
+// WithRemote attaches a federation peer by spec — "http://host:8344=R1,R2",
+// or just the address to attach every peer relation the schema declares
+// that this node does not already hold data for. Construction stays
+// network-free: the attach (schema discovery and validation against the
+// local declarations) happens on the first Prepare, or eagerly via
+// AttachRemotes; a failed attach surfaces there and is retried by later
+// calls, with a short cooldown between attempts so a dead peer costs one
+// dial per cooldown window, not one per query.
+func WithRemote(spec string) SystemOption {
+	return func(s *System) {
+		s.pendingRemote = append(s.pendingRemote, pendingAttach{spec: spec})
+	}
+}
+
+// pendingAttach is a WithRemote spec not yet attached, with the failure
+// bookkeeping behind the retry cooldown.
+type pendingAttach struct {
+	spec    string
+	lastTry time.Time
+	lastErr error
+}
+
+// attachRetryCooldown spaces out re-attach attempts of a failing pending
+// peer: within the window, AttachRemotes returns the recorded error
+// without touching the network (the attach runs under remoteMu, so every
+// concurrent Prepare would otherwise serialize behind a full dial timeout).
+const attachRetryCooldown = 5 * time.Second
+
+// AttachRemote attaches a federation peer now: it parses the spec, dials
+// the peer, discovers its schema, verifies every attached relation is
+// declared identically on both sides, and binds a remote source per
+// relation (dropping any cached accesses of those relations, like any
+// rebind).
+func (s *System) AttachRemote(spec string) error {
+	s.remoteMu.Lock()
+	defer s.remoteMu.Unlock()
+	return s.attachRemoteLocked(spec)
+}
+
+// AttachRemotes applies the pending WithRemote specs. It is idempotent and
+// safe to call concurrently (Prepare calls it); a spec leaves the pending
+// list only when its attach succeeds, so a peer that was down at first use
+// is retried by a later Prepare — after attachRetryCooldown, the recorded
+// error being returned in between.
+func (s *System) AttachRemotes() error {
+	s.remoteMu.Lock()
+	defer s.remoteMu.Unlock()
+	for len(s.pendingRemote) > 0 {
+		p := &s.pendingRemote[0]
+		if p.lastErr != nil && time.Since(p.lastTry) < attachRetryCooldown {
+			return p.lastErr
+		}
+		if err := s.attachRemoteLocked(p.spec); err != nil {
+			p.lastTry, p.lastErr = time.Now(), err
+			return err
+		}
+		s.pendingRemote = s.pendingRemote[1:]
+	}
+	return nil
+}
+
+// attachRemoteLocked does the attach; callers hold s.remoteMu.
+func (s *System) attachRemoteLocked(spec string) error {
+	as, err := remote.ParseAttachSpec(spec)
+	if err != nil {
+		return fmt.Errorf("toorjah: %w", err)
+	}
+	c := remote.Dial(as.Base, s.remoteOpts)
+	peer, err := c.FetchSchema(context.Background())
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("toorjah: %w", err)
+	}
+	relations := as.Relations
+	if relations == nil {
+		// Bare attach: source from the peer what this node does not hold
+		// itself. The peer's /schema lists its *declared* relations —
+		// including ones it only serves as empty placeholders — so without
+		// the locallyOwned filter a bare attach would shadow this node's
+		// own data-bearing tables behind remote (possibly empty) sources.
+		// An explicit =R1,R2 list always wins, shadowing included.
+		for _, rel := range peer.Relations() {
+			if s.sch.Has(rel.Name) && !s.locallyOwned(rel.Name) {
+				relations = append(relations, rel.Name)
+			}
+		}
+		if len(relations) == 0 {
+			c.Close()
+			return fmt.Errorf("toorjah: remote %s: no peer relation to attach (every shared relation is already locally bound)", as.Base)
+		}
+	}
+	srcs, err := remote.AttachDiscovered(c, s.sch, peer, relations)
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("toorjah: %w", err)
+	}
+	for _, src := range srcs {
+		s.Bind(src)
+	}
+	s.peers = append(s.peers, c)
+	return nil
+}
+
+// locallyOwned reports whether a relation's current binding is worth
+// keeping in front of a bare remote attach: anything except no binding at
+// all, an empty local table (the placeholder a missing CSV leaves behind),
+// or a source already attached from another peer. Custom wrappers are
+// opaque, so they count as owned.
+func (s *System) locallyOwned(name string) bool {
+	switch src := s.reg.Source(name).(type) {
+	case nil:
+		return false
+	case *source.TableSource:
+		return src.Table().Len() > 0
+	case *remote.Source:
+		return false
+	default:
+		return true
+	}
+}
+
+// RemotePeers returns the attached federation peers, in attach order; use
+// them for telemetry (RemotePeer.Telemetry) and reachability
+// (RemotePeer.Healthy). Peers whose WithRemote attach has not run yet are
+// absent.
+func (s *System) RemotePeers() []*RemotePeer {
+	s.remoteMu.Lock()
+	defer s.remoteMu.Unlock()
+	out := make([]*RemotePeer, len(s.peers))
+	copy(out, s.peers)
+	return out
+}
+
+// ProbeRegistry returns the system's sources as served to federated peers:
+// behind the cross-query cache when one is configured, so a probe repeated
+// by (or across) peers costs no local access. toorjahd mounts its /probe
+// endpoint over this view. The view snapshots the current bindings — take
+// it after every relation is bound, and retake it after a rebind.
+func (s *System) ProbeRegistry() *source.Registry {
+	if s.cache != nil {
+		return s.cache.WrapRegistry(s.reg)
+	}
+	return s.reg
+}

@@ -48,6 +48,12 @@
 // per-probe latency without changing answers or access counts — a batch is
 // just N accesses. Result.Stats reports the round trips as Batches.
 //
+// Sources need not be local at all (see WithRemote): relations served by a
+// remote toorjahd peer attach as federated sources probed over HTTP — a
+// batch of bindings per round trip, with retries, circuit breakers and
+// connection pooling — so a deployment can shard its relations across
+// nodes and answer queries over the union, caching and batching included.
+//
 // The internal packages expose every stage of the pipeline (schema, cq,
 // dgraph, plan, exec, …) for programmatic use; this package is the
 // high-level façade.
@@ -55,6 +61,7 @@ package toorjah
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"toorjah/internal/cache"
@@ -134,6 +141,13 @@ type System struct {
 	// access bindings are folded into one source round trip. 0 means the
 	// executor default (exec.DefaultMaxBatch); negative disables batching.
 	MaxBatch int
+
+	// Federation state (see remote.go): client tuning for attached peers,
+	// the WithRemote specs not yet attached, and the attached peers.
+	remoteOpts    RemoteOptions
+	remoteMu      sync.Mutex
+	pendingRemote []pendingAttach
+	peers         []*RemotePeer
 }
 
 // SystemOption configures a System at construction.
@@ -257,8 +271,12 @@ func (s *System) execOpts(o Options) Options {
 // empty sources for the missing ones — except when the system shares its
 // cache with others: an implicitly empty source would poison the shared
 // cache with negative entries for relations the other systems have data
-// for, so missing bindings are an error there.
+// for, so missing bindings are an error there. Pending WithRemote peers
+// attach first, so their relations are never mistaken for missing.
 func (s *System) ensureBound() error {
+	if err := s.AttachRemotes(); err != nil {
+		return err
+	}
 	for _, rel := range s.sch.Relations() {
 		if s.reg.Source(rel.Name) == nil {
 			if s.sharedCache {
