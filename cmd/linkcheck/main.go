@@ -1,0 +1,182 @@
+// Command linkcheck verifies the repository documentation's internal
+// links: for every markdown file given, each inline link `[text](target)`
+// must resolve — relative targets to an existing file or directory, and
+// `#anchor` fragments (same-file or cross-file) to a heading whose GitHub
+// slug matches. External targets (http, https, mailto) are skipped: CI must
+// not depend on the network. Links inside fenced code blocks are ignored.
+//
+//	linkcheck README.md ARCHITECTURE.md examples/README.md
+//
+// The exit status is non-zero when any link is broken; every broken link
+// is reported, not only the first. It has no dependencies outside the
+// standard library, so the docs CI job is one `go run ./cmd/linkcheck`.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// run checks every file and reports all broken links; it returns an error
+// when any were found (or a file could not be read).
+func run(files []string, out io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: linkcheck <markdown files>")
+	}
+	broken := 0
+	for _, f := range files {
+		links, err := extractLinks(f)
+		if err != nil {
+			return err
+		}
+		for _, l := range links {
+			if msg := checkLink(f, l); msg != "" {
+				fmt.Fprintf(out, "%s:%d: %s\n", f, l.line, msg)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		return fmt.Errorf("%d broken link(s)", broken)
+	}
+	fmt.Fprintf(out, "linkcheck: %d file(s) ok\n", len(files))
+	return nil
+}
+
+// link is one inline markdown link occurrence.
+type link struct {
+	target string
+	line   int
+}
+
+// linkRE matches inline links and images: [text](target) — the target up
+// to the first closing parenthesis or title quote.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s"]+)[^)]*\)`)
+
+// extractLinks pulls every inline link out of a markdown file, skipping
+// fenced code blocks.
+func extractLinks(path string) ([]link, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{target: m[1], line: i + 1})
+		}
+	}
+	return out, nil
+}
+
+// checkLink validates one link of file; it returns "" when the link is
+// fine and a description otherwise.
+func checkLink(file string, l link) string {
+	t := l.target
+	switch {
+	case strings.HasPrefix(t, "http://"), strings.HasPrefix(t, "https://"),
+		strings.HasPrefix(t, "mailto:"):
+		return "" // external: not checked
+	case strings.HasPrefix(t, "#"):
+		return checkAnchor(file, strings.TrimPrefix(t, "#"))
+	}
+	path, frag, _ := strings.Cut(t, "#")
+	resolved := filepath.Join(filepath.Dir(file), path)
+	info, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %s does not exist", t, resolved)
+	}
+	if frag != "" {
+		if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return "" // anchors are only checkable in markdown files
+		}
+		return checkAnchor(resolved, frag)
+	}
+	return ""
+}
+
+// checkAnchor verifies that a markdown file has a heading whose GitHub
+// slug equals the fragment.
+func checkAnchor(path, frag string) string {
+	anchors, err := headingSlugs(path)
+	if err != nil {
+		return err.Error()
+	}
+	if !anchors[frag] {
+		return fmt.Sprintf("broken anchor #%s in %s", frag, path)
+	}
+	return ""
+}
+
+// headingSlugs returns the set of GitHub-style anchor slugs of a markdown
+// file's headings (duplicate headings get -1, -2, … suffixes, as on
+// GitHub).
+func headingSlugs(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && !strings.HasPrefix(text, " ")) {
+			continue // not a heading: no '#' prefix stripped, or "#tag"
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase, spaces
+// to hyphens, markdown emphasis and punctuation dropped (unicode letters,
+// digits, hyphens and underscores survive).
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

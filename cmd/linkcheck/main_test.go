@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, making parents.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLinkcheckPasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other Title\n\n## A Section Here\n")
+	write(t, dir, "sub/file.go", "package x\n")
+	doc := write(t, dir, "doc.md", strings.Join([]string{
+		"# Doc",
+		"",
+		"## First Section",
+		"",
+		"A [file link](sub/file.go), a [doc link](other.md), a",
+		"[cross anchor](other.md#a-section-here), a [self anchor](#first-section),",
+		"an [external](https://example.com/nope) (never fetched), a [dir](sub).",
+		"",
+		"```",
+		"[not a link](nothing.md) — fenced code is ignored",
+		"```",
+	}, "\n"))
+	var out strings.Builder
+	if err := run([]string{doc}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+func TestLinkcheckFindsBreakage(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other\n")
+	doc := write(t, dir, "doc.md", strings.Join([]string{
+		"# Doc",
+		"",
+		"[missing file](nope.md) and [missing anchor](#nowhere) and",
+		"[missing cross anchor](other.md#gone).",
+	}, "\n"))
+	var out strings.Builder
+	err := run([]string{doc}, &out)
+	if err == nil {
+		t.Fatalf("run passed on broken links:\n%s", out.String())
+	}
+	for _, want := range []string{"nope.md", "#nowhere", "#gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(err.Error(), "3 broken") {
+		t.Errorf("err = %v, want 3 broken links", err)
+	}
+}
+
+// TestRepoDocs runs the checker over the repository's real documentation,
+// so a broken link fails `go test` even before the CI docs job runs.
+func TestRepoDocs(t *testing.T) {
+	root := "../.."
+	files := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ARCHITECTURE.md"),
+		filepath.Join(root, "examples", "README.md"),
+	}
+	var out strings.Builder
+	if err := run(files, &out); err != nil {
+		t.Fatalf("repository docs: %v\n%s", err, out.String())
+	}
+}

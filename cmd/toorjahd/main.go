@@ -15,8 +15,10 @@
 //	GET  /query?q=<CQ>[&limit=N]   stream answers as NDJSON, then a summary
 //	POST /query                    same, query text in the request body
 //	                               (bodies beyond 1 MiB are rejected with 413)
-//	GET  /stats                    cache + service statistics as JSON
-//	GET  /schema                   the loaded schema
+//	POST /ingest?relation=R[&op=]  apply one batch of live mutations (NDJSON
+//	                               rows; op insert or delete; size-capped)
+//	GET  /stats                    cache + service + data-freshness statistics
+//	GET  /schema                   the loaded schema (+ per-relation epochs)
 //	GET  /healthz                  liveness probe
 //
 // A query text with several non-comment lines is a union of conjunctive
@@ -26,6 +28,14 @@
 // disjunct derives them; the summary line carries the merged access
 // statistics and the disjunct count, and /stats reports how many served
 // queries were unions (ucqs_served).
+//
+// Relations are live: POST /ingest?relation=rev streams NDJSON rows (one
+// JSON string array per line) into the relation as a single batch — one
+// epoch advance — with op=delete removing rows instead. Queries in flight
+// keep the consistent version they started with; queries arriving after
+// the ingest response see the new rows, including through the shared
+// access cache (entries are keyed by data epoch). /stats reports each
+// relation's epoch, live row count and last-ingest time under "data".
 //
 // A node is also a federation peer: POST /probe serves batched
 // binding-pattern probes of its relations to other toorjahd/toorjah nodes
@@ -53,6 +63,7 @@
 //	-cache-ttl           expiry of cached accesses (default: never)
 //	-cache-negative-ttl  expiry of cached empty accesses (default: cache-ttl)
 //	-no-negative         do not cache empty accesses
+//	-max-ingest-bytes    cap on one /ingest request body (default 8 MiB)
 //	-remote              attach a federation peer: http://host:8344=R1,R2
 //	                     (bare address = every shared relation this node
 //	                     holds no data for; repeatable)
@@ -97,6 +108,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "expiry of cached accesses (0 = never)")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "expiry of cached empty accesses (0 = same as cache-ttl)")
 	noNegative := flag.Bool("no-negative", false, "do not cache empty accesses")
+	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "cap on one /ingest request body")
 	var remotes multiFlag
 	flag.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
 	remoteTimeout := flag.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
@@ -146,6 +158,9 @@ func main() {
 	// The server snapshots the probe registry, so it is built after every
 	// local and remote relation is bound.
 	srv := newServer(sys, toorjah.PipeOptions{Parallelism: *parallelism, QueueLen: *queueLen})
+	if *maxIngest > 0 {
+		srv.maxIngestBytes = *maxIngest
+	}
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.handler(),

@@ -32,6 +32,12 @@ const maxPreparedPlans = 1024
 // with 413 rather than silently truncated into a parse error.
 const maxQueryBytes = 1 << 20
 
+// defaultMaxIngestBytes bounds the /ingest request body (-max-ingest-bytes
+// overrides); one batch of NDJSON rows must fit in memory twice anyway
+// (decoded rows + table), so the cap is a defensive bound, not a tuning
+// knob.
+const defaultMaxIngestBytes = 8 << 20
+
 // runnable is a prepared query of either kind — a single CQ or a UCQ whose
 // disjuncts stream concurrently — behind the one entry point /query needs.
 type runnable interface {
@@ -56,6 +62,21 @@ type server struct {
 
 	probeH       *remote.Handler
 	probesServed atomic.Int64
+
+	// Ingestion state: the body cap and the per-relation accounting of
+	// applied mutations behind /stats' data block.
+	maxIngestBytes int64
+	ingestsServed  atomic.Int64
+	ingMu          sync.Mutex
+	ingests        map[string]*ingestStats
+}
+
+// ingestStats accumulates one relation's served ingestion.
+type ingestStats struct {
+	Ingests  int64     `json:"ingests"`  // /ingest requests applied
+	Inserted int64     `json:"inserted"` // rows added
+	Deleted  int64     `json:"deleted"`  // rows removed
+	LastAt   time.Time `json:"-"`        // wall clock of the last request
 }
 
 // newServer builds the route table's state over a fully bound system: the
@@ -64,13 +85,15 @@ type server struct {
 // attaches — first.
 func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
 	s := &server{
-		sys:          sys,
-		pipe:         pipe,
-		start:        time.Now(),
-		plans:        make(map[string]runnable),
-		planCap:      maxPreparedPlans,
-		sources:      make(map[string]toorjah.SourceStats),
-		probeSources: make(map[string]toorjah.SourceStats),
+		sys:            sys,
+		pipe:           pipe,
+		start:          time.Now(),
+		plans:          make(map[string]runnable),
+		planCap:        maxPreparedPlans,
+		sources:        make(map[string]toorjah.SourceStats),
+		probeSources:   make(map[string]toorjah.SourceStats),
+		maxIngestBytes: defaultMaxIngestBytes,
+		ingests:        make(map[string]*ingestStats),
 	}
 	s.probeH = remote.NewHandler(sys.ProbeRegistry())
 	s.probeH.Record = s.recordProbe
@@ -130,6 +153,7 @@ func (s *server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.Sourc
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.Handle("/probe", s.probeH)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/schema", s.handleSchema)
@@ -343,6 +367,127 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(done)
 }
 
+// ingestResponse is the JSON payload answering one applied /ingest.
+type ingestResponse struct {
+	Relation string `json:"relation"`
+	Op       string `json:"op"`
+	// Rows is how many rows the request carried; Applied how many actually
+	// changed the relation (duplicates and absent deletions are no-ops).
+	Rows    int `json:"rows"`
+	Applied int `json:"applied"`
+	// Epoch is the relation's data version after the batch. Queries already
+	// running keep their pinned older version; every query starting after
+	// this response sees exactly this epoch or a later one.
+	Epoch     uint64  `json:"epoch"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleIngest applies one batch of live mutations to a relation:
+//
+//	POST /ingest?relation=rev[&op=insert|delete]
+//
+// with an NDJSON body, one JSON string array per line ("["alice","icde",
+// "y2008"]"), each of the relation's arity. The whole body is one batch —
+// one copy-on-write step, at most one epoch advance — applied atomically
+// with respect to queries: in-flight executions keep their pinned version,
+// and the cross-query cache stops serving the relation's older extractions
+// (negative entries included) the moment the epoch advances. Bodies beyond
+// -max-ingest-bytes are rejected with 413; nothing is applied on a parse
+// or arity error.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST with NDJSON rows as the body", http.StatusMethodNotAllowed)
+		return
+	}
+	rel := r.URL.Query().Get("relation")
+	if rel == "" {
+		http.Error(w, "missing ?relation=", http.StatusBadRequest)
+		return
+	}
+	op := r.URL.Query().Get("op")
+	if op == "" {
+		op = "insert"
+	}
+	if op != "insert" && op != "delete" {
+		http.Error(w, "op must be insert or delete", http.StatusBadRequest)
+		return
+	}
+	relSchema := s.sys.Schema().Relation(rel)
+	if relSchema == nil {
+		http.Error(w, "unknown relation "+rel, http.StatusNotFound)
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxIngestBytes))
+	var rows []toorjah.Row
+	for {
+		var row []string
+		err := dec.Decode(&row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, fmt.Sprintf("ingest body exceeds %d bytes", tooLarge.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, fmt.Sprintf("row %d: %v", len(rows)+1, err), http.StatusBadRequest)
+			return
+		}
+		if len(row) != relSchema.Arity() {
+			http.Error(w, fmt.Sprintf("row %d has arity %d, want %d", len(rows)+1, len(row), relSchema.Arity()),
+				http.StatusBadRequest)
+			return
+		}
+		rows = append(rows, toorjah.Row(row))
+	}
+
+	start := time.Now()
+	var applied int
+	var err error
+	if op == "insert" {
+		applied, err = s.sys.Insert(rel, rows...)
+	} else {
+		applied, err = s.sys.Delete(rel, rows...)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ingestsServed.Add(1)
+	s.recordIngest(rel, op, applied)
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ingestResponse{
+		Relation:  rel,
+		Op:        op,
+		Rows:      len(rows),
+		Applied:   applied,
+		Epoch:     s.sys.RelationEpoch(rel),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// recordIngest folds one applied /ingest into the per-relation accounting.
+func (s *server) recordIngest(rel, op string, applied int) {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	st := s.ingests[rel]
+	if st == nil {
+		st = &ingestStats{}
+		s.ingests[rel] = st
+	}
+	st.Ingests++
+	if op == "insert" {
+		st.Inserted += int64(applied)
+	} else {
+		st.Deleted += int64(applied)
+	}
+	st.LastAt = time.Now()
+}
+
 // statsResponse is the payload of /stats.
 type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -360,8 +505,36 @@ type statsResponse struct {
 	Probes       *sourceStatsBlock `json:"probes,omitempty"`
 	// RemotePeers is the outbound federation telemetry: for every attached
 	// peer, per sourced relation, the HTTP round trips, retries, circuit
-	// breaker opens and cumulative probe latency this node spent on it.
+	// breaker opens, cumulative probe latency, and last observed data epoch
+	// (epoch_changes counts stale-snapshot detections) this node spent on
+	// or learned from it.
 	RemotePeers map[string]map[string]toorjah.RemoteTelemetry `json:"remote_peers,omitempty"`
+	// IngestsServed counts the applied POST /ingest requests; Data is the
+	// per-relation freshness view (current epoch, live rows, when the data
+	// last changed, and what ingestion it has absorbed).
+	IngestsServed int64                   `json:"ingests_served"`
+	Data          map[string]dataRelStats `json:"data,omitempty"`
+}
+
+// dataRelStats is one relation's freshness entry in /stats.
+type dataRelStats struct {
+	// Epoch is the relation's current data version (advances once per
+	// mutating batch; 0 = unversioned source).
+	Epoch uint64 `json:"epoch"`
+	// Rows is the live row count, -1 when the source is not a local table.
+	Rows int `json:"rows"`
+	// Local reports whether the relation is served from a local table.
+	Local bool `json:"local"`
+	// LastModified is when the relation's data last changed (RFC 3339) —
+	// the boot-time CSV load counts; absent only for an empty untouched
+	// table or a non-local source. LastIngest isolates HTTP ingestion.
+	LastModified string `json:"last_modified,omitempty"`
+	// LastIngest is when /ingest last touched the relation (absent when it
+	// never did); Ingests/Inserted/Deleted break down what was applied.
+	LastIngest string `json:"last_ingest,omitempty"`
+	Ingests    int64  `json:"ingests,omitempty"`
+	Inserted   int64  `json:"inserted,omitempty"`
+	Deleted    int64  `json:"deleted,omitempty"`
 }
 
 // sourceStatsBlock aggregates per-relation source accounting over every
@@ -399,6 +572,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.RemotePeers[p.Base()] = p.Telemetry()
 		}
 	}
+	resp.IngestsServed = s.ingestsServed.Load()
+	if info := s.sys.DataInfo(); len(info) > 0 {
+		resp.Data = make(map[string]dataRelStats, len(info))
+		s.ingMu.Lock()
+		for name, ri := range info {
+			d := dataRelStats{Epoch: ri.Epoch, Rows: ri.Rows, Local: ri.Local}
+			if !ri.ModifiedAt.IsZero() {
+				d.LastModified = ri.ModifiedAt.UTC().Format(time.RFC3339)
+			}
+			if ist := s.ingests[name]; ist != nil {
+				d.Ingests, d.Inserted, d.Deleted = ist.Ingests, ist.Inserted, ist.Deleted
+				d.LastIngest = ist.LastAt.UTC().Format(time.RFC3339)
+			}
+			resp.Data[name] = d
+		}
+		s.ingMu.Unlock()
+	}
 	if c := s.sys.AccessCache(); c != nil {
 		// One snapshot pass; totals and entry count derive from it rather
 		// than re-walking (and re-locking) every cache shard.
@@ -419,9 +609,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(resp)
 }
 
+// handleSchema serves the schema in the paper's notation — the federation
+// discovery format — followed by "# epoch" comment lines advertising each
+// relation's current data version, so an attaching peer keys its cache by
+// the right version before its first probe.
 func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
 	for _, rel := range s.sys.Schema().Relations() {
-		fmt.Fprintln(w, rel)
+		fmt.Fprintln(&b, rel)
 	}
+	epochs := make(map[string]uint64)
+	for name, info := range s.sys.DataInfo() {
+		epochs[name] = info.Epoch
+	}
+	remote.AppendSchemaEpochs(&b, epochs)
+	io.WriteString(w, b.String())
 }

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -487,5 +488,113 @@ func TestLoadDatabase(t *testing.T) {
 	}
 	if got := strings.Join(res.SortedAnswers(), ";"); got != "alice" {
 		t.Errorf("answers = %q, want alice", got)
+	}
+}
+
+// TestServerIngest: rows POSTed to /ingest become visible to the next
+// /query through the shared cache with no rebind, /stats reports the
+// relation's epoch and last-ingest time, and malformed or oversized bodies
+// are rejected without applying anything.
+func TestServerIngest(t *testing.T) {
+	// Plain table bindings (no Counter decorators): ingestion needs the
+	// live tables reachable behind the sources, as in the real server.
+	sch := schema.MustParse(pubSchemaText)
+	sys := toorjah.NewSystem(sch, toorjah.WithCache(toorjah.CacheOptions{}))
+	for rel, rows := range pubRows {
+		if err := sys.BindRows(rel, rows...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := newServer(sys, toorjah.PipeOptions{})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	queryURL := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")
+	if answers, _ := queryNDJSON(t, queryURL); strings.Join(answers, ";") != "alice" {
+		t.Fatalf("cold query = %v, want alice", answers)
+	}
+
+	// carol reviews icde'08 and publishes p9 there: two single-batch ingests.
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(ts.URL+path, "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post("/ingest?relation=rev", "[\"carol\",\"icde\",\"y2008\"]\n")
+	var ing struct {
+		Applied int    `json:"applied"`
+		Epoch   uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Applied != 1 || ing.Epoch < 2 {
+		t.Fatalf("ingest rev: status=%d resp=%+v", resp.StatusCode, ing)
+	}
+	resp = post("/ingest?relation=pub1", "[\"p9\",\"carol\"]\n")
+	resp.Body.Close()
+	resp = post("/ingest?relation=conf", "[\"p9\",\"icde\",\"y2008\"]\n")
+	resp.Body.Close()
+
+	// The warm plan now answers over the new data — same prepared plan, no
+	// rebind, straight through the shared cache.
+	answers, _ := queryNDJSON(t, queryURL)
+	sort.Strings(answers)
+	if strings.Join(answers, ";") != "alice;carol" {
+		t.Fatalf("post-ingest query = %v, want alice;carol", answers)
+	}
+
+	// Deleting the review removes carol again.
+	resp = post("/ingest?relation=rev&op=delete", "[\"carol\",\"icde\",\"y2008\"]\n")
+	resp.Body.Close()
+	if answers, _ := queryNDJSON(t, queryURL); strings.Join(answers, ";") != "alice" {
+		t.Fatalf("post-delete query = %v, want alice", answers)
+	}
+
+	// /stats: per-relation epoch, row count and ingest accounting.
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.IngestsServed != 4 {
+		t.Errorf("ingests_served = %d, want 4", st.IngestsServed)
+	}
+	rev, ok := st.Data["rev"]
+	if !ok {
+		t.Fatalf("stats data block missing rev: %+v", st.Data)
+	}
+	if rev.Epoch < 3 || rev.Rows != 1 || !rev.Local || rev.LastIngest == "" ||
+		rev.Ingests != 2 || rev.Inserted != 1 || rev.Deleted != 1 {
+		t.Errorf("rev data stats = %+v", rev)
+	}
+
+	// Error paths apply nothing: wrong arity, bad JSON, unknown relation,
+	// bad op, oversized body.
+	for _, tc := range []struct {
+		path, body string
+		status     int
+	}{
+		{"/ingest?relation=rev", "[\"too\",\"short\"]\n", http.StatusBadRequest},
+		{"/ingest?relation=rev", "[\"nul\\u0000byte\",\"icde\",\"y2008\"]\n", http.StatusBadRequest},
+		{"/ingest?relation=rev&op=delete", "[\"nul\\u0000byte\",\"icde\",\"y2008\"]\n", http.StatusBadRequest},
+		{"/ingest?relation=rev", "not json\n", http.StatusBadRequest},
+		{"/ingest?relation=nope", "[]\n", http.StatusNotFound},
+		{"/ingest?relation=rev&op=upsert", "[]\n", http.StatusBadRequest},
+	} {
+		resp := post(tc.path, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("POST %s %q: status = %d, want %d", tc.path, tc.body, resp.StatusCode, tc.status)
+		}
+	}
+	srv.maxIngestBytes = 64
+	resp = post("/ingest?relation=rev", strings.Repeat("[\"x\",\"y\",\"z\"]\n", 100))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ingest: status = %d, want 413", resp.StatusCode)
+	}
+	if answers, _ := queryNDJSON(t, queryURL); strings.Join(answers, ";") != "alice" {
+		t.Errorf("failed ingests changed data: %v", answers)
 	}
 }

@@ -31,8 +31,8 @@ func TestMultiGetMultiPut(t *testing.T) {
 	c := New(Options{})
 	bindings := [][]string{{"a0"}, {"a1"}}
 	rows := [][]storage.Row{{{"a0", "b0"}}, {}}
-	c.MultiPut("r", bindings, rows)
-	got, ok := c.MultiGet("r", [][]string{{"a0"}, {"a1"}, {"a2"}})
+	c.MultiPut("r", 0, bindings, rows)
+	got, ok := c.MultiGet("r", 0, [][]string{{"a0"}, {"a1"}, {"a2"}})
 	if !ok[0] || !ok[1] || ok[2] {
 		t.Fatalf("ok = %v, want [true true false]", ok)
 	}
@@ -55,11 +55,11 @@ func TestMultiGetMultiPut(t *testing.T) {
 // negative caching is off.
 func TestMultiPutRespectsNegativePolicy(t *testing.T) {
 	c := New(Options{DisableNegative: true})
-	c.MultiPut("r", [][]string{{"a0"}, {"a1"}}, [][]storage.Row{{}, {{"a1", "b1"}}})
-	if _, ok := c.MultiGet("r", [][]string{{"a0"}}); ok[0] {
+	c.MultiPut("r", 0, [][]string{{"a0"}, {"a1"}}, [][]storage.Row{{}, {{"a1", "b1"}}})
+	if _, ok := c.MultiGet("r", 0, [][]string{{"a0"}}); ok[0] {
 		t.Error("empty extraction cached despite DisableNegative")
 	}
-	if _, ok := c.MultiGet("r", [][]string{{"a1"}}); !ok[0] {
+	if _, ok := c.MultiGet("r", 0, [][]string{{"a1"}}); !ok[0] {
 		t.Error("non-empty extraction missing")
 	}
 }
@@ -73,7 +73,7 @@ func TestMultiPutEvicts(t *testing.T) {
 		bindings = append(bindings, []string{fmt.Sprintf("a%d", i)})
 		rows = append(rows, []storage.Row{{fmt.Sprintf("a%d", i), "b"}})
 	}
-	c.MultiPut("r", bindings, rows)
+	c.MultiPut("r", 0, bindings, rows)
 	if got := c.Len(); got > 4 {
 		t.Errorf("Len = %d, want <= 4 after batched stores", got)
 	}
@@ -155,9 +155,9 @@ func (w *invalidatingWrapper) Access(binding []string) ([]storage.Row, error) {
 func TestMultiGetExpiry(t *testing.T) {
 	now := time.Unix(0, 0)
 	c := New(Options{TTL: time.Minute, now: func() time.Time { return now }})
-	c.MultiPut("r", [][]string{{"a0"}}, [][]storage.Row{{{"a0", "b0"}}})
+	c.MultiPut("r", 0, [][]string{{"a0"}}, [][]storage.Row{{{"a0", "b0"}}})
 	now = now.Add(2 * time.Minute)
-	if _, ok := c.MultiGet("r", [][]string{{"a0"}}); ok[0] {
+	if _, ok := c.MultiGet("r", 0, [][]string{{"a0"}}); ok[0] {
 		t.Error("expired entry served from MultiGet")
 	}
 	if st := c.Snapshot()["r"]; st.Expirations != 1 {

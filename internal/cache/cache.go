@@ -8,7 +8,8 @@
 // lives.
 //
 // The cache is keyed by source.Access.Key() (relation name plus input
-// binding) and is safe for concurrent use:
+// binding) plus the data epoch of the source (source.EpochOf) and is safe
+// for concurrent use:
 //
 //   - sharded: keys are hashed over independently locked shards, so
 //     concurrent probes of different accesses do not contend;
@@ -23,7 +24,13 @@
 //   - collapsing: concurrent identical probes are merged into a single
 //     probe of the underlying source (singleflight), which matters under
 //     the pipelined executor's per-relation parallelism and under
-//     concurrent service traffic.
+//     concurrent service traffic;
+//   - versioned: when a source reports a data epoch (source.Versioned —
+//     live tables and federated peers do), entries are keyed by that epoch
+//     too, so an execution pinned to one version of a relation never reads
+//     or feeds entries of another. Mutating a relation therefore makes its
+//     whole cached extraction set — negative entries included — unreachable
+//     at once; Invalidate additionally frees the stale entries eagerly.
 //
 // Use Wrap to layer the cache over any source.Wrapper (composable
 // middleware, e.g. Cached(Counted(TableSource))), or WrapRegistry for a
@@ -40,6 +47,7 @@ import (
 	"container/list"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,11 +153,13 @@ func (sh *shard) removeLocked(e *entry) {
 type Cache struct {
 	opts   Options
 	shards []*shard
-	// epoch is bumped by Invalidate/Clear before entries are removed; a
+	// gen is bumped by Invalidate/Clear before entries are removed; a
 	// probe captures it when it starts and skips its store when it has
 	// moved, so an extraction read from a source that was replaced
 	// mid-probe cannot re-populate the cache after the invalidation.
-	epoch atomic.Uint64
+	// (Distinct from data epochs, which version the entries of one
+	// relation; gen guards the whole cache against rebind races.)
+	gen atomic.Uint64
 }
 
 // New creates a cache with the given options.
@@ -191,10 +201,24 @@ func (c *Cache) shard(key string) *shard {
 	return c.shards[h%uint32(len(c.shards))]
 }
 
-// access serves one probe of w through the cache.
+// versionedKey builds the storage key of one access at one data epoch.
+// Unversioned sources (epoch 0) use the plain access key, so their entries
+// behave exactly as before data versioning existed.
+func versionedKey(rel string, binding []string, epoch uint64) string {
+	key := source.Access{Relation: rel, Binding: binding}.Key()
+	if epoch == 0 {
+		return key
+	}
+	return key + "\x00@" + strconv.FormatUint(epoch, 16)
+}
+
+// access serves one probe of w through the cache. The entry is keyed by
+// w's current data epoch, captured before the probe: if the source
+// advances mid-probe the extraction is stored under the pre-probe epoch and
+// simply never serves the new version — conservative, never stale.
 func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error) {
 	rel := w.Relation().Name
-	key := source.Access{Relation: rel, Binding: binding}.Key()
+	key := versionedKey(rel, binding, source.EpochOf(w))
 	sh := c.shard(key)
 	now := c.opts.now()
 
@@ -219,7 +243,7 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 	f := &flight{done: make(chan struct{})}
 	sh.inflight[key] = f
 	sh.bump(rel).Misses++
-	epoch := c.epoch.Load()
+	gen := c.gen.Load()
 	sh.mu.Unlock()
 
 	// A panicking wrapper must not wedge the key: unregister the flight
@@ -242,7 +266,7 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 
 	sh.mu.Lock()
 	delete(sh.inflight, key)
-	if err == nil && epoch == c.epoch.Load() &&
+	if err == nil && gen == c.gen.Load() &&
 		(len(rows) > 0 || !c.opts.DisableNegative) {
 		ttl := c.opts.TTL
 		if len(rows) == 0 && c.opts.NegativeTTL > 0 {
@@ -280,7 +304,8 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 // round trip, and a duplicate probe only costs a redundant store.
 func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.Row, error) {
 	rel := w.Relation().Name
-	out, hit := c.MultiGet(rel, bindings)
+	epoch := source.EpochOf(w) // pre-probe, like the single-access path
+	out, hit := c.MultiGet(rel, epoch, bindings)
 	var missIdx []int
 	var misses [][]string
 	for i := range bindings {
@@ -293,21 +318,21 @@ func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.
 		return out, nil
 	}
 	for _, b := range misses {
-		key := source.Access{Relation: rel, Binding: b}.Key()
+		key := versionedKey(rel, b, epoch)
 		sh := c.shard(key)
 		sh.mu.Lock()
 		sh.bump(rel).Misses++
 		sh.mu.Unlock()
 	}
-	epoch := c.epoch.Load()
+	gen := c.gen.Load()
 	rows, err := source.ProbeBatch(w, misses)
 	if err != nil {
 		return nil, err
 	}
 	// Same invalidation contract as the single-access path: an extraction
 	// read from a source replaced mid-probe must not re-populate the cache.
-	if epoch == c.epoch.Load() {
-		c.MultiPut(rel, misses, rows)
+	if gen == c.gen.Load() {
+		c.MultiPut(rel, epoch, misses, rows)
 	}
 	for j, i := range missIdx {
 		out[i] = rows[j]
@@ -315,16 +340,17 @@ func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.
 	return out, nil
 }
 
-// MultiGet looks up many bindings of one relation at once. Result i holds
-// the cached extraction for bindings[i] and ok[i] reports whether it was
-// present (and unexpired); hits are recorded and touched in the LRU order
-// exactly as single accesses are.
-func (c *Cache) MultiGet(rel string, bindings [][]string) (rows [][]storage.Row, ok []bool) {
+// MultiGet looks up many bindings of one relation at one data epoch at
+// once (pass epoch 0 for unversioned sources). Result i holds the cached
+// extraction for bindings[i] and ok[i] reports whether it was present (and
+// unexpired); hits are recorded and touched in the LRU order exactly as
+// single accesses are.
+func (c *Cache) MultiGet(rel string, epoch uint64, bindings [][]string) (rows [][]storage.Row, ok []bool) {
 	rows = make([][]storage.Row, len(bindings))
 	ok = make([]bool, len(bindings))
 	now := c.opts.now()
 	for i, b := range bindings {
-		key := source.Access{Relation: rel, Binding: b}.Key()
+		key := versionedKey(rel, b, epoch)
 		sh := c.shard(key)
 		sh.mu.Lock()
 		if e, present := sh.entries[key]; present {
@@ -342,17 +368,17 @@ func (c *Cache) MultiGet(rel string, bindings [][]string) (rows [][]storage.Row,
 	return rows, ok
 }
 
-// MultiPut stores the extractions of many bindings of one relation,
-// applying the same TTL, negative-caching and LRU-eviction rules as a
-// probed store. It does not count misses: callers that probed a source
-// account for that at the probe site.
-func (c *Cache) MultiPut(rel string, bindings [][]string, rows [][]storage.Row) {
+// MultiPut stores the extractions of many bindings of one relation at one
+// data epoch (0 = unversioned), applying the same TTL, negative-caching
+// and LRU-eviction rules as a probed store. It does not count misses:
+// callers that probed a source account for that at the probe site.
+func (c *Cache) MultiPut(rel string, epoch uint64, bindings [][]string, rows [][]storage.Row) {
 	now := c.opts.now()
 	for i, b := range bindings {
 		if len(rows[i]) == 0 && c.opts.DisableNegative {
 			continue
 		}
-		key := source.Access{Relation: rel, Binding: b}.Key()
+		key := versionedKey(rel, b, epoch)
 		sh := c.shard(key)
 		ttl := c.opts.TTL
 		if len(rows[i]) == 0 && c.opts.NegativeTTL > 0 {
@@ -378,9 +404,10 @@ func (c *Cache) MultiPut(rel string, bindings [][]string, rows [][]storage.Row) 
 }
 
 // Lookup peeks at the cache without probing or recording a hit; it reports
-// whether the access is currently cached.
-func (c *Cache) Lookup(rel string, binding []string) ([]storage.Row, bool) {
-	key := source.Access{Relation: rel, Binding: binding}.Key()
+// whether the access is currently cached at the given data epoch (0 =
+// unversioned).
+func (c *Cache) Lookup(rel string, epoch uint64, binding []string) ([]storage.Row, bool) {
+	key := versionedKey(rel, binding, epoch)
 	sh := c.shard(key)
 	now := c.opts.now()
 	sh.mu.Lock()
@@ -403,13 +430,16 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Invalidate drops every cached access of one relation (call after
-// rebinding its source) and returns the number of entries dropped. Probes
-// in flight when Invalidate runs do not store their (possibly stale)
-// extraction; an execution that started before the rebind may still probe
-// and store from the source snapshot it holds afterwards.
+// Invalidate drops every cached access of one relation — every epoch,
+// negative entries included — and returns the number of entries dropped.
+// Call it after rebinding a relation's source; for versioned sources an
+// advancing data epoch already makes the old entries unreachable, and
+// Invalidate additionally frees them eagerly. Probes in flight when
+// Invalidate runs do not store their (possibly stale) extraction; an
+// execution pinned to an older version may still store entries under its
+// own (old) epoch afterwards, which no newer execution can read.
 func (c *Cache) Invalidate(rel string) int {
-	c.epoch.Add(1)
+	c.gen.Add(1)
 	dropped := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -426,7 +456,7 @@ func (c *Cache) Invalidate(rel string) int {
 
 // Clear drops every cached access; statistics are preserved.
 func (c *Cache) Clear() {
-	c.epoch.Add(1)
+	c.gen.Add(1)
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		sh.entries = make(map[string]*entry)

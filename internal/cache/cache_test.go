@@ -122,10 +122,10 @@ func TestLRUEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
-	if _, ok := c.Lookup("r", []string{"b"}); ok {
+	if _, ok := c.Lookup("r", source.EpochOf(ctr), []string{"b"}); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.Lookup("r", []string{"a"}); !ok {
+	if _, ok := c.Lookup("r", source.EpochOf(ctr), []string{"a"}); !ok {
 		t.Error("a should have survived (recently used)")
 	}
 	if st := c.Snapshot()["r"]; st.Evictions != 1 {
@@ -147,7 +147,7 @@ func TestInvalidateAndClear(t *testing.T) {
 	if n := c.Invalidate("r"); n != 1 {
 		t.Errorf("Invalidate(r) = %d, want 1", n)
 	}
-	if _, ok := c.Lookup("s", []string{"a"}); !ok {
+	if _, ok := c.Lookup("s", source.EpochOf(ctrS), []string{"a"}); !ok {
 		t.Error("s entry lost by Invalidate(r)")
 	}
 	wr.Access([]string{"a"})
@@ -235,12 +235,12 @@ func TestInvalidateDuringProbeSkipsStore(t *testing.T) {
 	time.Sleep(15 * time.Millisecond) // probe is now sleeping in the source
 	c.Invalidate("r")
 	<-done
-	if _, ok := c.Lookup("r", []string{"a"}); ok {
+	if _, ok := c.Lookup("r", 0, []string{"a"}); ok {
 		t.Error("extraction stored despite invalidation during the probe")
 	}
 	// The next access re-probes and stores normally.
 	w.Access([]string{"a"})
-	if _, ok := c.Lookup("r", []string{"a"}); !ok {
+	if _, ok := c.Lookup("r", 0, []string{"a"}); !ok {
 		t.Error("cache did not recover after the skipped store")
 	}
 	if got := ctr.Stats().Accesses; got != 2 {
@@ -310,5 +310,56 @@ func TestWrapRegistryAndSummary(t *testing.T) {
 		if !strings.Contains(sum, want) {
 			t.Errorf("summary missing %q:\n%s", want, sum)
 		}
+	}
+}
+
+// TestVersionedEntries: a mutated relation's cached extractions — negative
+// entries included — stop serving without any explicit invalidation,
+// because entries are keyed by the source's data epoch; an execution still
+// pinned to the old version keeps hitting its own entries.
+func TestVersionedEntries(t *testing.T) {
+	sch, err := schema.Parse("r^io(K, V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sch.Relations()[0]
+	tab := storage.NewTable("r", 2)
+	tab.InsertAll([]storage.Row{{"k", "old"}})
+	live, err := source.NewTableSource(rel, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := source.NewCounter(live, false)
+	c := New(Options{})
+	w := c.Wrap(ctr)
+
+	w.Access([]string{"k"})   // positive entry at the old epoch
+	w.Access([]string{"amy"}) // negative entry at the old epoch
+	pinned := c.Wrap(live.Snapshot())
+	if got := ctr.Stats().Accesses; got != 2 {
+		t.Fatalf("underlying = %d, want 2", got)
+	}
+
+	tab.InsertAll([]storage.Row{{"k", "new"}, {"amy", "here"}})
+
+	// The live wrapper re-probes both bindings: old-epoch entries no longer
+	// match, and the fresh rows are visible.
+	if rows, _ := w.Access([]string{"k"}); len(rows) != 2 {
+		t.Errorf("post-mutation k rows = %v, want 2", rows)
+	}
+	if rows, _ := w.Access([]string{"amy"}); len(rows) != 1 {
+		t.Errorf("negative entry served after mutation: %v", rows)
+	}
+	if got := ctr.Stats().Accesses; got != 4 {
+		t.Errorf("underlying = %d, want 4 (no stale hits)", got)
+	}
+
+	// The pinned wrapper, probing through the same cache, still serves the
+	// old version — from the old-epoch entries, without a fresh probe.
+	if rows, _ := pinned.Access([]string{"k"}); len(rows) != 1 || rows[0][1] != "old" {
+		t.Errorf("pinned access = %v, want the old row", rows)
+	}
+	if rows, _ := pinned.Access([]string{"amy"}); len(rows) != 0 {
+		t.Errorf("pinned negative access = %v, want empty", rows)
 	}
 }

@@ -16,6 +16,10 @@ type cachedSource struct {
 // Relation returns the wrapped relation schema.
 func (s *cachedSource) Relation() *schema.Relation { return s.inner.Relation() }
 
+// Epoch forwards the wrapped source's data epoch (0 when unversioned), so
+// layered caches and the probe protocol see through the cache decorator.
+func (s *cachedSource) Epoch() uint64 { return source.EpochOf(s.inner) }
+
 // Access serves the probe from the cache, hitting the inner wrapper only on
 // a miss; concurrent identical probes collapse into one inner access.
 func (s *cachedSource) Access(binding []string) ([]storage.Row, error) {

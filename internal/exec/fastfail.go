@@ -79,12 +79,16 @@ func (o Options) cancelled() bool {
 // rather than an error.
 var errCancelled = errors.New("exec: extraction cancelled")
 
-// instrument wraps every source of reg in a fresh Counter — the per-run
-// access accounting behind Result.Stats — and, when a cross-query cache is
-// configured, layers the cache outside the counters
-// (Cached(Counted(source))) so cache hits bypass the counters entirely.
+// instrument prepares the registry for one execution: it pins every
+// versioned source to its current data version (Registry.Snapshot — the
+// run then observes one consistent epoch per relation however far
+// concurrent writers advance the tables), wraps every source in a fresh
+// Counter — the per-run access accounting behind Result.Stats — and, when
+// a cross-query cache is configured, layers the cache outside the counters
+// (Cached(Counted(Snapshot(source)))) so cache hits bypass the counters
+// entirely.
 func instrument(reg *source.Registry, opts Options) (*source.Registry, map[string]*source.Counter) {
-	counted, counters := reg.Counted(false)
+	counted, counters := reg.Snapshot().Counted(false)
 	if opts.Cache != nil {
 		counted = opts.Cache.WrapRegistry(counted)
 	}

@@ -81,31 +81,59 @@ func (o Options) withDefaults() Options {
 
 // Telemetry is the accumulated accounting of one relation's probes against
 // one peer: HTTP round trips attempted (including retries), retries among
-// them, times the circuit breaker opened, and cumulative wall-clock probe
-// latency.
+// them, times the circuit breaker opened, cumulative wall-clock probe
+// latency, and the peer's data-version tracking — the relation's last
+// observed epoch and how many times it changed between probes. A non-zero
+// EpochChanges means the peer ingested new data while this node was
+// probing it: everything cached locally from the older probes describes a
+// stale peer snapshot (the epoch-keyed cache already stopped serving it).
 type Telemetry struct {
 	RoundTrips   int     `json:"round_trips"`
 	Retries      int     `json:"retries"`
 	BreakerOpens int     `json:"breaker_opens"`
 	LatencyMS    float64 `json:"latency_ms"`
+	Epoch        uint64  `json:"epoch,omitempty"`
+	EpochChanges int     `json:"epoch_changes,omitempty"`
 }
 
-// Add accumulates another relation's counters into t.
+// Add accumulates another relation's counters into t; Epoch, being a
+// version rather than a counter, takes the latest non-zero value.
 func (t *Telemetry) Add(o Telemetry) {
 	t.RoundTrips += o.RoundTrips
 	t.Retries += o.Retries
 	t.BreakerOpens += o.BreakerOpens
 	t.LatencyMS += o.LatencyMS
+	t.EpochChanges += o.EpochChanges
+	if o.Epoch != 0 {
+		t.Epoch = o.Epoch
+	}
 }
 
 // relState is the per-relation resilience state of a client.
 type relState struct {
 	br *breaker
 
-	mu         sync.Mutex
-	roundTrips int
-	retries    int
-	latency    time.Duration
+	mu           sync.Mutex
+	roundTrips   int
+	retries      int
+	latency      time.Duration
+	lastEpoch    uint64
+	epochChanges int
+}
+
+// noteEpoch records the relation's data epoch as observed in a done frame
+// (or seeded from /schema), counting a change from a previously observed
+// epoch as one stale-snapshot detection.
+func (st *relState) noteEpoch(e uint64) {
+	if e == 0 {
+		return
+	}
+	st.mu.Lock()
+	if st.lastEpoch != 0 && st.lastEpoch != e {
+		st.epochChanges++
+	}
+	st.lastEpoch = e
+	st.mu.Unlock()
 }
 
 // Client speaks the probe protocol to one peer. It owns a per-host
@@ -173,6 +201,8 @@ func (c *Client) Telemetry() map[string]Telemetry {
 			Retries:      st.retries,
 			BreakerOpens: st.br.openCount(),
 			LatencyMS:    float64(st.latency.Microseconds()) / 1000,
+			Epoch:        st.lastEpoch,
+			EpochChanges: st.epochChanges,
 		}
 		st.mu.Unlock()
 	}
@@ -225,6 +255,12 @@ func (c *Client) FetchSchema(ctx context.Context) (*schema.Schema, error) {
 	sch, err := schema.Parse(string(text))
 	if err != nil {
 		return nil, fmt.Errorf("remote %s: bad /schema: %w", c.base, err)
+	}
+	// Seed the per-relation epoch tracking from the advertised "# epoch"
+	// lines, so the epoch-keyed cache identity is right from the first
+	// probe (peers without the lines stay unversioned until a done frame).
+	for rel, e := range ParseSchemaEpochs(string(text)) {
+		c.relStateFor(rel).noteEpoch(e)
 	}
 	return sch, nil
 }
@@ -371,6 +407,7 @@ func (c *Client) probeOnce(ctx context.Context, relation string, bindings [][]st
 			if f.Tuples != tuples {
 				return nil, true, fmt.Errorf("probe stream carried %d tuples, done frame says %d", tuples, f.Tuples)
 			}
+			c.relStateFor(relation).noteEpoch(f.Epoch)
 			return out, false, nil
 		case f.Row != nil:
 			if f.B < 0 || f.B >= len(out) {
@@ -402,6 +439,18 @@ func (c *Client) Source(rel *schema.Relation) *Source {
 
 // Relation returns the relation schema this source serves.
 func (s *Source) Relation() *schema.Relation { return s.rel }
+
+// Epoch returns the peer relation's last observed data epoch (0 until the
+// peer advertises one via /schema or a probe's done frame). The local
+// cross-query cache keys this source's entries by it, so when the peer
+// ingests new data, every entry cached from the older version stops
+// serving as soon as the change is observed.
+func (s *Source) Epoch() uint64 {
+	st := s.c.relStateFor(s.rel.Name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastEpoch
+}
 
 // Access probes the relation with one binding: a batch of one.
 func (s *Source) Access(binding []string) ([]storage.Row, error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"toorjah/internal/source"
 	"toorjah/internal/storage"
@@ -94,7 +95,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	// Probe before streaming: the batch either succeeds whole (the
 	// extractions are in memory anyway, the sources are local tables or a
-	// cache over them) or fails as a clean, retryable 500.
+	// cache over them) or fails as a clean, retryable 500. The epoch is
+	// captured before the probe, like the cache does: if an ingest lands
+	// mid-probe the done frame advertises the older version — conservative,
+	// the client merely re-learns the epoch one probe later.
+	epoch := source.EpochOf(src)
 	results, err := source.ProbeBatch(src, req.Bindings)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -117,7 +122,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples})
+	enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples, Epoch: epoch})
 	if h.Record != nil {
 		h.Record(req.Relation, len(req.Bindings), tuples)
 	}
@@ -134,9 +139,15 @@ func PeerMux(reg *source.Registry) http.Handler {
 	mux.Handle("/probe", NewHandler(reg))
 	mux.HandleFunc("/schema", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		epochs := make(map[string]uint64)
 		for _, name := range reg.Names() {
-			fmt.Fprintln(w, reg.Source(name).Relation())
+			src := reg.Source(name)
+			fmt.Fprintln(&b, src.Relation())
+			epochs[name] = source.EpochOf(src)
 		}
+		AppendSchemaEpochs(&b, epochs)
+		io.WriteString(w, b.String())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")

@@ -19,6 +19,13 @@
 // remote relations from a peer's /schema endpoint.
 package remote
 
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
 // The /probe wire format. Request: a JSON body naming the relation and the
 // batch of input bindings (each parallel to the relation's input
 // positions). Response: application/x-ndjson — zero or more row frames
@@ -44,12 +51,19 @@ type rowFrame struct {
 	Row []string `json:"row"`
 }
 
-// doneFrame terminates a successful stream, carrying the served accounting:
-// bindings probed (always len(Bindings)) and total tuples streamed.
+// doneFrame terminates a successful stream, carrying the served accounting
+// — bindings probed (always len(Bindings)) and total tuples streamed — and
+// the relation's data epoch at serve time (0 when the peer's source is
+// unversioned). A client remembers the last epoch per relation: a change
+// between probes means the peer's data moved, so whatever this node cached
+// from earlier probes describes a stale peer snapshot (the client's cache
+// keys entries by this epoch, making the stale set unreachable, and the
+// change is counted in telemetry as EpochChanges).
 type doneFrame struct {
-	Done     bool `json:"done"`
-	Accesses int  `json:"accesses"`
-	Tuples   int  `json:"tuples"`
+	Done     bool   `json:"done"`
+	Accesses int    `json:"accesses"`
+	Tuples   int    `json:"tuples"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // errorFrame reports a failure in-band once the stream has started.
@@ -67,5 +81,50 @@ type probeFrame struct {
 	Done     bool     `json:"done"`
 	Accesses int      `json:"accesses"`
 	Tuples   int      `json:"tuples"`
+	Epoch    uint64   `json:"epoch"`
 	Error    string   `json:"error"`
+}
+
+// SchemaEpochPrefix starts the per-relation epoch lines a peer appends to
+// its /schema text: "# epoch rev 3". The lines ride the schema's comment
+// syntax, so schema.Parse ignores them and pre-epoch clients interoperate;
+// ParseSchemaEpochs extracts them on the client side, seeding the epoch
+// telemetry (and the epoch-keyed cache identity) before the first probe.
+const SchemaEpochPrefix = "# epoch "
+
+// AppendSchemaEpochs appends one "# epoch name N" line per versioned
+// relation (epoch > 0) to a /schema response body, in sorted name order.
+func AppendSchemaEpochs(b *strings.Builder, epochs map[string]uint64) {
+	names := make([]string, 0, len(epochs))
+	for name, e := range epochs {
+		if e > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(b, "%s%s %d\n", SchemaEpochPrefix, name, epochs[name])
+	}
+}
+
+// ParseSchemaEpochs extracts the per-relation epoch lines from a /schema
+// body; unparseable lines are skipped (they are comments to everyone else).
+func ParseSchemaEpochs(text string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, SchemaEpochPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, SchemaEpochPrefix))
+		if len(fields) != 2 {
+			continue
+		}
+		e, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || e == 0 {
+			continue
+		}
+		out[fields[0]] = e
+	}
+	return out
 }

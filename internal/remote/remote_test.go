@@ -542,3 +542,75 @@ func TestHandlerRecord(t *testing.T) {
 		t.Errorf("recorded %+v, want one probe of 2 accesses / 3 tuples", recs)
 	}
 }
+
+// TestEpochPropagation: /schema advertises per-relation epochs, probe done
+// frames carry them, the client's telemetry tracks the last observed epoch
+// and counts changes (stale-peer-snapshot detections), and the remote
+// source reports the epoch so a local cache can key entries by it.
+func TestEpochPropagation(t *testing.T) {
+	sch, reg := testRegistry(t)
+	srv := httptest.NewServer(PeerMux(reg))
+	defer srv.Close()
+
+	c := Dial(srv.URL, Options{})
+	defer c.Close()
+	peer, err := c.FetchSchema(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != sch.Len() {
+		t.Fatalf("peer schema has %d relations, want %d", peer.Len(), sch.Len())
+	}
+	src := c.Source(peer.Relation("r"))
+
+	// Seeded from /schema before any probe: the backing table loaded one
+	// batch, so it sits at epoch 2 ("empty" never advanced past 1).
+	if e := source.EpochOf(src); e != 2 {
+		t.Errorf("epoch after schema discovery = %d, want 2", e)
+	}
+
+	if _, err := src.Access([]string{"a1"}); err != nil {
+		t.Fatal(err)
+	}
+	tel := c.Telemetry()["r"]
+	if tel.Epoch != 2 || tel.EpochChanges != 0 {
+		t.Errorf("telemetry after first probe = %+v, want epoch 2, no changes", tel)
+	}
+
+	// The peer ingests: the next done frame advertises the new epoch and
+	// the client counts one stale-snapshot detection.
+	tab := reg.Source("r").(*source.TableSource).Table()
+	tab.InsertAll([]storage.Row{{"a1", "b9"}})
+	rows, err := src.Access([]string{"a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("post-ingest probe rows = %v, want 3", rows)
+	}
+	tel = c.Telemetry()["r"]
+	if tel.Epoch != 3 || tel.EpochChanges != 1 {
+		t.Errorf("telemetry after peer ingest = %+v, want epoch 3 and 1 change", tel)
+	}
+	if e := source.EpochOf(src); e != 3 {
+		t.Errorf("source epoch after peer ingest = %d, want 3", e)
+	}
+}
+
+// TestSchemaEpochRoundTrip: the "# epoch" lines survive formatting and
+// parsing, and plain schema parsers ignore them.
+func TestSchemaEpochRoundTrip(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("r^io(A, B)\n")
+	AppendSchemaEpochs(&b, map[string]uint64{"r": 7, "unversioned": 0})
+	got := ParseSchemaEpochs(b.String())
+	if len(got) != 1 || got["r"] != 7 {
+		t.Errorf("ParseSchemaEpochs = %v, want map[r:7]", got)
+	}
+	if _, err := schema.Parse(b.String()); err != nil {
+		t.Errorf("epoch lines break schema.Parse: %v", err)
+	}
+	if got := ParseSchemaEpochs("# epoch bad\n# epoch x notanumber\n"); len(got) != 0 {
+		t.Errorf("malformed epoch lines parsed: %v", got)
+	}
+}

@@ -80,6 +80,36 @@ func ProbeBatch(w Wrapper, bindings [][]string) ([][]storage.Row, error) {
 	return out, nil
 }
 
+// Versioned is implemented by sources whose extraction set carries a
+// monotonically increasing epoch: the version number of the data behind the
+// source. Two probes of the same binding at the same epoch are guaranteed
+// to extract the same tuples, which is what lets the cross-query cache key
+// entries by (access, epoch) and lets executions pin one version per
+// relation. A source that cannot version itself simply does not implement
+// the interface; EpochOf reports 0 for it, meaning "unversioned".
+type Versioned interface {
+	Epoch() uint64
+}
+
+// EpochOf returns w's current data epoch, or 0 when w is unversioned.
+func EpochOf(w Wrapper) uint64 {
+	if v, ok := w.(Versioned); ok {
+		return v.Epoch()
+	}
+	return 0
+}
+
+// Snapshottable is implemented by sources that can pin their current data
+// version: Snapshot returns a wrapper whose every access reads the same
+// immutable version, no matter how far concurrent writers advance the
+// underlying data. Executors snapshot the registry once per execution
+// (Registry.Snapshot), so an in-flight query never observes a torn mix of
+// two versions of one relation.
+type Snapshottable interface {
+	Wrapper
+	Snapshot() Wrapper
+}
+
 // Batcher upgrades any plain Wrapper to a BatchSource. Wrappers that
 // already batch natively are returned unchanged; everything else gets a
 // loop adapter, so callers can program uniformly against BatchSource.
@@ -101,10 +131,14 @@ func (b *loopBatcher) AccessBatch(bindings [][]string) ([][]storage.Row, error) 
 }
 
 // TableSource is a Wrapper over an in-memory table, with an optional
-// simulated per-access latency.
+// simulated per-access latency. A live TableSource reads the table's
+// current version on every access; Snapshot pins one version for the life
+// of the returned source, so executors see a frozen relation while writers
+// advance the table underneath.
 type TableSource struct {
 	rel     *schema.Relation
 	table   *storage.Table
+	pinned  *storage.Snapshot // nil = live: read the current version per access
 	latency time.Duration
 }
 
@@ -121,15 +155,43 @@ func NewTableSource(rel *schema.Relation, table *storage.Table) (*TableSource, e
 // WithLatency returns a copy of the source that sleeps for d on every
 // access, simulating a remote source.
 func (s *TableSource) WithLatency(d time.Duration) *TableSource {
-	return &TableSource{rel: s.rel, table: s.table, latency: d}
+	return &TableSource{rel: s.rel, table: s.table, pinned: s.pinned, latency: d}
 }
 
 // Relation returns the wrapped relation schema.
 func (s *TableSource) Relation() *schema.Relation { return s.rel }
 
-// Table exposes the backing table; the reference Datalog semantics of a
-// plan reads full relation contents through it.
+// Table exposes the backing live table; the reference Datalog semantics of
+// a plan reads full relation contents through it, and the facade's
+// ingestion API mutates it.
 func (s *TableSource) Table() *storage.Table { return s.table }
+
+// Snapshot pins the table's current version: every access of the returned
+// source reads that one immutable snapshot. Snapshotting an already pinned
+// source returns it unchanged.
+func (s *TableSource) Snapshot() Wrapper {
+	if s.pinned != nil {
+		return s
+	}
+	return &TableSource{rel: s.rel, table: s.table, pinned: s.table.Snapshot(), latency: s.latency}
+}
+
+// Epoch returns the version this source reads: the pinned snapshot's epoch,
+// or the table's current one for a live source.
+func (s *TableSource) Epoch() uint64 {
+	if s.pinned != nil {
+		return s.pinned.Epoch()
+	}
+	return s.table.Epoch()
+}
+
+// view returns the table version this access should read.
+func (s *TableSource) view() *storage.Snapshot {
+	if s.pinned != nil {
+		return s.pinned
+	}
+	return s.table.Snapshot()
+}
 
 // Access probes the table with the binding over the relation's input
 // positions.
@@ -142,13 +204,13 @@ func (s *TableSource) Access(binding []string) ([]storage.Row, error) {
 	if s.latency > 0 {
 		time.Sleep(s.latency)
 	}
-	return s.table.Select(inputs, binding), nil
+	return s.view().Select(inputs, binding), nil
 }
 
 // AccessBatch probes the table once per binding in a single round trip: the
 // simulated latency is paid once for the whole batch (that is the point of
-// batching a remote source) and the underlying table serves every binding
-// from one locked pass.
+// batching a remote source) and one table version serves every binding of
+// the batch.
 func (s *TableSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
 	inputs := s.rel.InputPositions()
 	for _, b := range bindings {
@@ -160,7 +222,7 @@ func (s *TableSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) 
 	if s.latency > 0 {
 		time.Sleep(s.latency)
 	}
-	return s.table.SelectBatch(inputs, bindings), nil
+	return s.view().SelectBatch(inputs, bindings), nil
 }
 
 // Stats aggregates the access accounting of one relation.
@@ -201,6 +263,10 @@ func NewCounter(w Wrapper, keepLog bool) *Counter {
 
 // Relation returns the wrapped relation schema.
 func (c *Counter) Relation() *schema.Relation { return c.inner.Relation() }
+
+// Epoch forwards the wrapped source's data epoch (0 when unversioned), so
+// the cross-query cache sees through the accounting decorator.
+func (c *Counter) Epoch() uint64 { return EpochOf(c.inner) }
 
 // Access forwards to the wrapped source, recording the probe.
 func (c *Counter) Access(binding []string) ([]storage.Row, error) {
@@ -307,6 +373,9 @@ func NewFlaky(w Wrapper, failAfter int, err error) *Flaky {
 // Relation returns the wrapped relation schema.
 func (f *Flaky) Relation() *schema.Relation { return f.inner.Relation() }
 
+// Epoch forwards the wrapped source's data epoch (0 when unversioned).
+func (f *Flaky) Epoch() uint64 { return EpochOf(f.inner) }
+
 // Access forwards to the wrapped source until the budget is exhausted.
 func (f *Flaky) Access(binding []string) ([]storage.Row, error) {
 	f.mu.Lock()
@@ -354,6 +423,25 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a registry in which every Snapshottable source is pinned
+// to its current data version (everything else passes through unchanged).
+// Executors snapshot once per execution, so a query in flight keeps reading
+// one consistent epoch of every relation while Insert/Delete batches
+// advance the live tables.
+func (r *Registry) Snapshot() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := NewRegistry()
+	for name, w := range r.sources {
+		if s, ok := w.(Snapshottable); ok {
+			out.sources[name] = s.Snapshot()
+		} else {
+			out.sources[name] = w
+		}
+	}
 	return out
 }
 

@@ -174,3 +174,56 @@ func TestAccessKeyDistinguishesRelations(t *testing.T) {
 		t.Error("access keys collide")
 	}
 }
+
+// TestTableSourcePinning: a snapshotted source keeps serving the version it
+// pinned while the live source and the table move on, and the registry
+// snapshot pins every table-backed source at once.
+func TestTableSourcePinning(t *testing.T) {
+	sch, err := schema.Parse("r^io(K, V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sch.Relations()[0]
+	tab := storage.NewTable("r", 2)
+	tab.InsertAll([]storage.Row{{"k", "old"}})
+	live, err := NewTableSource(rel, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := live.Snapshot()
+	if pinned.(*TableSource).Snapshot() != pinned {
+		t.Error("snapshotting a pinned source should be a no-op")
+	}
+	wantEpoch := EpochOf(live)
+
+	tab.InsertAll([]storage.Row{{"k", "new"}})
+	tab.DeleteAll([]storage.Row{{"k", "old"}})
+
+	got, err := pinned.Access([]string{"k"})
+	if err != nil || len(got) != 1 || got[0][1] != "old" {
+		t.Errorf("pinned access = %v, %v; want the old row", got, err)
+	}
+	if e := EpochOf(pinned); e != wantEpoch {
+		t.Errorf("pinned epoch moved: %d, want %d", e, wantEpoch)
+	}
+	got, err = live.Access([]string{"k"})
+	if err != nil || len(got) != 1 || got[0][1] != "new" {
+		t.Errorf("live access = %v, %v; want the new row", got, err)
+	}
+	if e := EpochOf(live); e == wantEpoch {
+		t.Errorf("live epoch did not advance from %d", wantEpoch)
+	}
+
+	// Registry.Snapshot pins table sources and forwards through Counter.
+	reg := NewRegistry()
+	reg.Bind(live)
+	snapReg := reg.Snapshot()
+	tab.InsertAll([]storage.Row{{"k", "newer"}})
+	if rows, _ := snapReg.Source("r").Access([]string{"k"}); len(rows) != 1 {
+		t.Errorf("registry snapshot reads the live table: %v", rows)
+	}
+	ctr := NewCounter(live, false)
+	if EpochOf(ctr) != EpochOf(live) {
+		t.Error("Counter does not forward the data epoch")
+	}
+}

@@ -11,15 +11,29 @@ import (
 // utf8BOM is the byte-order mark some spreadsheet exports prepend.
 var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
 
-// ReadCSV loads rows from CSV data into a new table of the given arity.
-// Every record must have exactly arity fields; errors name the offending
-// line. The reader tolerates the rough edges of hand-edited and exported
-// files: a leading UTF-8 byte-order mark, leading whitespace before fields,
-// and blank (or whitespace-only) lines anywhere in the file. Quoted content
-// — an empty field ("") or a whitespace-only line inside a multi-line
-// quoted field — is data, not blankness, and is preserved.
+// ReadCSV loads rows from CSV data into a new table of the given arity,
+// applying them as one batch (one epoch). Every record must have exactly
+// arity fields; errors name the offending line. The reader tolerates the
+// rough edges of hand-edited and exported files: a leading UTF-8 byte-order
+// mark, leading whitespace before fields, and blank (or whitespace-only)
+// lines anywhere in the file. Quoted content — an empty field ("") or a
+// whitespace-only line inside a multi-line quoted field — is data, not
+// blankness, and is preserved.
 func ReadCSV(name string, arity int, r io.Reader) (*Table, error) {
+	rows, err := ReadCSVRows(name, arity, r)
+	if err != nil {
+		return nil, err
+	}
 	t := NewTable(name, arity)
+	t.InsertAll(rows)
+	return t, nil
+}
+
+// ReadCSVRows parses CSV data into rows of the given arity without building
+// a table, for callers that batch-apply the rows to a live table (the
+// ingestion API). Parsing rules are exactly ReadCSV's.
+func ReadCSVRows(name string, arity int, r io.Reader) ([]Row, error) {
+	var rows []Row
 	br := bufio.NewReader(r)
 	if head, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(head, utf8BOM) {
 		br.Discard(len(utf8BOM))
@@ -40,9 +54,9 @@ func ReadCSV(name string, arity int, r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("table %s: line %d: %d field(s), want %d",
 				name, line, len(rec), arity)
 		}
-		t.Insert(Row(rec))
+		rows = append(rows, Row(rec))
 	}
-	return t, nil
+	return rows, nil
 }
 
 // blankLineEraser streams its input line by line, emptying whitespace-only

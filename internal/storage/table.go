@@ -1,10 +1,20 @@
 // Package storage provides the in-memory relational store backing the data
 // sources of the reproduction. The paper's prototype kept its sources in
 // local PostgreSQL tables and translated each access into an SQL query; here
-// a Table plays that role: an immutable-after-load set of rows with lazily
-// built hash indexes on the position sets that accesses bind. The cost
-// metric of the paper is the number of accesses, not SQL time, so this
-// substitution preserves every reported behaviour.
+// a Table plays that role — a named set of rows with lazily built hash
+// indexes on the position sets that accesses bind. The cost metric of the
+// paper is the number of accesses, not SQL time, so this substitution
+// preserves every reported behaviour.
+//
+// Tables are live: Insert and Delete batches mutate a table while queries
+// run. Mutation is copy-on-write — every batch publishes a new immutable
+// Snapshot under a monotonically increasing epoch, and readers pick up the
+// current snapshot through a single atomic load, so a reader holding a
+// snapshot observes a frozen version of the relation no matter how far
+// writers advance it. Executors pin one snapshot per relation per execution
+// (source.Registry.Snapshot), which is what makes concurrent ingestion safe:
+// a query's answers are always the answers over some single epoch of each
+// relation, never a torn mix of two.
 package storage
 
 import (
@@ -12,6 +22,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Row is one tuple of a table.
@@ -20,142 +32,288 @@ type Row []string
 // Key encodes the row into a collision-free string.
 func (r Row) Key() string { return strings.Join([]string(r), "\x00") }
 
-// Table is a named set of rows of fixed arity with hash indexes.
+// Table is a named set of rows of fixed arity with hash indexes and
+// copy-on-write mutation. The master state — an append-only row log, the
+// dedup map, and the current tombstone set — belongs to writers and is
+// guarded by wmu; readers never touch it. Every mutating batch publishes a
+// fresh immutable Snapshot (sharing the row log's backing array, which is
+// safe: a snapshot of length n never reads past n, and writers only append).
 type Table struct {
 	Name  string
 	Arity int
 
-	mu      sync.RWMutex
-	rows    []Row
-	seen    map[string]bool
-	indexes map[string]map[string][]int
+	wmu  sync.Mutex     // serializes writers
+	rows []Row          // append-only master log
+	seen map[string]int // row key -> offset in rows
+	dead map[int]bool   // current tombstones; copied, never mutated, once published
+	snap atomic.Pointer[Snapshot]
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty table at epoch 1.
 func NewTable(name string, arity int) *Table {
-	return &Table{Name: name, Arity: arity, seen: make(map[string]bool)}
+	t := &Table{Name: name, Arity: arity, seen: make(map[string]int)}
+	t.snap.Store(&Snapshot{name: name, arity: arity, epoch: 1})
+	return t
+}
+
+// Snapshot returns the current immutable version of the table. The snapshot
+// stays valid and consistent forever: later Insert/Delete batches publish
+// new versions without disturbing it.
+func (t *Table) Snapshot() *Snapshot { return t.snap.Load() }
+
+// Epoch returns the current version number. Epochs start at 1 and advance
+// by one per mutating batch (a batch that changes nothing keeps the epoch).
+func (t *Table) Epoch() uint64 { return t.Snapshot().epoch }
+
+// publish installs a new snapshot one epoch past the current one; the
+// caller holds wmu and has finished mutating the master state.
+func (t *Table) publish() {
+	cur := t.snap.Load()
+	t.snap.Store(&Snapshot{
+		name:  t.Name,
+		arity: t.Arity,
+		epoch: cur.epoch + 1,
+		at:    time.Now(),
+		rows:  t.rows[:len(t.rows):len(t.rows)],
+		dead:  t.dead,
+	})
+}
+
+// copyDeadLocked returns a private copy of the tombstone set, so the batch
+// can mutate it without disturbing published snapshots; wmu is held.
+func (t *Table) copyDeadLocked() map[int]bool {
+	out := make(map[int]bool, len(t.dead))
+	for off := range t.dead {
+		out[off] = true
+	}
+	return out
 }
 
 // Insert adds a row, deduplicating; it reports whether the row was new.
-func (t *Table) Insert(r Row) bool {
-	if len(r) != t.Arity {
-		panic(fmt.Sprintf("table %s: row arity %d, want %d", t.Name, len(r), t.Arity))
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	k := r.Key()
-	if t.seen[k] {
-		return false
-	}
-	t.seen[k] = true
-	t.rows = append(t.rows, r)
-	off := len(t.rows) - 1
-	for sig, m := range t.indexes {
-		m[indexKey(r, parseSig(sig))] = append(m[indexKey(r, parseSig(sig))], off)
-	}
-	return true
-}
+// Single-row convenience over InsertAll — batch mutations where possible:
+// every changing batch is one copy-on-write step and one epoch.
+func (t *Table) Insert(r Row) bool { return t.InsertAll([]Row{r}) == 1 }
 
-// InsertAll adds every row, returning the number of new rows.
+// InsertAll adds every row in one batch, deduplicating against the live
+// contents, and returns the number of rows actually added. A batch that
+// adds at least one row advances the table's epoch by exactly one;
+// re-inserting a previously deleted row revives it.
 func (t *Table) InsertAll(rows []Row) int {
-	n := 0
 	for _, r := range rows {
-		if t.Insert(r) {
-			n++
+		if len(r) != t.Arity {
+			panic(fmt.Sprintf("table %s: row arity %d, want %d", t.Name, len(r), t.Arity))
 		}
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	n := 0
+	deadCopied := false
+	for _, r := range rows {
+		k := r.Key()
+		if off, ok := t.seen[k]; ok {
+			if !t.dead[off] {
+				continue
+			}
+			if !deadCopied {
+				t.dead = t.copyDeadLocked()
+				deadCopied = true
+			}
+			delete(t.dead, off)
+			n++
+			continue
+		}
+		t.seen[k] = len(t.rows)
+		t.rows = append(t.rows, r)
+		n++
+	}
+	if n > 0 {
+		t.publish()
 	}
 	return n
 }
 
-// Len returns the number of rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+// Delete removes a row; it reports whether the row was present.
+func (t *Table) Delete(r Row) bool { return t.DeleteAll([]Row{r}) == 1 }
+
+// DeleteAll removes every given row in one batch and returns the number of
+// rows actually removed. Deletion is a tombstone over the master log: the
+// batch copies the tombstone set once, so published snapshots keep serving
+// the rows they were born with. A batch that removes at least one row
+// advances the epoch by exactly one.
+func (t *Table) DeleteAll(rows []Row) int {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	n := 0
+	deadCopied := false
+	for _, r := range rows {
+		off, ok := t.seen[r.Key()]
+		if !ok || t.dead[off] || len(r) != t.Arity {
+			continue
+		}
+		if !deadCopied {
+			t.dead = t.copyDeadLocked()
+			deadCopied = true
+		}
+		t.dead[off] = true
+		n++
+	}
+	if n > 0 {
+		t.maybeCompactLocked()
+		t.publish()
+	}
+	return n
 }
+
+// compactMinDead is the tombstone count below which compaction is never
+// worth the rewrite.
+const compactMinDead = 1024
+
+// maybeCompactLocked rewrites the master log without its tombstoned rows
+// once they dominate it, so that sustained insert/delete churn — the
+// streaming-ingest workload — keeps memory and per-snapshot index cost
+// proportional to the live data, not to everything ever inserted. The
+// rewrite allocates fresh state; snapshots already published keep the old
+// log untouched. Invisible to readers: the next publish carries the usual
+// single epoch advance. wmu is held.
+func (t *Table) maybeCompactLocked() {
+	if len(t.dead) < compactMinDead || 2*len(t.dead) < len(t.rows) {
+		return
+	}
+	live := make([]Row, 0, len(t.rows)-len(t.dead))
+	seen := make(map[string]int, len(t.rows)-len(t.dead))
+	for off, r := range t.rows {
+		if !t.dead[off] {
+			seen[r.Key()] = len(live)
+			live = append(live, r)
+		}
+	}
+	t.rows, t.seen, t.dead = live, seen, make(map[int]bool)
+}
+
+// The read surface of Table delegates to the current snapshot, so callers
+// holding only a *Table still get internally consistent single calls; pin a
+// Snapshot explicitly for consistency across calls.
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.Snapshot().Len() }
 
 // Contains reports row membership.
-func (t *Table) Contains(r Row) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.seen[r.Key()]
+func (t *Table) Contains(r Row) bool { return t.Snapshot().Contains(r) }
+
+// Rows returns a copy of all live rows.
+func (t *Table) Rows() []Row { return t.Snapshot().Rows() }
+
+// Select returns the rows whose values at positions equal vals; with no
+// positions it returns every row.
+func (t *Table) Select(positions []int, vals []string) []Row {
+	return t.Snapshot().Select(positions, vals)
 }
 
-// Rows returns a copy of all rows.
-func (t *Table) Rows() []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Row, len(t.rows))
-	copy(out, t.rows)
+// SelectBatch answers many selections over the same position set in one
+// call; see Snapshot.SelectBatch.
+func (t *Table) SelectBatch(positions []int, bindings [][]string) [][]Row {
+	return t.Snapshot().SelectBatch(positions, bindings)
+}
+
+// Project returns the sorted, deduplicated values of one column.
+func (t *Table) Project(pos int) []string { return t.Snapshot().Project(pos) }
+
+// Snapshot is one immutable version of a table: the rows visible at one
+// epoch. All methods are safe for concurrent use; the hash indexes are
+// built lazily per snapshot — on first use for each distinct position set —
+// under the snapshot's own mutex, while the row data itself is read
+// lock-free.
+type Snapshot struct {
+	name  string
+	arity int
+	epoch uint64
+	at    time.Time
+	rows  []Row        // immutable prefix of the master log
+	dead  map[int]bool // immutable tombstones over rows
+
+	mu      sync.Mutex
+	indexes map[string]map[string][]int
+}
+
+// Epoch returns this version's number; epochs start at 1 and increase by
+// one per mutating batch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// ModifiedAt returns when this version was published (zero for the initial
+// empty version of a table).
+func (s *Snapshot) ModifiedAt() time.Time { return s.at }
+
+// Len returns the number of live rows in this version.
+func (s *Snapshot) Len() int { return len(s.rows) - len(s.dead) }
+
+// Rows returns a copy of the live rows of this version.
+func (s *Snapshot) Rows() []Row {
+	out := make([]Row, 0, s.Len())
+	for off, r := range s.rows {
+		if !s.dead[off] {
+			out = append(out, r)
+		}
+	}
 	return out
+}
+
+// Contains reports row membership in this version.
+func (s *Snapshot) Contains(r Row) bool {
+	if len(r) != s.arity {
+		return false
+	}
+	if s.arity == 0 {
+		return s.Len() > 0
+	}
+	positions := make([]int, s.arity)
+	for i := range positions {
+		positions[i] = i
+	}
+	return len(s.Select(positions, r)) > 0
 }
 
 // Select returns the rows whose values at positions equal vals; with no
-// positions it returns every row. Selection is served by a hash index built
-// on first use for each distinct position set.
-func (t *Table) Select(positions []int, vals []string) []Row {
+// positions it returns every live row. Selection is served by a hash index
+// built on first use for each distinct position set.
+func (s *Snapshot) Select(positions []int, vals []string) []Row {
 	if len(positions) != len(vals) {
-		panic(fmt.Sprintf("table %s: %d positions for %d values", t.Name, len(positions), len(vals)))
+		panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(vals)))
 	}
 	if len(positions) == 0 {
-		return t.Rows()
+		return s.Rows()
 	}
-	t.mu.Lock()
-	m := t.indexFor(positions)
+	m := s.indexFor(positions)
 	offs := m[strings.Join(vals, "\x00")]
 	out := make([]Row, len(offs))
 	for i, off := range offs {
-		out[i] = t.rows[off]
+		out[i] = s.rows[off]
 	}
-	t.mu.Unlock()
 	return out
-}
-
-// indexFor returns the hash index of one position set, building it on
-// first use; the caller must hold t.mu.
-func (t *Table) indexFor(positions []int) map[string][]int {
-	sig := sigOf(positions)
-	m, ok := t.indexes[sig]
-	if !ok {
-		m = make(map[string][]int)
-		for off, r := range t.rows {
-			k := indexKey(r, positions)
-			m[k] = append(m[k], off)
-		}
-		if t.indexes == nil {
-			t.indexes = make(map[string]map[string][]int)
-		}
-		t.indexes[sig] = m
-	}
-	return m
 }
 
 // SelectBatch answers many selections over the same position set in one
 // call: result i holds the rows matching bindings[i], exactly as
 // Select(positions, bindings[i]) would return them. The index for the
-// position set is built at most once and every binding is served under a
-// single lock acquisition, so a batch of N lookups costs one table pass
-// instead of N.
-func (t *Table) SelectBatch(positions []int, bindings [][]string) [][]Row {
+// position set is built at most once, so a batch of N lookups costs one
+// table pass instead of N.
+func (s *Snapshot) SelectBatch(positions []int, bindings [][]string) [][]Row {
 	out := make([][]Row, len(bindings))
 	if len(positions) == 0 {
-		rows := t.Rows()
+		rows := s.Rows()
 		for i := range out {
 			out[i] = rows
 		}
 		return out
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.indexFor(positions)
+	m := s.indexFor(positions)
 	for i, b := range bindings {
 		if len(positions) != len(b) {
-			panic(fmt.Sprintf("table %s: %d positions for %d values", t.Name, len(positions), len(b)))
+			panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(b)))
 		}
 		offs := m[strings.Join(b, "\x00")]
 		rows := make([]Row, len(offs))
 		for j, off := range offs {
-			rows[j] = t.rows[off]
+			rows[j] = s.rows[off]
 		}
 		out[i] = rows
 	}
@@ -163,12 +321,12 @@ func (t *Table) SelectBatch(positions []int, bindings [][]string) [][]Row {
 }
 
 // Project returns the sorted, deduplicated values of one column.
-func (t *Table) Project(pos int) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+func (s *Snapshot) Project(pos int) []string {
 	set := make(map[string]bool)
-	for _, r := range t.rows {
-		set[r[pos]] = true
+	for off, r := range s.rows {
+		if !s.dead[off] {
+			set[r[pos]] = true
+		}
 	}
 	out := make([]string, 0, len(set))
 	for v := range set {
@@ -178,21 +336,38 @@ func (t *Table) Project(pos int) []string {
 	return out
 }
 
+// indexFor returns the hash index of one position set, building it on first
+// use. Tombstoned rows are skipped at build time, so lookups need no
+// per-row liveness check. The index maps are reached only through this
+// method, under mu; the offsets they hold point into the immutable rows.
+func (s *Snapshot) indexFor(positions []int) map[string][]int {
+	sig := sigOf(positions)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.indexes[sig]
+	if !ok {
+		m = make(map[string][]int)
+		for off, r := range s.rows {
+			if s.dead[off] {
+				continue
+			}
+			k := indexKey(r, positions)
+			m[k] = append(m[k], off)
+		}
+		if s.indexes == nil {
+			s.indexes = make(map[string]map[string][]int)
+		}
+		s.indexes[sig] = m
+	}
+	return m
+}
+
 func sigOf(positions []int) string {
 	parts := make([]string, len(positions))
 	for i, p := range positions {
 		parts[i] = fmt.Sprint(p)
 	}
 	return strings.Join(parts, ",")
-}
-
-func parseSig(sig string) []int {
-	parts := strings.Split(sig, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		fmt.Sscan(p, &out[i])
-	}
-	return out
 }
 
 func indexKey(r Row, positions []int) string {

@@ -167,3 +167,157 @@ func TestConcurrentSelectInsert(t *testing.T) {
 		t.Errorf("Len = %d", tab.Len())
 	}
 }
+
+func TestEpochAdvancesPerBatch(t *testing.T) {
+	tab := NewTable("r", 2)
+	if tab.Epoch() != 1 {
+		t.Fatalf("fresh table epoch = %d, want 1", tab.Epoch())
+	}
+	if n := tab.InsertAll([]Row{{"a", "1"}, {"b", "2"}}); n != 2 {
+		t.Fatalf("InsertAll = %d, want 2", n)
+	}
+	if tab.Epoch() != 2 {
+		t.Errorf("after insert batch: epoch = %d, want 2", tab.Epoch())
+	}
+	if tab.Insert(Row{"a", "1"}) {
+		t.Error("duplicate insert reported new")
+	}
+	if tab.Epoch() != 2 {
+		t.Errorf("no-op batch advanced epoch to %d", tab.Epoch())
+	}
+	if !tab.Delete(Row{"a", "1"}) {
+		t.Error("delete of present row reported absent")
+	}
+	if tab.Epoch() != 3 {
+		t.Errorf("after delete: epoch = %d, want 3", tab.Epoch())
+	}
+	if tab.Delete(Row{"zzz", "9"}) || tab.Epoch() != 3 {
+		t.Errorf("no-op delete changed state: epoch = %d", tab.Epoch())
+	}
+	if tab.Snapshot().ModifiedAt().IsZero() {
+		t.Error("mutated table has zero ModifiedAt")
+	}
+}
+
+func TestDeleteAndRevive(t *testing.T) {
+	tab := NewTable("r", 2)
+	tab.InsertAll([]Row{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	if n := tab.DeleteAll([]Row{{"b", "2"}, {"nope", "0"}}); n != 1 {
+		t.Fatalf("DeleteAll = %d, want 1", n)
+	}
+	if tab.Len() != 2 || tab.Contains(Row{"b", "2"}) {
+		t.Errorf("after delete: Len=%d Contains(b)=%v", tab.Len(), tab.Contains(Row{"b", "2"}))
+	}
+	if got := tab.Select([]int{0}, []string{"b"}); len(got) != 0 {
+		t.Errorf("deleted row still selectable: %v", got)
+	}
+	if got := tab.Project(0); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Project after delete = %v", got)
+	}
+	if !tab.Insert(Row{"b", "2"}) {
+		t.Error("revive insert reported duplicate")
+	}
+	if tab.Len() != 3 || !tab.Contains(Row{"b", "2"}) {
+		t.Errorf("revive failed: Len=%d", tab.Len())
+	}
+	if got := tab.Select([]int{0}, []string{"b"}); len(got) != 1 {
+		t.Errorf("revived row not selectable: %v", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tab := NewTable("r", 2)
+	tab.InsertAll([]Row{{"a", "1"}, {"b", "2"}})
+	snap := tab.Snapshot()
+	// Force the snapshot's index before mutating, then again after: both
+	// reads must see the frozen version.
+	if got := snap.Select([]int{0}, []string{"a"}); len(got) != 1 {
+		t.Fatalf("pre-mutation select: %v", got)
+	}
+	tab.Delete(Row{"a", "1"})
+	tab.InsertAll([]Row{{"c", "3"}, {"d", "4"}})
+	if got := snap.Select([]int{0}, []string{"a"}); len(got) != 1 {
+		t.Errorf("snapshot lost a deleted row: %v", got)
+	}
+	if got := snap.Select([]int{0}, []string{"c"}); len(got) != 0 {
+		t.Errorf("snapshot sees a future row: %v", got)
+	}
+	if snap.Len() != 2 || tab.Len() != 3 {
+		t.Errorf("Len: snapshot=%d (want 2) table=%d (want 3)", snap.Len(), tab.Len())
+	}
+	if snap.Epoch() == tab.Epoch() {
+		t.Errorf("snapshot epoch %d did not diverge from table epoch %d", snap.Epoch(), tab.Epoch())
+	}
+}
+
+func TestConcurrentMutateAndSnapshotRead(t *testing.T) {
+	tab := NewTable("r", 2)
+	tab.InsertAll([]Row{{"k", "v0"}})
+	done := make(chan bool)
+	go func() {
+		for i := 1; i <= 300; i++ {
+			tab.InsertAll([]Row{{"k", fmt.Sprintf("v%d", i)}})
+			tab.DeleteAll([]Row{{"k", fmt.Sprintf("v%d", i-1)}})
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 300; i++ {
+			snap := tab.Snapshot()
+			// Within one snapshot, two reads agree however writers advance.
+			a := snap.Select([]int{0}, []string{"k"})
+			b := snap.SelectBatch([]int{0}, [][]string{{"k"}})[0]
+			if len(a) != len(b) || snap.Len() != len(a) {
+				t.Errorf("torn snapshot read: %v vs %v (len %d)", a, b, snap.Len())
+				break
+			}
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+	if tab.Len() != 1 {
+		t.Errorf("final Len = %d, want 1", tab.Len())
+	}
+}
+
+// TestCompaction: sustained insert/delete churn rewrites the master log
+// once tombstones dominate, bounding memory by the live data; snapshots
+// published before the compaction keep serving their frozen version.
+func TestCompaction(t *testing.T) {
+	tab := NewTable("r", 2)
+	var all []Row
+	for i := 0; i < 3*compactMinDead; i++ {
+		all = append(all, Row{fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)})
+	}
+	tab.InsertAll(all)
+	pre := tab.Snapshot()
+	tab.DeleteAll(all[:len(all)-10])
+
+	tab.wmu.Lock()
+	logLen, deadLen := len(tab.rows), len(tab.dead)
+	tab.wmu.Unlock()
+	if logLen != 10 || deadLen != 0 {
+		t.Errorf("after churn: log=%d dead=%d, want compacted to 10 live rows", logLen, deadLen)
+	}
+	if tab.Len() != 10 {
+		t.Errorf("Len = %d, want 10", tab.Len())
+	}
+	if got := tab.Select([]int{0}, []string{all[len(all)-1][0]}); len(got) != 1 {
+		t.Errorf("live row lost by compaction: %v", got)
+	}
+	if got := tab.Select([]int{0}, []string{"k0"}); len(got) != 0 {
+		t.Errorf("deleted row survived compaction: %v", got)
+	}
+	// The pre-compaction snapshot still serves everything it froze.
+	if pre.Len() != len(all) {
+		t.Errorf("old snapshot Len = %d, want %d", pre.Len(), len(all))
+	}
+	if got := pre.Select([]int{0}, []string{"k0"}); len(got) != 1 {
+		t.Errorf("old snapshot lost a row after compaction: %v", got)
+	}
+	// Reinsert after compaction: dedup state was rebuilt correctly.
+	if !tab.Insert(all[0]) || tab.Len() != 11 {
+		t.Errorf("reinsert after compaction failed (Len=%d)", tab.Len())
+	}
+}

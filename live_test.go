@@ -1,0 +1,282 @@
+package toorjah_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"toorjah"
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
+)
+
+// TestLiveMutationConsistency is the live-data acceptance property: a writer
+// interleaves Insert/Delete batches with concurrent CQ and UCQ executions
+// across all three executors, with and without a cross-query cache, batched
+// and unbatched — over one shared pair of live tables — and every query's
+// answer set must equal the evaluation over some single published epoch of
+// each relation (no torn reads), with post-ingest queries seeing exactly the
+// final rows.
+//
+// The query is a chain within the mutated relation, q(Y) :- r(k,X), r(X,Y),
+// so that a mixed-epoch read is detectable: the writer alternates disjoint
+// chains {(k,v_g),(v_g,w_g)}, and an execution reading the first hop at one
+// epoch and the second at another dead-ends into an answer set no single
+// epoch produces (typically empty — and no recorded epoch is empty).
+func TestLiveMutationConsistency(t *testing.T) {
+	readers, queriesEach := 6, 50
+	if testing.Short() {
+		readers, queriesEach = 4, 15
+	}
+
+	sch := schema.MustParse(`
+		r^io(Node, Node)
+		d^io(K, V)`)
+	tabR := storage.NewTable("r", 2)
+	tabD := storage.NewTable("d", 2)
+
+	// Four systems over the same live tables: the writer mutates through the
+	// first; the cached systems other than the writer's are never explicitly
+	// invalidated, so their freshness rests entirely on epoch-keyed entries.
+	newSys := func(opts ...toorjah.SystemOption) *toorjah.System {
+		sys := toorjah.NewSystem(sch, opts...)
+		if err := sys.BindTable("r", tabR); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.BindTable("d", tabD); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	// The simulated per-access latency widens the window between a chain
+	// query's first and second hop, so an unpinned execution would actually
+	// straddle mutations (the writer cycles generations the whole time the
+	// readers run).
+	lat := toorjah.WithLatency(200 * time.Microsecond)
+	systems := []*toorjah.System{
+		newSys(lat, toorjah.WithCache(toorjah.CacheOptions{})),
+		newSys(lat, toorjah.WithCache(toorjah.CacheOptions{}), toorjah.WithMaxBatch(4)),
+		newSys(lat),
+		newSys(lat, toorjah.WithMaxBatch(-1)),
+	}
+	writerSys := systems[0]
+
+	const cqText = "q(Y) :- r(k, X), r(X, Y)"
+	const ucqText = cqText + "\nq(V) :- d(k2, V)"
+
+	// Generation g of the data; canonR/canonD build the canonical answer
+	// strings the histories record.
+	rRows := func(g int) []toorjah.Row {
+		return []toorjah.Row{{"k", fmt.Sprintf("v%d", g)}, {fmt.Sprintf("v%d", g), fmt.Sprintf("w%d", g)}}
+	}
+	dRows := func(g int) []toorjah.Row {
+		return []toorjah.Row{{"k2", fmt.Sprintf("u%d", g)}}
+	}
+	canon := func(vals ...string) string { return strings.Join(vals, "|") }
+
+	// histR / histD are the canonical answer sets of every epoch ever
+	// published, per relation; recording happens under histMu in the same
+	// critical section as the mutation, so any epoch a reader can have
+	// pinned is recorded by the time the reader acquires the mutex to check.
+	var histMu sync.Mutex
+	histR := map[string]bool{}
+	histD := map[string]bool{}
+
+	histMu.Lock()
+	if _, err := writerSys.Insert("r", rRows(0)...); err != nil {
+		t.Fatal(err)
+	}
+	histR[canon("w0")] = true
+	if _, err := writerSys.Insert("d", dRows(0)...); err != nil {
+		t.Fatal(err)
+	}
+	histD[canon("u0")] = true
+	histMu.Unlock()
+
+	// Prepare once, before any further mutation: live data must not require
+	// re-preparing (plans depend only on the schema).
+	type prepared struct {
+		cq  *toorjah.Query
+		ucq *toorjah.UnionQuery
+	}
+	plans := make([]prepared, len(systems))
+	for i, sys := range systems {
+		q, err := sys.Prepare(cqText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := sys.PrepareUCQ(ucqText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = prepared{cq: q, ucq: u}
+	}
+
+	var readersWG, writerWG sync.WaitGroup
+	readersDone := make(chan struct{})
+	var finalGen int
+
+	// The writer cycles generations for as long as the readers run: each
+	// step inserts generation g (publishing the union state {w_{g-1},w_g})
+	// and then deletes generation g-1 (publishing the clean state {w_g});
+	// same for d.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		g := 0
+		defer func() { finalGen = g }()
+		for {
+			select {
+			case <-readersDone:
+				return
+			default:
+			}
+			g++
+			histMu.Lock()
+			if _, err := writerSys.Insert("r", rRows(g)...); err != nil {
+				t.Error(err)
+			}
+			histR[canon(fmt.Sprintf("w%d", g-1), fmt.Sprintf("w%d", g))] = true
+			histMu.Unlock()
+
+			histMu.Lock()
+			if _, err := writerSys.Delete("r", rRows(g-1)...); err != nil {
+				t.Error(err)
+			}
+			histR[canon(fmt.Sprintf("w%d", g))] = true
+			histMu.Unlock()
+
+			histMu.Lock()
+			if _, err := writerSys.Insert("d", dRows(g)...); err != nil {
+				t.Error(err)
+			}
+			histD[canon(fmt.Sprintf("u%d", g-1), fmt.Sprintf("u%d", g))] = true
+			histMu.Unlock()
+
+			histMu.Lock()
+			if _, err := writerSys.Delete("d", dRows(g-1)...); err != nil {
+				t.Error(err)
+			}
+			histD[canon(fmt.Sprintf("u%d", g))] = true
+			histMu.Unlock()
+		}
+	}()
+
+	// splitAnswers partitions a result's single-column answers into the
+	// r-derived (w*) and d-derived (u*) parts.
+	splitAnswers := func(res *toorjah.Result) (rPart, dPart string, bad []string) {
+		var ws, us []string
+		for _, a := range res.SortedAnswers() {
+			switch {
+			case strings.HasPrefix(a, "w"):
+				ws = append(ws, a)
+			case strings.HasPrefix(a, "u"):
+				us = append(us, a)
+			default:
+				bad = append(bad, a)
+			}
+		}
+		return strings.Join(ws, "|"), strings.Join(us, "|"), bad
+	}
+
+	check := func(kind string, res *toorjah.Result, err error, wantD bool) {
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			return
+		}
+		if res.Truncated {
+			t.Errorf("%s: unexpected truncation", kind)
+			return
+		}
+		rPart, dPart, bad := splitAnswers(res)
+		if len(bad) > 0 {
+			t.Errorf("%s: unclassifiable answers %v", kind, bad)
+			return
+		}
+		histMu.Lock()
+		okR := histR[rPart]
+		okD := histD[dPart]
+		histMu.Unlock()
+		if !okR {
+			t.Errorf("%s: torn read — r answers %q match no published epoch", kind, rPart)
+		}
+		if wantD && !okD {
+			t.Errorf("%s: torn read — d answers %q match no published epoch", kind, dPart)
+		}
+		if !wantD && dPart != "" {
+			t.Errorf("%s: CQ produced d answers %q", kind, dPart)
+		}
+	}
+
+	for i := 0; i < readers; i++ {
+		readersWG.Add(1)
+		go func(seed int64) {
+			defer readersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < queriesEach; n++ {
+				p := plans[rng.Intn(len(plans))]
+				switch rng.Intn(6) {
+				case 0:
+					res, err := p.cq.Execute()
+					check("fastfail CQ", res, err, false)
+				case 1:
+					res, err := p.cq.ExecuteNaive()
+					check("naive CQ", res, err, false)
+				case 2:
+					res, err := p.cq.Stream(toorjah.PipeOptions{}, nil)
+					check("pipelined CQ", res, err, false)
+				case 3:
+					res, err := p.ucq.Execute()
+					check("parallel UCQ", res, err, true)
+				case 4:
+					res, err := p.ucq.Stream(toorjah.PipeOptions{}, func(toorjah.Tuple) {})
+					check("streamed UCQ", res, err, true)
+				case 5:
+					res, err := p.ucq.ExecuteSequential(toorjah.Options{})
+					check("sequential UCQ", res, err, true)
+				}
+			}
+		}(int64(i) + 1)
+	}
+	readersWG.Wait()
+	close(readersDone)
+	writerWG.Wait()
+
+	// Post-ingest: with the writer quiet, every system and executor must see
+	// exactly the final generation — including the cached systems that were
+	// never explicitly invalidated.
+	wantR := canon(fmt.Sprintf("w%d", finalGen))
+	wantU := fmt.Sprintf("u%d", finalGen)
+	for i, p := range plans {
+		for kind, run := range map[string]func() (*toorjah.Result, error){
+			"fastfail": p.cq.Execute,
+			"naive":    p.cq.ExecuteNaive,
+			"pipelined": func() (*toorjah.Result, error) {
+				return p.cq.Stream(toorjah.PipeOptions{}, nil)
+			},
+			"ucq": p.ucq.Execute,
+		} {
+			res, err := run()
+			if err != nil {
+				t.Fatalf("system %d %s final: %v", i, kind, err)
+			}
+			rPart, dPart, _ := splitAnswers(res)
+			if rPart != wantR {
+				t.Errorf("system %d %s final: r answers %q, want %q", i, kind, rPart, wantR)
+			}
+			if kind == "ucq" && dPart != wantU {
+				t.Errorf("system %d %s final: d answers %q, want %q", i, kind, dPart, wantU)
+			}
+		}
+	}
+	if e := writerSys.RelationEpoch("r"); e < uint64(2*finalGen) {
+		t.Errorf("r epoch = %d, want >= %d", e, 2*finalGen)
+	}
+	info := writerSys.DataInfo()["r"]
+	if info.Rows != 2 || !info.Local || info.ModifiedAt.IsZero() {
+		t.Errorf("DataInfo(r) = %+v", info)
+	}
+}

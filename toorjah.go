@@ -54,13 +54,25 @@
 // connection pooling — so a deployment can shard its relations across
 // nodes and answer queries over the union, caching and batching included.
 //
+// Relations are live: System.Insert, System.Delete and System.LoadCSV
+// mutate a bound relation's table while queries run. Every mutating batch
+// advances the relation's epoch (see RelationEpoch / DataInfo); executors
+// pin one immutable version of every relation per execution, and the
+// cross-query cache keys entries by epoch, so concurrent queries always
+// answer over a consistent snapshot and post-mutation queries see the new
+// rows — no rebind, no restart, no explicit invalidation needed. toorjahd
+// exposes the same capability over HTTP as POST /ingest.
+//
 // The internal packages expose every stage of the pipeline (schema, cq,
 // dgraph, plan, exec, …) for programmatic use; this package is the
-// high-level façade.
+// high-level façade. ARCHITECTURE.md maps the paper's concepts onto the
+// packages.
 package toorjah
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -255,6 +267,165 @@ func (s *System) BindDatabase(db *storage.Database) error {
 	return nil
 }
 
+// mutableTable returns the live table behind a relation, auto-binding an
+// empty one when the relation has no source yet; relations sourced from a
+// peer or a custom wrapper have no local table to mutate.
+func (s *System) mutableTable(name string) (*storage.Table, error) {
+	rel := s.sch.Relation(name)
+	if rel == nil {
+		return nil, fmt.Errorf("toorjah: unknown relation %s", name)
+	}
+	src := s.reg.Source(name)
+	if src == nil {
+		if err := s.BindRows(name); err != nil {
+			return nil, err
+		}
+		src = s.reg.Source(name)
+	}
+	// Duck-typed rather than asserting *source.TableSource, so a decorator
+	// that exposes its backing table stays mutable.
+	ts, ok := src.(interface{ Table() *storage.Table })
+	if !ok {
+		return nil, fmt.Errorf("toorjah: relation %s is not backed by a local table", name)
+	}
+	return ts.Table(), nil
+}
+
+// mutated follows every successful mutation of a relation: it drops the
+// relation's cached accesses eagerly. Correctness does not depend on it —
+// cache entries are keyed by the relation's data epoch, which the mutation
+// just advanced, so stale entries are already unreachable — but freeing
+// them keeps the LRU working for live data.
+func (s *System) mutated(name string) {
+	if s.cache != nil {
+		s.cache.Invalidate(name)
+	}
+}
+
+// Insert appends rows to the live table of a relation, as one batch:
+// one copy-on-write step, one new epoch (when anything was actually new —
+// duplicates are discarded). It returns the number of rows added. Queries
+// in flight keep answering over the version they pinned at start; queries
+// prepared earlier need no re-Prepare — their next execution reads the new
+// version.
+func (s *System) Insert(name string, rows ...Row) (int, error) {
+	t, err := s.mutableTable(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := validateRows(name, rows, t.Arity); err != nil {
+		return 0, err
+	}
+	n := t.InsertAll(rows)
+	if n > 0 {
+		s.mutated(name)
+	}
+	return n, nil
+}
+
+// validateRows rejects rows a table could not store faithfully: wrong
+// arity, and values containing NUL (the storage layer's row and index keys
+// are NUL-joined, so a NUL inside a value would let two distinct rows
+// collide — unreachable from CSV, but reachable from JSON ingestion).
+func validateRows(name string, rows []Row, arity int) error {
+	for _, r := range rows {
+		if len(r) != arity {
+			return fmt.Errorf("toorjah: relation %s: row %v has arity %d, want %d",
+				name, []string(r), len(r), arity)
+		}
+		for _, v := range r {
+			if strings.ContainsRune(v, '\x00') {
+				return fmt.Errorf("toorjah: relation %s: row value contains a NUL byte", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes rows from the live table of a relation, as one batch (one
+// new epoch when anything was actually removed), returning the number of
+// rows removed. The same consistency contract as Insert applies.
+func (s *System) Delete(name string, rows ...Row) (int, error) {
+	t, err := s.mutableTable(name)
+	if err != nil {
+		return 0, err
+	}
+	// Same validation as Insert: a malformed row must be an error, not a
+	// silent "row was absent" no-op.
+	if err := validateRows(name, rows, t.Arity); err != nil {
+		return 0, err
+	}
+	n := t.DeleteAll(rows)
+	if n > 0 {
+		s.mutated(name)
+	}
+	return n, nil
+}
+
+// LoadCSV parses CSV data (ReadCSV's tolerant dialect) and inserts the rows
+// into the relation's live table as one batch, returning the number of rows
+// added. Nothing is applied when parsing fails partway.
+func (s *System) LoadCSV(name string, r io.Reader) (int, error) {
+	rel := s.sch.Relation(name)
+	if rel == nil {
+		return 0, fmt.Errorf("toorjah: unknown relation %s", name)
+	}
+	rows, err := storage.ReadCSVRows(name, rel.Arity(), r)
+	if err != nil {
+		return 0, err
+	}
+	return s.Insert(name, rows...)
+}
+
+// RelationEpoch returns a relation's current data epoch: 0 when the
+// relation is unbound or its source is unversioned, otherwise the version
+// number advanced by every mutating batch (local tables start at 1;
+// federated sources report the peer's last observed epoch).
+func (s *System) RelationEpoch(name string) uint64 {
+	src := s.reg.Source(name)
+	if src == nil {
+		return 0
+	}
+	return source.EpochOf(src)
+}
+
+// RelationInfo describes the live data behind one bound relation.
+type RelationInfo struct {
+	// Epoch is the relation's data version; 0 means unversioned.
+	Epoch uint64
+	// Rows is the live row count, or -1 when the source is not a local
+	// table (remote peers and custom wrappers do not expose it).
+	Rows int
+	// ModifiedAt is when the local table's data last changed — the initial
+	// load counts, so it is zero only for an empty never-touched table or
+	// when the source is not a local table. LastIngest in toorjahd's
+	// /stats separates HTTP ingestion from the boot-time load.
+	ModifiedAt time.Time
+	// Local reports whether the relation is served from a local table.
+	Local bool
+}
+
+// DataInfo snapshots the data freshness of every bound relation: epoch,
+// live row count and last-modification time. toorjahd serves it in /stats
+// so operators can see at a glance which relations moved and when.
+func (s *System) DataInfo() map[string]RelationInfo {
+	out := make(map[string]RelationInfo)
+	for _, name := range s.reg.Names() {
+		src := s.reg.Source(name)
+		info := RelationInfo{Epoch: source.EpochOf(src), Rows: -1}
+		// The same duck type as mutableTable: whatever Insert can mutate,
+		// DataInfo reports as local.
+		if ts, ok := src.(interface{ Table() *storage.Table }); ok {
+			snap := ts.Table().Snapshot()
+			info.Rows = snap.Len()
+			info.ModifiedAt = snap.ModifiedAt()
+			info.Local = true
+		}
+		out[name] = info
+	}
+	return out
+}
+
 // execOpts threads the system's cross-query cache and batch bound into
 // executor options.
 func (s *System) execOpts(o Options) Options {
@@ -382,10 +553,16 @@ func (q *Query) Execute() (*Result, error) {
 // ExecuteOpts is Execute with ablation options; the system's cross-query
 // cache, when configured, is used unless opts carries its own.
 func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
+	return q.executeOn(q.sys.reg, opts)
+}
+
+// executeOn is ExecuteOpts over an explicit registry: the UCQ runner passes
+// one pinned snapshot so every disjunct answers over the same data version.
+func (q *Query) executeOn(reg *source.Registry, opts Options) (*Result, error) {
 	if !q.Answerable() {
 		return q.emptyResult(), nil
 	}
-	return exec.FastFailingOpts(q.pipeline.Plan, q.sys.reg, q.sys.execOpts(opts))
+	return exec.FastFailingOpts(q.pipeline.Plan, reg, q.sys.execOpts(opts))
 }
 
 // ExecuteNaive runs the reference algorithm of the paper's Fig. 1 (probe
@@ -398,7 +575,12 @@ func (q *Query) ExecuteNaive() (*Result, error) {
 // are meaningful here (the ablation switches target the optimized
 // strategies).
 func (q *Query) ExecuteNaiveOpts(opts Options) (*Result, error) {
-	return exec.NaiveOpts(q.sys.sch, q.sys.reg, q.pipeline.Query, q.pipeline.Typing,
+	return q.executeNaiveOn(q.sys.reg, opts)
+}
+
+// executeNaiveOn is ExecuteNaiveOpts over an explicit registry.
+func (q *Query) executeNaiveOn(reg *source.Registry, opts Options) (*Result, error) {
+	return exec.NaiveOpts(q.sys.sch, reg, q.pipeline.Query, q.pipeline.Typing,
 		q.sys.execOpts(opts))
 }
 
@@ -406,9 +588,14 @@ func (q *Query) ExecuteNaiveOpts(opts Options) (*Result, error) {
 // answer the moment it becomes derivable (for queries without negation) or
 // at completion (with negation).
 func (q *Query) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
+	return q.streamOn(q.sys.reg, opts, onAnswer)
+}
+
+// streamOn is Stream over an explicit registry.
+func (q *Query) streamOn(reg *source.Registry, opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
 	if !q.Answerable() {
 		return q.emptyResult(), nil
 	}
 	opts.Options = q.sys.execOpts(opts.Options)
-	return exec.Pipelined(q.pipeline.Plan, q.sys.reg, opts, onAnswer)
+	return exec.Pipelined(q.pipeline.Plan, reg, opts, onAnswer)
 }

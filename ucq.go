@@ -20,7 +20,10 @@ import (
 // bounded concurrency; with a cross-query cache configured (WithCache /
 // WithSharedCache), identical probes issued by overlapping disjuncts
 // collapse into a single source access, so parallelism never costs extra
-// accesses over the sequential loop.
+// accesses over the sequential loop. Every entry point pins one snapshot
+// of the sources for the whole union, so all disjuncts — and therefore the
+// union answer — evaluate over a single data version even while writers
+// ingest into the relations.
 type UnionQuery struct {
 	sys     *System
 	queries []*Query
@@ -107,10 +110,11 @@ func (u *UnionQuery) Execute() (*Result, error) {
 // union, exactly as with the CQ executors. Elapsed and TimeToFirst are
 // wall-clock times of the whole union.
 func (u *UnionQuery) ExecuteOpts(opts Options) (*Result, error) {
+	pinned := u.sys.reg.Snapshot() // one data version for every disjunct
 	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
 		o := opts
 		o.Ctx = ctx
-		return q.ExecuteOpts(o)
+		return q.executeOn(pinned, o)
 	})
 	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
 }
@@ -123,10 +127,11 @@ func (u *UnionQuery) ExecuteNaive() (*Result, error) {
 
 // ExecuteNaiveOpts is ExecuteNaive with options (Cache, MaxBatch, Ctx).
 func (u *UnionQuery) ExecuteNaiveOpts(opts Options) (*Result, error) {
+	pinned := u.sys.reg.Snapshot()
 	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
 		o := opts
 		o.Ctx = ctx
-		return q.ExecuteNaiveOpts(o)
+		return q.executeNaiveOn(pinned, o)
 	})
 	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
 }
@@ -139,10 +144,11 @@ func (u *UnionQuery) ExecuteNaiveOpts(opts Options) (*Result, error) {
 // union answers; opts.Ctx (or opts.Options.Ctx) cancels the whole union
 // into a truncated sound subset.
 func (u *UnionQuery) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
+	pinned := u.sys.reg.Snapshot()
 	runs := u.disjunctRuns(func(q *Query, ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
 		o := opts
 		o.Ctx = ctx
-		return q.Stream(o, emit)
+		return q.streamOn(pinned, o, emit)
 	})
 	ctx := opts.Ctx
 	if ctx == nil {
@@ -161,6 +167,7 @@ func (u *UnionQuery) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, er
 // between (and inside) disjuncts with a truncated sound subset.
 func (u *UnionQuery) ExecuteSequential(opts Options) (*Result, error) {
 	start := time.Now()
+	pinned := u.sys.reg.Snapshot() // one data version across the loop too
 	union := datalog.NewRelation(u.name, u.arity)
 	stats := make(map[string]source.Stats)
 	out := &Result{Answers: union, Stats: stats}
@@ -169,7 +176,7 @@ func (u *UnionQuery) ExecuteSequential(opts Options) (*Result, error) {
 			out.Truncated = true
 			break
 		}
-		r, err := q.ExecuteOpts(opts)
+		r, err := q.executeOn(pinned, opts)
 		if err != nil {
 			return nil, err
 		}
