@@ -20,6 +20,12 @@
 //	GET  /stats                    cache + service + data-freshness statistics
 //	GET  /schema                   the loaded schema (+ per-relation epochs)
 //	GET  /healthz                  liveness probe
+//	GET  /metrics                  Prometheus text exposition of the service:
+//	                               query latency histograms per executor,
+//	                               per-relation source accesses/round trips,
+//	                               cache hits/misses/evictions/coalesces,
+//	                               remote retries/breaker state/epochs,
+//	                               ingest batches, probe batch sizes
 //
 // A query text with several non-comment lines is a union of conjunctive
 // queries (UCQ), one disjunct per line sharing the head predicate and
@@ -43,9 +49,20 @@
 // access), and -remote attaches relations served by other nodes as this
 // node's own sources — a deployment shards its relations across machines
 // and every node answers queries over the union. GET /healthz?ready is the
-// readiness view, reporting the reachability of the attached peers; /stats
-// reports probes served (probes_served, probes) and per-peer outbound
-// telemetry (remote_peers: round trips, retries, breaker opens, latency).
+// readiness view, reporting the reachability of the attached peers within
+// -ready-timeout; /stats reports probes served (probes_served, probes) and
+// per-peer outbound telemetry (remote_peers: round trips, retries, breaker
+// opens, latency).
+//
+// Every query is observable end to end: a random trace ID names it in the
+// structured query log (one slog line per query with latency, access counts
+// and cache-hit ratio; at or above -slow-query the line is a warning with
+// slow=true) and rides the X-Toorjah-Trace header to probed peers, so a
+// federated query stitches across every node's log. ?trace=1 on /query
+// additionally returns the full span tree — query → disjunct/pipeline →
+// probe → remote round trip — inside the NDJSON summary frame. -debug-addr
+// starts a second, private listener serving net/http/pprof (never mounted
+// on the public mux).
 //
 // The process drains gracefully: SIGINT/SIGTERM stop accepting connections
 // and in-flight query streams get up to 15s to finish.
@@ -68,6 +85,11 @@
 //	                     (bare address = every shared relation this node
 //	                     holds no data for; repeatable)
 //	-remote-timeout      per-probe-attempt timeout against peers (default 10s)
+//	-ready-timeout       peer reachability timeout of /healthz?ready
+//	                     (default 2s)
+//	-slow-query          latency at or above which a query logs as slow
+//	                     (default 1s; 0 disables the threshold)
+//	-debug-addr          private pprof listen address (default: disabled)
 package main
 
 import (
@@ -76,7 +98,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +109,7 @@ import (
 	"time"
 
 	"toorjah"
+	"toorjah/internal/obs"
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
 )
@@ -112,6 +137,9 @@ func main() {
 	var remotes multiFlag
 	flag.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
 	remoteTimeout := flag.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
+	readyTimeout := flag.Duration("ready-timeout", defaultReadyTimeout, "peer reachability timeout of GET /healthz?ready")
+	slowQuery := flag.Duration("slow-query", time.Second, "latency at or above which a query logs as slow (0 = no threshold)")
+	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
 
 	if *schemaFile == "" || *dataDir == "" {
@@ -161,6 +189,13 @@ func main() {
 	if *maxIngest > 0 {
 		srv.maxIngestBytes = *maxIngest
 	}
+	if *readyTimeout > 0 {
+		srv.readyTimeout = *readyTimeout
+	}
+	srv.queryLog = obs.NewQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.handler(),
@@ -202,6 +237,23 @@ func serve(hs *http.Server, relations int, dataDir string) error {
 		}
 		log.Printf("toorjahd: drained, bye")
 		return nil
+	}
+}
+
+// serveDebug exposes net/http/pprof on its own listener with its own mux —
+// deliberately never the public one, so CPU/heap/goroutine profiles (and
+// the execution tracer) are reachable only from wherever -debug-addr is
+// bound, typically localhost.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("toorjahd: pprof listening on %s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("toorjahd: debug listener: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"toorjah"
 	"toorjah/internal/cq"
+	"toorjah/internal/obs"
 	"toorjah/internal/remote"
 )
 
@@ -37,6 +38,10 @@ const maxQueryBytes = 1 << 20
 // (decoded rows + table), so the cap is a defensive bound, not a tuning
 // knob.
 const defaultMaxIngestBytes = 8 << 20
+
+// defaultReadyTimeout bounds the peer reachability checks of GET
+// /healthz?ready (-ready-timeout overrides).
+const defaultReadyTimeout = 2 * time.Second
 
 // runnable is a prepared query of either kind — a single CQ or a UCQ whose
 // disjuncts stream concurrently — behind the one entry point /query needs.
@@ -69,6 +74,20 @@ type server struct {
 	ingestsServed  atomic.Int64
 	ingMu          sync.Mutex
 	ingests        map[string]*ingestStats
+
+	// Observability: the registry behind GET /metrics (counters and gauges
+	// the service already accumulates become scrape-time collectors; the
+	// histograms below are fed directly), the source-level metric families
+	// every execution records into, the end-to-end latency histograms per
+	// executor, the structured query log (nil = silent), and the peer
+	// reachability timeout of /healthz?ready.
+	metrics       *obs.Registry
+	probeMetrics  *obs.ProbeMetrics
+	queryDuration *obs.HistogramVec
+	queryFirst    *obs.HistogramVec
+	peerProbeDur  *obs.Histogram
+	queryLog      *obs.QueryLog
+	readyTimeout  time.Duration
 }
 
 // ingestStats accumulates one relation's served ingestion.
@@ -94,21 +113,175 @@ func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
 		probeSources:   make(map[string]toorjah.SourceStats),
 		maxIngestBytes: defaultMaxIngestBytes,
 		ingests:        make(map[string]*ingestStats),
+		readyTimeout:   defaultReadyTimeout,
 	}
+	s.metrics = obs.NewRegistry()
+	s.probeMetrics = obs.NewProbeMetrics(s.metrics)
+	s.queryDuration = s.metrics.HistogramVec("toorjah_query_duration_seconds",
+		"End-to-end latency of one served /query, by executor.", obs.LatencyBuckets, "executor")
+	s.queryFirst = s.metrics.HistogramVec("toorjah_query_time_to_first_seconds",
+		"Time until the first answer of one served /query streamed, by executor.", obs.LatencyBuckets, "executor")
+	s.peerProbeDur = s.metrics.Histogram("toorjah_peer_probe_duration_seconds",
+		"Latency of one /probe round trip served to a federated peer.", obs.LatencyBuckets)
+	s.registerCollectors()
 	s.probeH = remote.NewHandler(sys.ProbeRegistry())
 	s.probeH.Record = s.recordProbe
 	return s
 }
 
-// recordProbe folds one served /probe into the federation accounting: a
-// request is one round trip of `accesses` bindings.
-func (s *server) recordProbe(rel string, accesses, tuples int) {
+// registerCollectors turns every point-in-time statistic the service (and
+// its system) already keeps into scrape-time series on /metrics: nothing is
+// double-counted, a scrape renders the same accumulators /stats reports.
+func (s *server) registerCollectors() {
+	m := s.metrics
+	m.GaugeFunc("toorjah_uptime_seconds",
+		"Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	m.CounterFunc("toorjah_queries_served_total",
+		"Queries served to completion by /query (unions included).",
+		func() float64 { return float64(s.served.Load()) })
+	m.CounterFunc("toorjah_ucqs_served_total",
+		"Served queries that were unions of conjunctive queries.",
+		func() float64 { return float64(s.ucqServed.Load()) })
+	m.CounterFunc("toorjah_probes_served_total",
+		"POST /probe round trips answered for federated peers.",
+		func() float64 { return float64(s.probesServed.Load()) })
+	m.CounterFunc("toorjah_ingests_served_total",
+		"POST /ingest batches applied.",
+		func() float64 { return float64(s.ingestsServed.Load()) })
+	m.GaugeFunc("toorjah_prepared_plans",
+		"Warm prepared query plans currently held.",
+		func() float64 { return float64(s.planCount()) })
+	m.CounterVecFunc("toorjah_ingest_rows_total",
+		"Rows applied by POST /ingest, by relation and op.",
+		[]string{"relation", "op"}, func(emit func([]string, float64)) {
+			s.ingMu.Lock()
+			defer s.ingMu.Unlock()
+			for rel, st := range s.ingests {
+				emit([]string{rel, "insert"}, float64(st.Inserted))
+				emit([]string{rel, "delete"}, float64(st.Deleted))
+			}
+		})
+
+	if c := s.sys.AccessCache(); c != nil {
+		cacheCounter := func(name, help string, field func(toorjah.CacheStats) float64) {
+			m.CounterVecFunc(name, help, []string{"relation"}, func(emit func([]string, float64)) {
+				for rel, st := range c.Snapshot() {
+					emit([]string{rel}, field(st))
+				}
+			})
+		}
+		cacheCounter("toorjah_cache_hits_total",
+			"Accesses served from the cross-query cache, by relation.",
+			func(st toorjah.CacheStats) float64 { return float64(st.Hits) })
+		cacheCounter("toorjah_cache_misses_total",
+			"Accesses that fell through the cross-query cache to the source, by relation.",
+			func(st toorjah.CacheStats) float64 { return float64(st.Misses) })
+		cacheCounter("toorjah_cache_coalesced_total",
+			"Accesses merged into an identical probe already in flight (singleflight), by relation.",
+			func(st toorjah.CacheStats) float64 { return float64(st.Collapsed) })
+		cacheCounter("toorjah_cache_evictions_total",
+			"Cache entries dropped by the LRU capacity bound, by relation.",
+			func(st toorjah.CacheStats) float64 { return float64(st.Evictions) })
+		cacheCounter("toorjah_cache_expirations_total",
+			"Cache entries dropped by TTL expiry, by relation.",
+			func(st toorjah.CacheStats) float64 { return float64(st.Expirations) })
+		m.GaugeVecFunc("toorjah_cache_entries",
+			"Accesses currently cached, by relation.",
+			[]string{"relation"}, func(emit func([]string, float64)) {
+				for rel, st := range c.Snapshot() {
+					emit([]string{rel}, float64(st.Entries))
+				}
+			})
+	}
+
+	remoteCounter := func(name, help string, field func(toorjah.RemoteTelemetry) float64) {
+		m.CounterVecFunc(name, help, []string{"peer", "relation"}, func(emit func([]string, float64)) {
+			for _, p := range s.sys.RemotePeers() {
+				for rel, t := range p.Telemetry() {
+					emit([]string{p.Base(), rel}, field(t))
+				}
+			}
+		})
+	}
+	remoteCounter("toorjah_remote_round_trips_total",
+		"Outbound HTTP probe round trips to a federation peer (retries included), by peer and relation.",
+		func(t toorjah.RemoteTelemetry) float64 { return float64(t.RoundTrips) })
+	remoteCounter("toorjah_remote_retries_total",
+		"Outbound probe attempts that were retries, by peer and relation.",
+		func(t toorjah.RemoteTelemetry) float64 { return float64(t.Retries) })
+	remoteCounter("toorjah_remote_breaker_opens_total",
+		"Times a peer relation's circuit breaker opened, by peer and relation.",
+		func(t toorjah.RemoteTelemetry) float64 { return float64(t.BreakerOpens) })
+	remoteCounter("toorjah_remote_epoch_changes_total",
+		"Times a peer relation's data epoch changed between probes (stale-snapshot detections), by peer and relation.",
+		func(t toorjah.RemoteTelemetry) float64 { return float64(t.EpochChanges) })
+	remoteCounter("toorjah_remote_latency_seconds_total",
+		"Cumulative wall-clock probe latency spent on a peer relation, by peer and relation.",
+		func(t toorjah.RemoteTelemetry) float64 { return t.LatencyMS / 1000 })
+	m.GaugeVecFunc("toorjah_remote_breaker_state",
+		"Circuit breaker state per peer relation: 0 closed, 1 half-open, 2 open.",
+		[]string{"peer", "relation"}, func(emit func([]string, float64)) {
+			for _, p := range s.sys.RemotePeers() {
+				for rel, t := range p.Telemetry() {
+					emit([]string{p.Base(), rel}, breakerStateValue(t.BreakerState))
+				}
+			}
+		})
+	m.GaugeVecFunc("toorjah_remote_epoch",
+		"Last observed data epoch of a peer relation, by peer and relation.",
+		[]string{"peer", "relation"}, func(emit func([]string, float64)) {
+			for _, p := range s.sys.RemotePeers() {
+				for rel, t := range p.Telemetry() {
+					emit([]string{p.Base(), rel}, float64(t.Epoch))
+				}
+			}
+		})
+
+	m.GaugeVecFunc("toorjah_relation_epoch",
+		"Current data version of a relation (advances once per mutating batch; 0 = unversioned).",
+		[]string{"relation"}, func(emit func([]string, float64)) {
+			for rel, info := range s.sys.DataInfo() {
+				emit([]string{rel}, float64(info.Epoch))
+			}
+		})
+	m.GaugeVecFunc("toorjah_relation_rows",
+		"Live row count of a locally served relation.",
+		[]string{"relation"}, func(emit func([]string, float64)) {
+			for rel, info := range s.sys.DataInfo() {
+				if info.Local {
+					emit([]string{rel}, float64(info.Rows))
+				}
+			}
+		})
+}
+
+// breakerStateValue maps a breaker state name onto the gauge scale.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "closed":
+		return 0
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return -1
+}
+
+// recordProbe folds one served /probe into the federation accounting (a
+// request is one round trip of `accesses` bindings), the probe-latency
+// histogram, and — carrying the calling query's trace ID — the query log,
+// so a federated trace stitches across nodes in the logs.
+func (s *server) recordProbe(p remote.ProbeRecord) {
 	s.probesServed.Add(1)
+	s.peerProbeDur.Observe(p.Elapsed.Seconds())
+	s.queryLog.Probe(p.TraceID, p.Relation, p.Accesses, p.Tuples, p.Elapsed)
 	s.srcMu.Lock()
 	defer s.srcMu.Unlock()
-	cur := s.probeSources[rel]
-	cur.Add(toorjah.SourceStats{Accesses: accesses, Batches: 1, Tuples: tuples})
-	s.probeSources[rel] = cur
+	cur := s.probeSources[p.Relation]
+	cur.Add(toorjah.SourceStats{Accesses: p.Accesses, Batches: 1, Tuples: p.Tuples})
+	s.probeSources[p.Relation] = cur
 }
 
 // probeSnapshot copies the served-probe accounting.
@@ -158,6 +331,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/schema", s.handleSchema)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.metrics.Handler())
 	return mux
 }
 
@@ -179,7 +353,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Peers map[string]peerStatus `json:"peers"`
 	}{Ready: true, Peers: make(map[string]peerStatus)}
 
-	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(r.Context(), s.readyTimeout)
 	defer cancel()
 	peers := s.sys.RemotePeers()
 	var mu sync.Mutex
@@ -269,6 +443,14 @@ type doneLine struct {
 	Truncated bool    `json:"truncated,omitempty"`
 	// Disjuncts is the disjunct count of a UCQ request (absent for a CQ).
 	Disjuncts int `json:"disjuncts,omitempty"`
+	// TraceID identifies the query in this node's query log and, for
+	// federated queries, in every probed peer's log (the ID rides the
+	// X-Toorjah-Trace header).
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the query's span tree (query → disjunct/pipeline → probe →
+	// remote round trip), present only when the request asked for it with
+	// ?trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type errorLine struct {
@@ -323,15 +505,38 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	executor := "pipelined"
+	if _, ok := q.(*toorjah.UnionQuery); ok {
+		executor = "union"
+	}
+
+	// Every query gets a trace ID — it names the query in this node's log
+	// and propagates to probed peers — but the span tree is only collected
+	// when the client asks (?trace=1): the untraced path pays one context
+	// value lookup per probe batch and nothing else.
+	traceID := obs.NewTraceID()
+	// A disconnected client cancels the run, so the executor stops
+	// spending accesses on an answer nobody will read.
+	ctx := obs.ContextWithTraceID(r.Context(), traceID)
+	var trace *obs.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		trace = obs.NewTrace(traceID, "query")
+		trace.Root.SetAttr("executor", executor)
+		ctx = obs.ContextWithSpan(ctx, trace.Root)
+	}
+	// The per-query observability bundle: the shared probe metric families
+	// plus this query's demanded-access counter — demanded minus probed is
+	// what the cross-query cache absorbed for this query.
+	execObs := &obs.ExecObs{Probe: s.probeMetrics}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	opts := s.pipe
 	opts.Limit = limit
-	// A disconnected client cancels the run, so the executor stops
-	// spending accesses on an answer nobody will read.
-	opts.Ctx = r.Context()
+	opts.Ctx = ctx
+	opts.Options.Ctx = ctx
+	opts.Options.Obs = execObs
 	// onAnswer calls are serialized by both kinds of runnable — a CQ streams
 	// from the goroutine executing Stream, a UCQ serializes its concurrent
 	// disjuncts — so writing to the response here needs no locking.
@@ -342,11 +547,28 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
+		s.queryLog.Query(obs.QueryRecord{TraceID: traceID, Query: text, Executor: executor, Err: err})
 		// The stream may already be half-written; report the error in-band.
 		enc.Encode(errorLine{Error: err.Error()})
 		return
 	}
 	s.recordSources(res.Stats)
+	s.queryDuration.With(executor).Observe(res.Elapsed.Seconds())
+	if res.TimeToFirst > 0 {
+		s.queryFirst.With(executor).Observe(res.TimeToFirst.Seconds())
+	}
+	s.queryLog.Query(obs.QueryRecord{
+		TraceID:     traceID,
+		Query:       text,
+		Executor:    executor,
+		Answers:     res.Answers.Len(),
+		Accesses:    res.TotalAccesses(),
+		Demanded:    execObs.Demanded(),
+		RoundTrips:  res.TotalBatches(),
+		Elapsed:     res.Elapsed,
+		TimeToFirst: res.TimeToFirst,
+		Truncated:   res.Truncated,
+	})
 	if r.Context().Err() != nil {
 		return // client gone; nobody is reading the summary
 	}
@@ -359,10 +581,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Tuples:    res.TotalTuples(),
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		Truncated: res.Truncated,
+		TraceID:   traceID,
 	}
 	if u, ok := q.(*toorjah.UnionQuery); ok {
 		s.ucqServed.Add(1)
 		done.Disjuncts = len(u.Disjuncts())
+	}
+	if trace != nil {
+		trace.Root.End()
+		tj := trace.JSON()
+		done.Trace = &tj
 	}
 	enc.Encode(done)
 }

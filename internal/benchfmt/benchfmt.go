@@ -1,16 +1,17 @@
 // Package benchfmt parses the text output of `go test -bench` into a
 // stable, benchstat-style JSON shape and compares two such snapshots for
 // regressions. It backs the CI benchmark gate (cmd/benchgate): every CI run
-// emits its parsed results as an artifact (BENCH_PR2.json) and fails when a
+// emits its parsed results as an artifact (BENCH_PR6.json) and fails when a
 // benchmark regresses beyond a threshold against the committed baseline.
 //
-// Two classes of metrics are gated differently:
+// Two classes of metrics are treated differently:
 //
 //   - count metrics (accesses, roundtrips, accesses/op) are deterministic —
 //     the paper's cost model is the number of accesses, so these are the
 //     primary regression signal and are gated at the plain threshold;
-//   - ns/op is hardware- and load-dependent, so it is gated at its own
-//     (wider) threshold and only for benchmarks whose baseline time
+//   - ns/op is hardware- and load-dependent: by default it is only printed
+//     as an informational delta (TimeDeltas); passing a positive time
+//     threshold gates it too, and only for benchmarks whose baseline time
 //     exceeds a floor (sub-millisecond timings under -benchtime=1x are
 //     noise).
 //
@@ -140,9 +141,10 @@ func countMetric(unit string) bool {
 // it grows by more than timeThreshold, and only for benchmarks whose
 // baseline ns/op is at least timeFloorNS — wall time under -benchtime=1x
 // is not comparable across machines at the tightness access counts are, so
-// its threshold is typically wider. Benchmarks present on only one side are
-// never regressions (benchmarks come and go; the gate protects what both
-// snapshots measure).
+// its threshold is typically wider. A timeThreshold <= 0 disables time
+// gating entirely (use TimeDeltas to still report the drift). Benchmarks
+// present on only one side are never regressions (benchmarks come and go;
+// the gate protects what both snapshots measure).
 func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS float64) []Regression {
 	base := make(map[string]Result, len(baseline))
 	for _, r := range baseline {
@@ -163,7 +165,7 @@ func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS f
 			switch {
 			case countMetric(unit):
 				limit = threshold
-			case unit == "ns/op" && oldV >= timeFloorNS:
+			case unit == "ns/op" && timeThreshold > 0 && oldV >= timeFloorNS:
 				limit = timeThreshold
 			default:
 				continue
@@ -183,4 +185,41 @@ func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS f
 		return regs[i].Metric < regs[j].Metric
 	})
 	return regs
+}
+
+// TimeDelta is one benchmark's wall-clock drift between two snapshots.
+type TimeDelta struct {
+	Name string  `json:"name"`
+	Old  float64 `json:"old_ns_op"`
+	New  float64 `json:"new_ns_op"`
+	// Ratio is New/Old; > 1 means slower than the baseline.
+	Ratio float64 `json:"ratio"`
+}
+
+func (d TimeDelta) String() string {
+	return fmt.Sprintf("%s ns/op: %.6g -> %.6g (%.2fx)", d.Name, d.Old, d.New, d.Ratio)
+}
+
+// TimeDeltas reports the ns/op drift of every benchmark present in both
+// snapshots, sorted by name — the informational companion to Compare for
+// the metric too noisy to gate under -benchtime=1x.
+func TimeDeltas(baseline, current []Result) []TimeDelta {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var out []TimeDelta
+	for _, cur := range current {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		oldV, newV := old.Metrics["ns/op"], cur.Metrics["ns/op"]
+		if oldV <= 0 || newV <= 0 {
+			continue
+		}
+		out = append(out, TimeDelta{Name: cur.Name, Old: oldV, New: newV, Ratio: newV / oldV})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

@@ -127,3 +127,32 @@ func TestCompareIgnoresUngatedAndUnmatched(t *testing.T) {
 		t.Errorf("regs = %v, want none: unmatched and ungated metrics must pass", regs)
 	}
 }
+
+func TestTimeDeltasInformational(t *testing.T) {
+	base := []Result{
+		mk("BenchmarkA", map[string]float64{"ns/op": 10_000_000, "accesses": 5}),
+		mk("BenchmarkGone", map[string]float64{"ns/op": 1_000}),
+		mk("BenchmarkNoTime", map[string]float64{"accesses": 3}),
+	}
+	cur := []Result{
+		mk("BenchmarkA", map[string]float64{"ns/op": 40_000_000, "accesses": 5}),
+		mk("BenchmarkNew", map[string]float64{"ns/op": 2_000}),
+		mk("BenchmarkNoTime", map[string]float64{"accesses": 3}),
+	}
+	deltas := TimeDeltas(base, cur)
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkA" {
+		t.Fatalf("deltas = %v, want only the benchmark timed on both sides", deltas)
+	}
+	if d := deltas[0]; d.Ratio != 4 || d.Old != 10_000_000 || d.New != 40_000_000 {
+		t.Errorf("delta = %+v, want 4x from 10ms to 40ms", d)
+	}
+	// A zero time threshold reports the 4x slowdown as a delta only — the
+	// gate must stay silent however large the drift.
+	if regs := Compare(base, cur, 0.25, 0, 5e6); len(regs) != 0 {
+		t.Errorf("regs = %v, want none with time gating disabled", regs)
+	}
+	// A positive threshold still gates it.
+	if regs := Compare(base, cur, 0.25, 1.0, 5e6); len(regs) != 1 {
+		t.Errorf("regs = %v, want the 4x slowdown gated at 2x", regs)
+	}
+}

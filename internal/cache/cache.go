@@ -45,6 +45,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"toorjah/internal/obs"
 	"toorjah/internal/source"
 	"toorjah/internal/stats"
 	"toorjah/internal/storage"
@@ -303,7 +305,20 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 // concurrent identical probes — the batch is itself the amortisation of the
 // round trip, and a duplicate probe only costs a redundant store.
 func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.Row, error) {
+	return c.accessBatchCtx(context.Background(), w, bindings)
+}
+
+// accessBatchCtx is accessBatch threading the request context through to
+// the inner wrapper (cancellation and trace baggage travel to the source
+// that pays the round trip) and, when the context carries a trace, opening
+// a "cache-lookup" span recording how many of the requested accesses the
+// cache absorbed.
+func (c *Cache) accessBatchCtx(ctx context.Context, w source.Wrapper, bindings [][]string) ([][]storage.Row, error) {
 	rel := w.Relation().Name
+	ctx, sp := obs.StartSpan(ctx, "cache-lookup")
+	defer sp.End()
+	sp.SetAttr("relation", rel)
+	sp.SetAttr("requested", len(bindings))
 	epoch := source.EpochOf(w) // pre-probe, like the single-access path
 	out, hit := c.MultiGet(rel, epoch, bindings)
 	var missIdx []int
@@ -314,6 +329,7 @@ func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.
 			misses = append(misses, bindings[i])
 		}
 	}
+	sp.SetAttr("hits", len(bindings)-len(misses))
 	if len(misses) == 0 {
 		return out, nil
 	}
@@ -325,7 +341,7 @@ func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.
 		sh.mu.Unlock()
 	}
 	gen := c.gen.Load()
-	rows, err := source.ProbeBatch(w, misses)
+	rows, err := source.ProbeBatchCtx(ctx, w, misses)
 	if err != nil {
 		return nil, err
 	}

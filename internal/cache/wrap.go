@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"context"
+
 	"toorjah/internal/schema"
 	"toorjah/internal/source"
 	"toorjah/internal/storage"
@@ -31,6 +33,12 @@ func (s *cachedSource) Access(binding []string) ([]storage.Row, error) {
 // trip, and their extractions are stored for the next query.
 func (s *cachedSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
 	return s.c.accessBatch(s.inner, bindings)
+}
+
+// AccessBatchCtx is AccessBatch threading the request context (cancellation
+// and trace baggage) through the cache to the inner wrapper.
+func (s *cachedSource) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error) {
+	return s.c.accessBatchCtx(ctx, s.inner, bindings)
 }
 
 // Wrap layers the cache over a wrapper. Decorators compose: wrap a

@@ -9,6 +9,7 @@ import (
 	"toorjah/internal/cache"
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
+	"toorjah/internal/obs"
 	"toorjah/internal/plan"
 	"toorjah/internal/source"
 )
@@ -46,8 +47,16 @@ type Options struct {
 	// set. The answers already derivable from the extracted tuples are
 	// returned for positive queries (a sound subset); queries with negated
 	// atoms return no answers, since no answer is sound until every cache
-	// is complete.
+	// is complete. The context also carries the query's observability
+	// baggage (trace ID, current span) down to the sources.
 	Ctx context.Context
+	// Obs, when non-nil, instruments the execution: probe metrics (latency
+	// and batch-size histograms, per-relation access counters) are recorded
+	// below the cache — only probes that reach a source count — and the
+	// execution's demanded accesses (cache hits included) are counted above
+	// it, yielding the per-query cache-hit ratio. All instruments are
+	// atomic; a nil Obs leaves the probe path untouched.
+	Obs *obs.ExecObs
 }
 
 // maxBatch resolves the effective batch bound (always >= 1).
@@ -89,10 +98,29 @@ var errCancelled = errors.New("exec: extraction cancelled")
 // entirely.
 func instrument(reg *source.Registry, opts Options) (*source.Registry, map[string]*source.Counter) {
 	counted, counters := reg.Snapshot().Counted(false)
+	if opts.Obs != nil {
+		// Probe metrics sit inside the cache: they observe exactly the
+		// round trips that reach a source, in lockstep with the counters.
+		counted = rewrap(counted, opts.Obs.WrapProbe)
+	}
 	if opts.Cache != nil {
 		counted = opts.Cache.WrapRegistry(counted)
 	}
+	if opts.Obs != nil {
+		// Demand counting sits outside the cache: it sees every access the
+		// plan requested, cache hits included.
+		counted = rewrap(counted, opts.Obs.WrapDemand)
+	}
 	return counted, counters
+}
+
+// rewrap maps a decorator over every source of a registry.
+func rewrap(reg *source.Registry, wrap func(source.Wrapper) source.Wrapper) *source.Registry {
+	out := source.NewRegistry()
+	for _, name := range reg.Names() {
+		out.Bind(wrap(reg.Source(name)))
+	}
+	return out
 }
 
 // metaCache shares access results across the occurrences of a relation:
@@ -142,12 +170,17 @@ func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result,
 	st := newGroupState(p, counted, opts)
 
 	for gi := range p.Groups {
+		gctx, gsp := obs.StartSpan(opts.Ctx, "group")
+		gsp.SetAttr("group", gi)
 		if !opts.NoEarlyFailure && gi > 0 {
 			sat, err := st.subquerySatisfiable(gi)
 			if err != nil {
+				gsp.End()
 				return nil, err
 			}
 			if !sat {
+				gsp.SetAttr("early_empty", true)
+				gsp.End()
 				answers := datalog.NewRelation(p.Query.Name, len(p.Query.Head))
 				return &Result{
 					Answers:    answers,
@@ -157,7 +190,9 @@ func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result,
 				}, nil
 			}
 		}
-		if err := st.populateGroup(gi, nil); err != nil {
+		err := st.populateGroup(gctx, gi, nil)
+		gsp.End()
+		if err != nil {
 			if errors.Is(err, errCancelled) {
 				return truncatedResult(p.Query, st.cdb, counters, start)
 			}
@@ -169,11 +204,18 @@ func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result,
 	if err != nil {
 		return nil, fmt.Errorf("fast-failing: final evaluation: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Answers: answers,
 		Stats:   statsOf(counters),
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	if answers.Len() > 0 {
+		// Batch strategy: the first answer becomes available with the final
+		// evaluation, so TimeToFirst coincides with it — recorded so every
+		// executor feeds the latency histograms uniformly.
+		res.TimeToFirst = res.Elapsed
+	}
+	return res, nil
 }
 
 // groupState holds the cache database and bookkeeping shared by the
@@ -241,14 +283,14 @@ func (st *groupState) domainValues(pred string) (map[string]bool, error) {
 // the meta-cache) and the extraction is added to the occurrence's cache.
 // onTuples, when non-nil, observes every batch of new cache tuples (used by
 // the streaming executor).
-func (st *groupState) populateGroup(gi int, onTuples func(pred string, tuples []datalog.Tuple) error) error {
+func (st *groupState) populateGroup(ctx context.Context, gi int, onTuples func(pred string, tuples []datalog.Tuple) error) error {
 	for changed := true; changed; {
 		changed = false
 		for _, c := range st.p.Caches {
 			if c.Group != gi || c.IsConst {
 				continue
 			}
-			added, err := st.populateCacheOnce(c, onTuples)
+			added, err := st.populateCacheOnce(ctx, c, onTuples)
 			if err != nil {
 				return err
 			}
@@ -264,7 +306,7 @@ func (st *groupState) populateGroup(gi int, onTuples func(pred string, tuples []
 // batches of at most Options.MaxBatch (meta-cache hits are folded in
 // without a probe), so a pass that generates N fresh bindings costs
 // ceil(N/MaxBatch) source round trips instead of N.
-func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []datalog.Tuple) error) (bool, error) {
+func (st *groupState) populateCacheOnce(ctx context.Context, c *plan.Cache, onTuples func(string, []datalog.Tuple) error) (bool, error) {
 	rel := c.Source.Rel
 	w := st.reg.Source(rel.Name)
 	if w == nil {
@@ -343,7 +385,7 @@ func (st *groupState) populateCacheOnce(c *plan.Cache, onTuples func(string, []d
 		n := min(maxBatch, len(toProbe))
 		chunk := toProbe[:n]
 		toProbe = toProbe[n:]
-		raws, err := source.ProbeBatch(w, chunk)
+		raws, err := source.ProbeBatchCtx(ctx, w, chunk)
 		if err != nil {
 			return false, err
 		}
@@ -373,12 +415,16 @@ func truncatedResult(q *cq.CQ, cdb datalog.DB, counters map[string]*source.Count
 		}
 		answers = full
 	}
-	return &Result{
+	res := &Result{
 		Answers:   answers,
 		Stats:     statsOf(counters),
 		Truncated: true,
 		Elapsed:   time.Since(start),
-	}, nil
+	}
+	if answers.Len() > 0 {
+		res.TimeToFirst = res.Elapsed // first available with the evaluation
+	}
+	return res, nil
 }
 
 // subquerySatisfiable runs the early non-emptiness test before populating

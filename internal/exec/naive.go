@@ -113,7 +113,7 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 				n := min(maxBatch, len(toProbe))
 				chunk := toProbe[:n]
 				toProbe = toProbe[n:]
-				raws, err := source.ProbeBatch(w, chunk)
+				raws, err := source.ProbeBatchCtx(opts.Ctx, w, chunk)
 				if err != nil {
 					return nil, err
 				}
@@ -134,9 +134,16 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 	if err != nil {
 		return nil, fmt.Errorf("naive: final evaluation: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Answers: answers,
 		Stats:   statsOf(counters),
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	if answers.Len() > 0 {
+		// Batch strategy: the first answer becomes available with the final
+		// evaluation — recorded so every executor feeds the latency
+		// histograms uniformly.
+		res.TimeToFirst = res.Elapsed
+	}
+	return res, nil
 }

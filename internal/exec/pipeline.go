@@ -9,6 +9,7 @@ import (
 
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
+	"toorjah/internal/obs"
 	"toorjah/internal/plan"
 	"toorjah/internal/source"
 )
@@ -82,6 +83,12 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 	counted, counters := instrument(reg, opts.Options)
 	st := newGroupState(p, counted, opts.Options)
 
+	// One "pipeline" span covers the whole distillation; the workers' probe
+	// batches hang off it (the span is nil — free — when the context
+	// carries no trace).
+	pctx, psp := obs.StartSpan(opts.Ctx, "pipeline")
+	defer psp.End()
+
 	// One queue and worker pool per relation occurring in the plan.
 	queues := make(map[string]chan job)
 	results := make(chan probeResult)
@@ -135,7 +142,7 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 					for k, jb := range batch {
 						bindings[k] = jb.binding
 					}
-					raws, err := source.ProbeBatch(w, bindings)
+					raws, err := source.ProbeBatchCtx(pctx, w, bindings)
 					if err != nil {
 						for _, jb := range batch {
 							results <- probeResult{cache: jb.cache, binding: jb.binding, err: err}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"toorjah/internal/datalog"
+	"toorjah/internal/obs"
 	"toorjah/internal/source"
 )
 
@@ -114,7 +115,7 @@ func Union(name string, arity int, runs []DisjunctRun, opts UnionOptions, onAnsw
 
 	sem := make(chan struct{}, opts.maxConcurrent())
 	var wg sync.WaitGroup
-	for _, run := range runs {
+	for di, run := range runs {
 		if ctx.Err() != nil {
 			// Cancelled (or limit-stopped) before this disjunct started: its
 			// answers are missing, so the union is a sound subset — unless a
@@ -127,10 +128,15 @@ func Union(name string, arity int, runs []DisjunctRun, opts UnionOptions, onAnsw
 		}
 		sem <- struct{}{} // bound occupancy; released when the disjunct ends
 		wg.Add(1)
-		go func(run DisjunctRun) {
+		go func(di int, run DisjunctRun) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := run(ctx, emit)
+			// One span per disjunct when the union context carries a trace;
+			// the disjunct's executor hangs its own spans off it.
+			dctx, dsp := obs.StartSpan(ctx, "disjunct")
+			dsp.SetAttr("index", di)
+			res, err := run(dctx, emit)
+			dsp.End()
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -155,7 +161,7 @@ func Union(name string, arity int, runs []DisjunctRun, opts UnionOptions, onAnsw
 			truncated = truncated || res.Truncated
 			earlyEmpty = earlyEmpty || res.EarlyEmpty
 			mu.Unlock()
-		}(run)
+		}(di, run)
 	}
 	wg.Wait()
 

@@ -99,3 +99,18 @@ func (b *breaker) openCount() int {
 	defer b.mu.Unlock()
 	return b.opens
 }
+
+// stateName renders the current state for telemetry ("closed", "open",
+// "half-open").
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"toorjah/internal/obs"
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
 )
@@ -94,10 +96,15 @@ type Telemetry struct {
 	LatencyMS    float64 `json:"latency_ms"`
 	Epoch        uint64  `json:"epoch,omitempty"`
 	EpochChanges int     `json:"epoch_changes,omitempty"`
+	// BreakerState is the relation's circuit at snapshot time: "closed",
+	// "open" or "half-open". Empty in merged aggregates unless set.
+	BreakerState string `json:"breaker_state,omitempty"`
 }
 
 // Add accumulates another relation's counters into t; Epoch, being a
-// version rather than a counter, takes the latest non-zero value.
+// version rather than a counter, takes the latest non-zero value, and
+// BreakerState, being a state rather than a counter, the latest non-empty
+// one.
 func (t *Telemetry) Add(o Telemetry) {
 	t.RoundTrips += o.RoundTrips
 	t.Retries += o.Retries
@@ -107,33 +114,49 @@ func (t *Telemetry) Add(o Telemetry) {
 	if o.Epoch != 0 {
 		t.Epoch = o.Epoch
 	}
+	if o.BreakerState != "" {
+		t.BreakerState = o.BreakerState
+	}
 }
 
-// relState is the per-relation resilience state of a client.
+// relState is the per-relation resilience state of a client. The counters
+// are atomics, not a mutex block: the epoch is read on the hot path of
+// every cached probe (Source.Epoch keys the cross-query cache), the
+// accounting is written on every round trip, and /stats and /metrics
+// snapshot them from other goroutines — lock-free loads keep the probe
+// path allocation- and contention-free and make torn reads impossible by
+// construction.
 type relState struct {
 	br *breaker
 
-	mu           sync.Mutex
-	roundTrips   int
-	retries      int
-	latency      time.Duration
-	lastEpoch    uint64
-	epochChanges int
+	roundTrips   atomic.Int64
+	retries      atomic.Int64
+	latencyNS    atomic.Int64
+	lastEpoch    atomic.Uint64
+	epochChanges atomic.Int64
 }
 
 // noteEpoch records the relation's data epoch as observed in a done frame
 // (or seeded from /schema), counting a change from a previously observed
-// epoch as one stale-snapshot detection.
+// epoch as one stale-snapshot detection. The CAS loop makes the
+// change-detection exact under concurrent probes: every distinct
+// transition is counted once, however many goroutines observe it.
 func (st *relState) noteEpoch(e uint64) {
 	if e == 0 {
 		return
 	}
-	st.mu.Lock()
-	if st.lastEpoch != 0 && st.lastEpoch != e {
-		st.epochChanges++
+	for {
+		old := st.lastEpoch.Load()
+		if old == e {
+			return
+		}
+		if st.lastEpoch.CompareAndSwap(old, e) {
+			if old != 0 {
+				st.epochChanges.Add(1)
+			}
+			return
+		}
 	}
-	st.lastEpoch = e
-	st.mu.Unlock()
 }
 
 // Client speaks the probe protocol to one peer. It owns a per-host
@@ -195,16 +218,15 @@ func (c *Client) Telemetry() map[string]Telemetry {
 	defer c.mu.Unlock()
 	out := make(map[string]Telemetry, len(c.rels))
 	for name, st := range c.rels {
-		st.mu.Lock()
 		out[name] = Telemetry{
-			RoundTrips:   st.roundTrips,
-			Retries:      st.retries,
+			RoundTrips:   int(st.roundTrips.Load()),
+			Retries:      int(st.retries.Load()),
 			BreakerOpens: st.br.openCount(),
-			LatencyMS:    float64(st.latency.Microseconds()) / 1000,
-			Epoch:        st.lastEpoch,
-			EpochChanges: st.epochChanges,
+			LatencyMS:    float64(st.latencyNS.Load()) / 1e6,
+			Epoch:        st.lastEpoch.Load(),
+			EpochChanges: int(st.epochChanges.Load()),
+			BreakerState: st.br.stateName(),
 		}
-		st.mu.Unlock()
 	}
 	return out
 }
@@ -306,10 +328,8 @@ func (c *Client) Probe(ctx context.Context, relation string, bindings [][]string
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
 		rows, retryable, err := c.probeOnce(ctx, relation, bindings)
-		st.mu.Lock()
-		st.roundTrips++
-		st.latency += time.Since(start)
-		st.mu.Unlock()
+		st.roundTrips.Add(1)
+		st.latencyNS.Add(int64(time.Since(start)))
 		if err == nil {
 			st.br.success()
 			return rows, nil
@@ -328,9 +348,7 @@ func (c *Client) Probe(ctx context.Context, relation string, bindings [][]string
 		if !st.br.allow() {
 			break
 		}
-		st.mu.Lock()
-		st.retries++
-		st.mu.Unlock()
+		st.retries.Add(1)
 	}
 	return nil, lastErr
 }
@@ -369,6 +387,12 @@ func (c *Client) probeOnce(ctx context.Context, relation string, bindings [][]st
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the query's trace ID to the peer, so the peer's probe log
+	// carries the same ID as the originating query's trace — one query, one
+	// ID, across nodes.
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, true, err // connection refused, reset, timeout: all retryable
@@ -446,10 +470,7 @@ func (s *Source) Relation() *schema.Relation { return s.rel }
 // ingests new data, every entry cached from the older version stops
 // serving as soon as the change is observed.
 func (s *Source) Epoch() uint64 {
-	st := s.c.relStateFor(s.rel.Name)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.lastEpoch
+	return s.c.relStateFor(s.rel.Name).lastEpoch.Load()
 }
 
 // Access probes the relation with one binding: a batch of one.
@@ -464,6 +485,18 @@ func (s *Source) Access(binding []string) ([]storage.Row, error) {
 // AccessBatch probes the relation with the whole batch in one HTTP round
 // trip; result i is exactly what Access(bindings[i]) would return.
 func (s *Source) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	return s.AccessBatchCtx(context.Background(), bindings)
+}
+
+// AccessBatchCtx is AccessBatch under the request context: the caller's
+// cancellation stops retries and in-flight round trips, the trace ID (when
+// present) travels to the peer in the X-Toorjah-Trace header, and a
+// "remote-probe" span records the round trip when the context carries a
+// trace.
+func (s *Source) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	inputs := s.rel.InputPositions()
 	for _, b := range bindings {
 		if len(b) != len(inputs) {
@@ -471,8 +504,17 @@ func (s *Source) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
 				s.rel.Name, len(b), len(inputs))
 		}
 	}
-	results, err := s.c.Probe(context.Background(), s.rel.Name, bindings)
+	ctx, sp := obs.StartSpan(ctx, "remote-probe")
+	sp.SetAttr("peer", s.c.base)
+	sp.SetAttr("relation", s.rel.Name)
+	sp.SetAttr("accesses", len(bindings))
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		sp.SetAttr("trace_id", id)
+	}
+	defer sp.End()
+	results, err := s.c.Probe(ctx, s.rel.Name, bindings)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	// Soundness guard: every returned row must have the relation's arity

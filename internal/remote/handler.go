@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
+	"toorjah/internal/obs"
 	"toorjah/internal/source"
 	"toorjah/internal/storage"
 )
@@ -28,15 +30,27 @@ const (
 type Handler struct {
 	reg *source.Registry
 
-	// Record, when set, observes every served probe: the relation, the
-	// number of bindings probed (accesses — one request is one round trip),
-	// and the tuples streamed. toorjahd feeds its /stats from it.
-	Record func(relation string, accesses, tuples int)
+	// Record, when set, observes every served probe. toorjahd feeds its
+	// /stats, /metrics and probe log from it.
+	Record func(ProbeRecord)
 
 	// MaxBindings and MaxRequestBytes bound one request; zero means the
 	// package defaults.
 	MaxBindings     int
 	MaxRequestBytes int64
+}
+
+// ProbeRecord is the accounting of one served probe: the relation, the
+// number of bindings probed (accesses — one request is one round trip),
+// the tuples streamed, the wall-clock serving time, and the caller's trace
+// ID from the X-Toorjah-Trace header (empty when the caller sent none) —
+// the peer half of a cross-node trace.
+type ProbeRecord struct {
+	Relation string
+	Accesses int
+	Tuples   int
+	Elapsed  time.Duration
+	TraceID  string
 }
 
 // NewHandler serves probes of the registry's relations.
@@ -99,8 +113,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// captured before the probe, like the cache does: if an ingest lands
 	// mid-probe the done frame advertises the older version — conservative,
 	// the client merely re-learns the epoch one probe later.
+	//
+	// The probe runs under the request context carrying the caller's trace
+	// ID, so a further federated hop forwards the same ID — one query, one
+	// trace, however many nodes deep.
+	start := time.Now()
+	traceID := r.Header.Get(obs.TraceHeader)
+	ctx := r.Context()
+	if traceID != "" {
+		ctx = obs.ContextWithTraceID(ctx, traceID)
+	}
 	epoch := source.EpochOf(src)
-	results, err := source.ProbeBatch(src, req.Bindings)
+	results, err := source.ProbeBatchCtx(ctx, src, req.Bindings)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -124,7 +148,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples, Epoch: epoch})
 	if h.Record != nil {
-		h.Record(req.Relation, len(req.Bindings), tuples)
+		h.Record(ProbeRecord{
+			Relation: req.Relation,
+			Accesses: len(req.Bindings),
+			Tuples:   tuples,
+			Elapsed:  time.Since(start),
+			TraceID:  traceID,
+		})
 	}
 }
 

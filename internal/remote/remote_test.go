@@ -525,8 +525,8 @@ func TestHandlerRecord(t *testing.T) {
 		accesses, tuples int
 	}
 	var recs []rec
-	h.Record = func(rel string, accesses, tuples int) {
-		recs = append(recs, rec{rel, accesses, tuples})
+	h.Record = func(p ProbeRecord) {
+		recs = append(recs, rec{p.Relation, p.Accesses, p.Tuples})
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/probe", h)

@@ -13,6 +13,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -78,6 +79,32 @@ func ProbeBatch(w Wrapper, bindings [][]string) ([][]storage.Row, error) {
 		out[i] = rows
 	}
 	return out, nil
+}
+
+// CtxBatchSource is a BatchSource that accepts a request context for its
+// batch probes. The context carries cancellation and the observability
+// baggage of the query being served — the trace ID forwarded to federated
+// peers, the current trace span — through decorator stacks (counting,
+// caching, metrics) down to the source that pays the round trip.
+// AccessBatchCtx(ctx, b) is semantically AccessBatch(b); a source is free
+// to ignore the context entirely.
+type CtxBatchSource interface {
+	BatchSource
+	AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error)
+}
+
+// ProbeBatchCtx is ProbeBatch with a request context: sources (and
+// decorators) implementing CtxBatchSource receive it, everything else is
+// served exactly as ProbeBatch would. A nil ctx is allowed and treated as
+// context.Background().
+func ProbeBatchCtx(ctx context.Context, w Wrapper, bindings [][]string) ([][]storage.Row, error) {
+	if cs, ok := w.(CtxBatchSource); ok {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return cs.AccessBatchCtx(ctx, bindings)
+	}
+	return ProbeBatch(w, bindings)
 }
 
 // Versioned is implemented by sources whose extraction set carries a
@@ -290,7 +317,13 @@ func (c *Counter) Access(binding []string) ([]storage.Row, error) {
 // AccessBatch forwards the batch to the wrapped source, recording one probe
 // per binding and one round trip for the whole batch.
 func (c *Counter) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
-	rows, err := ProbeBatch(c.inner, bindings)
+	return c.AccessBatchCtx(context.Background(), bindings)
+}
+
+// AccessBatchCtx is AccessBatch threading the request context through to
+// the wrapped source.
+func (c *Counter) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error) {
+	rows, err := ProbeBatchCtx(ctx, c.inner, bindings)
 	if err != nil {
 		return nil, err
 	}

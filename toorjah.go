@@ -82,6 +82,7 @@ import (
 	"toorjah/internal/datalog"
 	"toorjah/internal/dgraph"
 	"toorjah/internal/exec"
+	"toorjah/internal/obs"
 	"toorjah/internal/plan"
 	"toorjah/internal/schema"
 	"toorjah/internal/source"
@@ -121,7 +122,28 @@ type (
 	// SourceStats is the per-relation access accounting of one execution
 	// (probes, source round trips, extracted tuples).
 	SourceStats = source.Stats
+	// MetricsRegistry is a dependency-free metrics registry rendered in
+	// the Prometheus text exposition format (see internal/obs); toorjahd
+	// serves one at GET /metrics.
+	MetricsRegistry = obs.Registry
+	// ProbeMetricsHandles are the source-level metric families (probe
+	// latency and batch-size histograms, per-relation access counters) fed
+	// by instrumented executions; see WithProbeMetrics.
+	ProbeMetricsHandles = obs.ProbeMetrics
+	// ExecObs is one execution's observability bundle: set it on
+	// Options.Obs to count the execution's demanded accesses (cache hits
+	// included) alongside the probes Result.Stats reports — the difference
+	// is the execution's cache-hit count.
+	ExecObs = obs.ExecObs
 )
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewProbeMetricsHandles registers the source-level metric families on r.
+func NewProbeMetricsHandles(r *MetricsRegistry) *ProbeMetricsHandles {
+	return obs.NewProbeMetrics(r)
+}
 
 // NewAccessCache creates a standalone access cache, for sharing between
 // several Systems over the same sources (see WithSharedCache).
@@ -153,6 +175,10 @@ type System struct {
 	// access bindings are folded into one source round trip. 0 means the
 	// executor default (exec.DefaultMaxBatch); negative disables batching.
 	MaxBatch int
+
+	// probeMetrics, when set (WithProbeMetrics), instruments every
+	// execution with the shared source-level metric families.
+	probeMetrics *obs.ProbeMetrics
 
 	// Federation state (see remote.go): client tuning for attached peers,
 	// the WithRemote specs not yet attached, and the attached peers.
@@ -192,6 +218,18 @@ func WithLatency(d time.Duration) SystemOption {
 // disables batching.
 func WithMaxBatch(n int) SystemOption {
 	return func(s *System) { s.MaxBatch = n }
+}
+
+// WithProbeMetrics instruments every execution of the system with the
+// given source-level metric families: probe latency and batch-size
+// histograms and per-relation access/round-trip/tuple counters, recorded
+// below the cross-query cache so only probes that actually reach a source
+// count. The instruments are atomic — no locks or allocations on the probe
+// path. Executions that bring their own Options.Obs keep it (the probe
+// families are filled in when unset), so a server can pass a per-query
+// ExecObs and read its demanded-access count afterwards.
+func WithProbeMetrics(pm *ProbeMetricsHandles) SystemOption {
+	return func(s *System) { s.probeMetrics = pm }
 }
 
 // NewSystem creates a system over the schema with no sources bound.
@@ -426,14 +464,21 @@ func (s *System) DataInfo() map[string]RelationInfo {
 	return out
 }
 
-// execOpts threads the system's cross-query cache and batch bound into
-// executor options.
+// execOpts threads the system's cross-query cache, batch bound and probe
+// metrics into executor options.
 func (s *System) execOpts(o Options) Options {
 	if o.Cache == nil {
 		o.Cache = s.cache
 	}
 	if o.MaxBatch == 0 {
 		o.MaxBatch = s.MaxBatch
+	}
+	if s.probeMetrics != nil {
+		if o.Obs == nil {
+			o.Obs = &obs.ExecObs{Probe: s.probeMetrics}
+		} else if o.Obs.Probe == nil {
+			o.Obs.Probe = s.probeMetrics
+		}
 	}
 	return o
 }

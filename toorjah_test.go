@@ -1,6 +1,7 @@
 package toorjah
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -408,5 +409,49 @@ func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWithProbeMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	sch, _ := ParseSchema(`
+r1^ioo(Artist, Nation, Year)
+r2^oio(Title, Year, Artist)
+r3^oo(Artist, Album)
+`)
+	sys := NewSystem(sch,
+		WithProbeMetrics(NewProbeMetricsHandles(reg)),
+		WithCache(CacheOptions{}))
+	must(t, sys.BindRows("r3", Row{"madonna", "like_a_virgin"}))
+	q, err := sys.Prepare("q(A) :- r3(X, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAccesses() == 0 {
+		t.Fatal("expected at least one access")
+	}
+	var out strings.Builder
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `toorjah_source_accesses_total{relation="r3"} ` +
+		strconv.Itoa(res.TotalAccesses())
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, out.String())
+	}
+	// A cache-warm repeat must not advance the probed-access counter.
+	if _, err := q.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("cache-warm repeat moved the probe counter, want still %q:\n%s", want, out.String())
 	}
 }
