@@ -1,6 +1,7 @@
 package toorjah
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -40,7 +41,7 @@ func TestWithMaxBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := q.Execute()
+		res, err := q.Execute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

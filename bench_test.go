@@ -14,6 +14,7 @@ package toorjah
 // BenchmarkPlanning_* — cost of d-graph construction, GFP and plan generation
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -57,9 +58,9 @@ func benchFig6Query(b *testing.B, queryIdx int, naive bool) {
 	for i := 0; i < b.N; i++ {
 		var r *exec.Result
 		if naive {
-			r, err = exec.Naive(sch, reg, p.Query, p.Typing)
+			r, err = exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 		} else {
-			r, err = exec.FastFailing(p.Plan, reg)
+			r, err = exec.FastFailing(context.Background(), p.Plan, reg)
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -130,7 +131,7 @@ func benchAblation(b *testing.B, prepare core.Options, run exec.Options) {
 	var accesses int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exec.FastFailingOpts(p.Plan, reg, run)
+		r, err := exec.FastFailingOpts(context.Background(), p.Plan, reg, run)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func BenchmarkPipelined(b *testing.B) {
 	var first, total time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exec.Pipelined(p.Plan, reg, exec.PipeOptions{Parallelism: 4}, nil)
+		r, err := exec.Pipelined(context.Background(), p.Plan, reg, exec.Options{Parallelism: 4}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func BenchmarkSequentialWithLatency(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.FastFailing(p.Plan, reg); err != nil {
+		if _, err := exec.FastFailing(context.Background(), p.Plan, reg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -242,7 +243,7 @@ func benchCrossQuery(b *testing.B, c *cache.Cache, cfg gen.PublicationConfig, qu
 	total := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exec.FastFailingOpts(p.Plan, reg, opts)
+		r, err := exec.FastFailingOpts(context.Background(), p.Plan, reg, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,11 +293,11 @@ func benchCrossQueryPipelined(b *testing.B, c *cache.Cache) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := exec.PipeOptions{Parallelism: 4, Options: exec.Options{Cache: c}}
+	opts := exec.Options{Parallelism: 4, Cache: c}
 	total := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exec.Pipelined(p.Plan, reg, opts, nil)
+		r, err := exec.Pipelined(context.Background(), p.Plan, reg, opts, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -338,9 +339,9 @@ func benchBatch(b *testing.B, maxBatch int, pipelined bool) {
 	for i := 0; i < b.N; i++ {
 		var r *exec.Result
 		if pipelined {
-			r, err = exec.Pipelined(p.Plan, reg, exec.PipeOptions{Parallelism: 4, Options: opts}, nil)
+			r, err = exec.Pipelined(context.Background(), p.Plan, reg, exec.Options{Parallelism: 4, MaxBatch: maxBatch}, nil)
 		} else {
-			r, err = exec.FastFailingOpts(p.Plan, reg, opts)
+			r, err = exec.FastFailingOpts(context.Background(), p.Plan, reg, opts)
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -390,9 +391,9 @@ func benchUCQ(b *testing.B, parallel bool) {
 		var r *Result
 		var err error
 		if parallel {
-			r, err = u.Execute()
+			r, err = u.Execute(context.Background())
 		} else {
-			r, err = u.ExecuteSequential(Options{})
+			r, err = u.ExecuteSequential(context.Background(), Options{})
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -416,7 +417,7 @@ func BenchmarkUCQ_ParallelCached(b *testing.B) {
 		b.StopTimer()
 		u := benchUCQSystem(b, WithCache(cache.Options{})) // cold cache per iteration
 		b.StartTimer()
-		r, err := u.Execute()
+		r, err := u.Execute(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

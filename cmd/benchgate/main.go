@@ -5,14 +5,17 @@
 //	go run ./cmd/benchgate -in bench.txt -json BENCH_PR6.json -baseline BENCH_BASELINE.json
 //
 // The JSON snapshot is uploaded as a build artifact; the gate exits
-// non-zero when any gated metric regresses beyond the threshold (see
-// internal/benchfmt for what is gated: access counts, the paper's
-// deterministic cost model). Wall-clock drift (ns/op) is always printed
-// per benchmark against the baseline but, by default, never gated —
-// single-iteration timings vary too much across runners; pass a positive
-// -time-threshold to gate it anyway. Refresh the committed baseline by
-// downloading a healthy run's artifact — or regenerating locally — and
-// committing it as BENCH_BASELINE.json.
+// non-zero when any gated metric regresses beyond its threshold (see
+// internal/benchfmt for what is gated). Three metric classes gate
+// independently: access counts (the paper's deterministic cost model,
+// tight threshold), allocs/op (the integer-tuple hot path's allocation
+// budget, needs -benchmem output, wider threshold), and ns/op (always
+// printed per benchmark against the baseline but only gated when a
+// positive -time-threshold is passed — single-iteration timings vary
+// across runners, so the floor and threshold are generous). Refresh the
+// committed baseline by downloading a healthy run's artifact — or
+// regenerating locally with -benchmem — and committing it as
+// BENCH_BASELINE.json.
 //
 // Flags:
 //
@@ -20,10 +23,14 @@
 //	-json            write the parsed snapshot to this path
 //	-baseline        committed snapshot to gate against (no gating when absent)
 //	-threshold       allowed fractional growth of count metrics (default 0.25)
+//	-alloc-threshold allowed fractional growth of allocs/op; 0 disables
+//	                 (default 0.5)
 //	-time-threshold  allowed fractional growth of ns/op; 0 (the default)
 //	                 prints wall-clock deltas without gating them
 //	-floor           ns/op below which a benchmark's time is never gated
 //	                 (default 5ms)
+//	-md              append a benchstat-style markdown delta table to this
+//	                 file (CI points it at $GITHUB_STEP_SUMMARY)
 package main
 
 import (
@@ -41,8 +48,10 @@ func main() {
 	jsonOut := flag.String("json", "", "write the parsed snapshot to this path")
 	baseline := flag.String("baseline", "", "baseline snapshot to gate against")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression of count metrics")
+	allocThreshold := flag.Float64("alloc-threshold", 0.5, "allowed fractional regression of allocs/op (0 = never gate)")
 	timeThreshold := flag.Float64("time-threshold", 0, "allowed fractional regression of ns/op (0 = print deltas, never gate)")
 	floor := flag.Duration("floor", 5*time.Millisecond, "baseline ns/op below which time is not gated")
+	markdown := flag.String("md", "", "append a markdown delta table to this file")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -77,30 +86,53 @@ func main() {
 		fmt.Printf("benchgate: snapshot written to %s\n", *jsonOut)
 	}
 
-	if *baseline == "" {
+	var base []benchfmt.Result
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = benchfmt.ReadJSON(bf)
+		bf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *markdown != "" {
+		f, err := os.OpenFile(*markdown, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchfmt.WriteMarkdown(f, base, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: markdown summary appended to %s\n", *markdown)
+	}
+
+	if base == nil {
 		return
 	}
-	bf, err := os.Open(*baseline)
-	if err != nil {
-		fatal(err)
-	}
-	base, err := benchfmt.ReadJSON(bf)
-	bf.Close()
-	if err != nil {
-		fatal(err)
-	}
 	// Wall-clock drift is reported for every benchmark both snapshots
-	// measure — informational: the access-count gate below is what fails.
+	// measure, gated or not.
 	if deltas := benchfmt.TimeDeltas(base, results); len(deltas) > 0 {
-		fmt.Printf("benchgate: wall-clock vs %s (informational, not gated):\n", *baseline)
+		fmt.Printf("benchgate: wall-clock vs %s:\n", *baseline)
 		for _, d := range deltas {
 			fmt.Printf("  %s\n", d)
 		}
 	}
-	regs := benchfmt.Compare(base, results, *threshold, *timeThreshold, float64(*floor))
+	regs := benchfmt.Compare(base, results, benchfmt.Thresholds{
+		Count:       *threshold,
+		Allocs:      *allocThreshold,
+		Time:        *timeThreshold,
+		TimeFloorNS: float64(*floor),
+	})
 	if len(regs) == 0 {
-		fmt.Printf("benchgate: no regression beyond %.0f%% (counts) against %s\n",
-			*threshold*100, *baseline)
+		fmt.Printf("benchgate: no regression beyond %.0f%% (counts) / %.0f%% (allocs) against %s\n",
+			*threshold*100, *allocThreshold*100, *baseline)
 		return
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: %d regression(s):\n", len(regs))

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -143,21 +144,22 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	ctx := context.Background()
 	start := time.Now()
 	var res *toorjah.Result
 	if *naive {
-		res, err = q.ExecuteNaive()
+		res, err = q.Execute(ctx, toorjah.WithExecutor(toorjah.ExecutorNaive))
 		if err != nil {
 			return err
 		}
 		for _, t := range res.Answers.Tuples() {
-			fmt.Fprintln(stdout, strings.Join(t, ", "))
+			fmt.Fprintln(stdout, strings.Join(t.Strings(), ", "))
 		}
 	} else {
 		// Stream answers as they are derived (the Toorjah way).
-		res, err = q.Stream(toorjah.PipeOptions{}, func(t toorjah.Tuple) {
-			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
-		})
+		res, err = q.Execute(ctx, toorjah.OnAnswer(func(t toorjah.Tuple) {
+			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t.Strings(), ", "), time.Since(start).Round(time.Millisecond))
+		}))
 		if err != nil {
 			return err
 		}
@@ -194,20 +196,21 @@ func runUCQ(sys *toorjah.System, queryText string, showPlan, showDOT, naive, sho
 		return nil
 	}
 
+	ctx := context.Background()
 	start := time.Now()
 	var res *toorjah.Result
 	if naive {
-		res, err = u.ExecuteNaive()
+		res, err = u.Execute(ctx, toorjah.WithExecutor(toorjah.ExecutorNaive))
 		if err != nil {
 			return err
 		}
 		for _, t := range res.Answers.Tuples() {
-			fmt.Fprintln(stdout, strings.Join(t, ", "))
+			fmt.Fprintln(stdout, strings.Join(t.Strings(), ", "))
 		}
 	} else {
-		res, err = u.Stream(toorjah.PipeOptions{}, func(t toorjah.Tuple) {
-			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t, ", "), time.Since(start).Round(time.Millisecond))
-		})
+		res, err = u.Execute(ctx, toorjah.OnAnswer(func(t toorjah.Tuple) {
+			fmt.Fprintf(stdout, "%s    (after %s)\n", strings.Join(t.Strings(), ", "), time.Since(start).Round(time.Millisecond))
+		}))
 		if err != nil {
 			return err
 		}

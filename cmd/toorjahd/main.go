@@ -185,7 +185,7 @@ func main() {
 
 	// The server snapshots the probe registry, so it is built after every
 	// local and remote relation is bound.
-	srv := newServer(sys, toorjah.PipeOptions{Parallelism: *parallelism, QueueLen: *queueLen})
+	srv := newServer(sys, toorjah.Options{Parallelism: *parallelism, QueueLen: *queueLen})
 	if *maxIngest > 0 {
 		srv.maxIngestBytes = *maxIngest
 	}

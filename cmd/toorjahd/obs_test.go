@@ -162,7 +162,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := sys.BindDatabase(pubDatabase(t, sch)); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -236,7 +236,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // any mode the final scrape must still satisfy every format invariant.
 func TestMetricsConcurrentWithQueries(t *testing.T) {
 	sys, _ := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -315,7 +315,7 @@ func TestFederatedTraceStitching(t *testing.T) {
 	if err := peerSys.BindDatabase(subDatabase(t, db, revOnly)); err != nil {
 		t.Fatal(err)
 	}
-	peerSrv := newServer(peerSys, toorjah.PipeOptions{})
+	peerSrv := newServer(peerSys, toorjah.Options{})
 	var peerLog syncBuffer
 	peerSrv.queryLog = obs.NewQueryLog(slog.New(slog.NewTextHandler(&peerLog, nil)), 0)
 	peer := httptest.NewServer(peerSrv.handler())
@@ -331,7 +331,7 @@ func TestFederatedTraceStitching(t *testing.T) {
 	if err := front.AttachRemote(peer.URL + "=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := httptest.NewServer(newServer(front, toorjah.PipeOptions{}).handler())
+	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
 	defer fsrv.Close()
 
 	answers, done := queryNDJSON(t,
@@ -427,7 +427,7 @@ func TestReadyTimeoutBoundsSlowPeer(t *testing.T) {
 	if err := front.AttachRemote(peerURL + "=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := newServer(front, toorjah.PipeOptions{})
+	fsrv := newServer(front, toorjah.Options{})
 	fsrv.readyTimeout = 150 * time.Millisecond
 	fts := httptest.NewServer(fsrv.handler())
 	defer fts.Close()

@@ -46,12 +46,12 @@ const defaultReadyTimeout = 2 * time.Second
 // runnable is a prepared query of either kind — a single CQ or a UCQ whose
 // disjuncts stream concurrently — behind the one entry point /query needs.
 type runnable interface {
-	Stream(opts toorjah.PipeOptions, onAnswer func(toorjah.Tuple)) (*toorjah.Result, error)
+	Execute(ctx context.Context, options ...toorjah.ExecOption) (*toorjah.Result, error)
 }
 
 type server struct {
 	sys   *toorjah.System
-	pipe  toorjah.PipeOptions
+	exec  toorjah.Options // executor tuning shared by every served query
 	start time.Time
 
 	mu        sync.Mutex
@@ -102,10 +102,10 @@ type ingestStats struct {
 // /probe endpoint snapshots the system's sources (behind its cross-query
 // cache) at construction, so bind every relation — including remote
 // attaches — first.
-func newServer(sys *toorjah.System, pipe toorjah.PipeOptions) *server {
+func newServer(sys *toorjah.System, execOpts toorjah.Options) *server {
 	s := &server{
 		sys:            sys,
-		pipe:           pipe,
+		exec:           execOpts,
 		start:          time.Now(),
 		plans:          make(map[string]runnable),
 		planCap:        maxPreparedPlans,
@@ -532,20 +532,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	opts := s.pipe
+	opts := s.exec
 	opts.Limit = limit
-	opts.Ctx = ctx
-	opts.Options.Ctx = ctx
-	opts.Options.Obs = execObs
-	// onAnswer calls are serialized by both kinds of runnable — a CQ streams
-	// from the goroutine executing Stream, a UCQ serializes its concurrent
-	// disjuncts — so writing to the response here needs no locking.
-	res, err := q.Stream(opts, func(t toorjah.Tuple) {
-		enc.Encode(answerLine{Answer: t})
-		if flusher != nil {
-			flusher.Flush()
-		}
-	})
+	opts.Obs = execObs
+	// OnAnswer calls are serialized by both kinds of runnable — a CQ streams
+	// from the goroutine executing the query, a UCQ serializes its concurrent
+	// disjuncts — so writing to the response here needs no locking. Answers
+	// materialize to strings only here, at the NDJSON boundary.
+	res, err := q.Execute(ctx, toorjah.WithExecOptions(opts),
+		toorjah.OnAnswer(func(t toorjah.Tuple) {
+			enc.Encode(answerLine{Answer: t.Strings()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}))
 	if err != nil {
 		s.queryLog.Query(obs.QueryRecord{TraceID: traceID, Query: text, Executor: executor, Err: err})
 		// The stream may already be half-written; report the error in-band.

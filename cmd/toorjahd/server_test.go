@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -112,7 +113,7 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := baseQ.Execute()
+	base, err := baseQ.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 	}
 
 	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.PipeOptions{Parallelism: 8})
+	srv := newServer(sys, toorjah.Options{Parallelism: 8})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 	url := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")
@@ -214,7 +215,7 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 
 func TestServerEndpoints(t *testing.T) {
 	sys, _ := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -283,7 +284,7 @@ const pubUCQ = "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)\nq(R) :- pub1(P,
 // disjunct count — and /stats counts the union.
 func TestServerUCQStream(t *testing.T) {
 	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.PipeOptions{Parallelism: 4})
+	srv := newServer(sys, toorjah.Options{Parallelism: 4})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -367,7 +368,7 @@ func TestServerUCQStream(t *testing.T) {
 // not truncated into a confusing parse error.
 func TestServerQueryBodyTooLarge(t *testing.T) {
 	sys, _ := newTestSystem(t)
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -400,7 +401,7 @@ func TestServerLimit(t *testing.T) {
 	if err := sys.BindRows("r", rows...); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -417,7 +418,7 @@ func TestServerLimit(t *testing.T) {
 // cap instead of growing forever.
 func TestPlanCacheBounded(t *testing.T) {
 	sys, _ := newTestSystem(t)
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	srv.planCap = 2
 	texts := []string{
 		"q(N) :- pub1(P, N)",
@@ -482,7 +483,7 @@ func TestLoadDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,7 +506,7 @@ func TestServerIngest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(sys, toorjah.PipeOptions{})
+	srv := newServer(sys, toorjah.Options{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 

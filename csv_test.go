@@ -1,6 +1,7 @@
 package toorjah
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ rev^ooi(Person, ConfName, Year)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

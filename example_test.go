@@ -1,6 +1,7 @@
 package toorjah_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -34,7 +35,7 @@ func ExampleNewSystem() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func ExampleSystem_PrepareUCQ() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := u.Execute()
+	res, err := u.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func ExampleSystem_AttachRemote() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func ExampleSystem_Insert() {
 		log.Fatal(err)
 	}
 	run := func() {
-		res, err := q.Execute()
+		res, err := q.Execute(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -39,7 +40,7 @@ rev^ooi(Person, ConfName, Year)`)
 		log.Fatal(err)
 	}
 	show := func(when string) {
-		res, err := q.Execute()
+		res, err := q.Execute(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

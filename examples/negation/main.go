@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -44,7 +45,7 @@ published^io(Person, ConfName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

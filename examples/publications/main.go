@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,11 +51,11 @@ func main() {
 		fmt.Println("  irrelevant (never accessed by the optimized plan):",
 			strings.Join(q.IrrelevantRelations(), ", "))
 
-		naive, err := q.ExecuteNaive()
+		naive, err := q.Execute(context.Background(), toorjah.WithExecutor(toorjah.ExecutorNaive))
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := q.Execute()
+		opt, err := q.Execute(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -60,7 +61,7 @@ r3^oo(Artist, Album)
 	fmt.Println(q.Plan())
 	fmt.Println()
 
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

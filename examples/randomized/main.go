@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,11 +45,11 @@ func main() {
 			if err != nil || !p.Answerable() {
 				continue
 			}
-			naive, err := exec.Naive(sch, reg, p.Query, p.Typing)
+			naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 			if err != nil {
 				log.Fatal(err)
 			}
-			opt, err := exec.FastFailing(p.Plan, reg)
+			opt, err := exec.FastFailing(context.Background(), p.Plan, reg)
 			if err != nil {
 				log.Fatal(err)
 			}

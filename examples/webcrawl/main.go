@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -66,10 +67,13 @@ similar^ii(Product, Product)
 	fmt.Println()
 
 	start := time.Now()
-	res, err := q.Stream(toorjah.PipeOptions{Parallelism: 4}, func(t toorjah.Tuple) {
-		fmt.Printf("  %-8s costs %-5s   (streamed after %s)\n",
-			t[0], t[1], time.Since(start).Round(time.Millisecond))
-	})
+	res, err := q.Execute(context.Background(),
+		toorjah.WithExecOptions(toorjah.Options{Parallelism: 4}),
+		toorjah.OnAnswer(func(t toorjah.Tuple) {
+			v := t.Strings()
+			fmt.Printf("  %-8s costs %-5s   (streamed after %s)\n",
+				v[0], v[1], time.Since(start).Round(time.Millisecond))
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

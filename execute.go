@@ -1,0 +1,205 @@
+package toorjah
+
+import (
+	"context"
+
+	"toorjah/internal/datalog"
+	"toorjah/internal/exec"
+	"toorjah/internal/source"
+)
+
+// Executor selects the execution strategy of Execute.
+type Executor int
+
+const (
+	// ExecutorFastFail is the fast-failing ⊂-minimal batch strategy of the
+	// paper's Section IV — the default: early failure detection, access
+	// deduplication, batched probes, all answers at completion.
+	ExecutorFastFail Executor = iota
+	// ExecutorPipelined is the parallel pipelined engine of Section V:
+	// wrapper goroutine pools probe concurrently and answers stream through
+	// the OnAnswer callback the moment they become derivable. Selected
+	// implicitly when OnAnswer is given without WithExecutor.
+	ExecutorPipelined
+	// ExecutorNaive is the reference algorithm of the paper's Fig. 1: probe
+	// everything probeable until fixpoint. Kept for measurement; it answers
+	// queries whose optimized plan does not exist, at maximal access cost.
+	ExecutorNaive
+)
+
+// execConfig is the resolved configuration of one Execute call.
+type execConfig struct {
+	executor    Executor
+	executorSet bool
+	onAnswer    func(Tuple)
+	opts        Options
+}
+
+// ExecOption configures one Execute call. Options apply in order;
+// WithExecOptions replaces the whole executor-level block, so pass it
+// first when combining it with WithLimit or WithExecMaxBatch.
+type ExecOption func(*execConfig)
+
+// WithExecutor selects the execution strategy. The default is
+// ExecutorFastFail — or ExecutorPipelined when OnAnswer is given without
+// an explicit executor.
+func WithExecutor(e Executor) ExecOption {
+	return func(c *execConfig) { c.executor, c.executorSet = e, true }
+}
+
+// WithLimit caps the answers at n. The pipelined engine and the union
+// runner stop the extraction once n answers exist — the paper's
+// interactive early stop — and the batch strategies truncate the final
+// answer set; either way the result is a sound subset carrying Truncated
+// when answers were actually cut.
+func WithLimit(n int) ExecOption {
+	return func(c *execConfig) { c.opts.Limit = n }
+}
+
+// WithExecMaxBatch caps how many access bindings ride one source round
+// trip for this execution, overriding the system default (see the
+// system-level WithMaxBatch option for semantics).
+func WithExecMaxBatch(n int) ExecOption {
+	return func(c *execConfig) { c.opts.MaxBatch = n }
+}
+
+// OnAnswer streams answers to f. Under ExecutorPipelined (implied when no
+// executor is chosen) f fires the moment an answer becomes derivable — for
+// queries without negation; with negation, at completion — and under the
+// batch strategies it fires for every answer once the run completes, so a
+// sink works identically against every executor. For a UnionQuery, f
+// observes each distinct union answer exactly once; calls are always
+// serialized, never concurrent.
+func OnAnswer(f func(Tuple)) ExecOption {
+	return func(c *execConfig) { c.onAnswer = f }
+}
+
+// WithExecOptions sets the executor-level Options wholesale — the ablation
+// switches (NoEarlyFailure, NoMetaCache), an explicit cross-query Cache,
+// pipelined tuning (QueueLen, Parallelism), union parallelism
+// (MaxConcurrent) and the rest. The escape hatch for everything the
+// dedicated ExecOptions don't cover; it replaces the accumulated block, so
+// order it before WithLimit / WithExecMaxBatch.
+func WithExecOptions(o Options) ExecOption {
+	return func(c *execConfig) { c.opts = o }
+}
+
+// resolveExec folds the options of one Execute call.
+func resolveExec(options []ExecOption) execConfig {
+	var cfg execConfig
+	for _, o := range options {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if !cfg.executorSet && cfg.onAnswer != nil {
+		cfg.executor = ExecutorPipelined
+	}
+	return cfg
+}
+
+// Execute runs the prepared query and returns all obtainable answers. The
+// context cancels the extraction: once it is done no further probes are
+// made and the run returns early with Truncated set, the answers already
+// derived being a sound subset (nil means context.Background()). The
+// context also carries the query's observability baggage down to the
+// sources. By default the fast-failing ⊂-minimal strategy runs; options
+// select another executor, cap the answers, or stream them:
+//
+//	res, _ := q.Execute(ctx)
+//	res, _ := q.Execute(ctx, toorjah.WithLimit(10))
+//	res, _ := q.Execute(ctx, toorjah.OnAnswer(func(t toorjah.Tuple) {
+//	    fmt.Println(t.Strings())
+//	}))
+//
+// The system's cross-query cache, batch bound and probe metrics apply
+// unless the options carry their own.
+func (q *Query) Execute(ctx context.Context, options ...ExecOption) (*Result, error) {
+	return q.executeWith(ctx, q.sys.reg, resolveExec(options))
+}
+
+// executeWith runs one configured execution over an explicit registry (the
+// union runner passes one pinned snapshot so every disjunct answers over
+// the same data version).
+func (q *Query) executeWith(ctx context.Context, reg *source.Registry, cfg execConfig) (*Result, error) {
+	opts := q.sys.execOpts(cfg.opts)
+	if cfg.executor == ExecutorNaive {
+		// The naive algorithm runs on the original query and needs no plan,
+		// so it executes even when the optimized strategies would refuse.
+		res, err := exec.NaiveOpts(ctx, q.sys.sch, reg, q.pipeline.Query, q.pipeline.Typing, opts)
+		return finishBatch(res, err, cfg)
+	}
+	if !q.Answerable() {
+		return q.emptyResult(), nil
+	}
+	if cfg.executor == ExecutorPipelined {
+		return exec.Pipelined(ctx, q.pipeline.Plan, reg, opts, cfg.onAnswer)
+	}
+	res, err := exec.FastFailingOpts(ctx, q.pipeline.Plan, reg, opts)
+	return finishBatch(res, err, cfg)
+}
+
+// finishBatch applies the answer limit and the post-completion streaming
+// callback to a batch executor's result. The batch strategies compute the
+// full answer set regardless — the limit cannot save accesses there — so
+// the cap is a truncation of the final relation.
+func finishBatch(res *Result, err error, cfg execConfig) (*Result, error) {
+	if err != nil || res == nil {
+		return res, err
+	}
+	if lim := cfg.opts.Limit; lim > 0 && res.Answers.Len() > lim {
+		capped := datalog.NewRelation(res.Answers.Name, res.Answers.Arity)
+		for _, t := range res.Answers.Tuples()[:lim] {
+			capped.Insert(t)
+		}
+		res.Answers = capped
+		res.Truncated = true
+	}
+	if cfg.onAnswer != nil {
+		for _, t := range res.Answers.Tuples() {
+			cfg.onAnswer(t)
+		}
+	}
+	return res, nil
+}
+
+// Execute runs every disjunct concurrently (bounded by MaxConcurrent) and
+// unions the answers — the UCQ semantics of the paper's Section II. The
+// same options as Query.Execute apply: WithExecutor selects the strategy
+// every disjunct runs, OnAnswer observes each distinct union answer exactly
+// once (serialized, the moment the first disjunct derives it), WithLimit
+// caps the distinct union answers and cancels the remaining disjuncts once
+// reached. One snapshot of the sources is pinned for the whole union, so
+// all disjuncts answer over a single data version; per-relation statistics
+// merge across disjuncts and Truncated/EarlyEmpty are OR-ed. A cancelled
+// context yields a truncated sound subset, never an error.
+func (u *UnionQuery) Execute(ctx context.Context, options ...ExecOption) (*Result, error) {
+	cfg := resolveExec(options)
+	pinned := u.sys.reg.Snapshot() // one data version for every disjunct
+	runs := make([]exec.DisjunctRun, len(u.queries))
+	for i, q := range u.queries {
+		q := q
+		runs[i] = func(dctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
+			dc := cfg
+			if dc.executor == ExecutorPipelined {
+				// Streaming disjuncts feed the union incrementally; the
+				// per-disjunct limit is sound because the union needs at most
+				// Limit distinct answers and a disjunct's own answers are
+				// distinct.
+				dc.onAnswer = emit
+			} else {
+				// Batch disjuncts enter the union through the runner's final
+				// fold; a per-disjunct cap would mislabel complete unions as
+				// truncated.
+				dc.onAnswer = nil
+				dc.opts.Limit = 0
+			}
+			return q.executeWith(dctx, pinned, dc)
+		}
+	}
+	uopts := cfg.opts
+	if uopts.MaxConcurrent == 0 {
+		uopts.MaxConcurrent = u.MaxConcurrent
+	}
+	return exec.Union(ctx, u.name, u.arity, runs, uopts, cfg.onAnswer)
+}

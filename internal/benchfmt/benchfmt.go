@@ -9,15 +9,18 @@
 //   - count metrics (accesses, roundtrips, accesses/op) are deterministic —
 //     the paper's cost model is the number of accesses, so these are the
 //     primary regression signal and are gated at the plain threshold;
+//   - allocs/op (reported under -benchmem) is deterministic up to scheduler
+//     timing — pooling and map-growth effects move it a few percent, not
+//     orders of magnitude — so it is gated at its own (wider) threshold;
 //   - ns/op is hardware- and load-dependent: by default it is only printed
 //     as an informational delta (TimeDeltas); passing a positive time
 //     threshold gates it too, and only for benchmarks whose baseline time
 //     exceeds a floor (sub-millisecond timings under -benchtime=1x are
 //     noise).
 //
-// Every other reported metric (%saved, first-answer-µs, …) is recorded in
-// the JSON for inspection but never gated: some are higher-is-better and
-// all are too noisy at one iteration.
+// Every other reported metric (B/op, %saved, first-answer-µs, …) is
+// recorded in the JSON for inspection but never gated: some are
+// higher-is-better and all are too noisy at one iteration.
 package benchfmt
 
 import (
@@ -136,16 +139,30 @@ func countMetric(unit string) bool {
 		strings.HasSuffix(unit, "accesses/op")
 }
 
-// Compare gates current against baseline: a count metric regresses when it
-// grows by more than threshold (fraction, e.g. 0.25); ns/op regresses when
-// it grows by more than timeThreshold, and only for benchmarks whose
-// baseline ns/op is at least timeFloorNS — wall time under -benchtime=1x
-// is not comparable across machines at the tightness access counts are, so
-// its threshold is typically wider. A timeThreshold <= 0 disables time
-// gating entirely (use TimeDeltas to still report the drift). Benchmarks
+// Thresholds bundles the allowed fractional growth per metric class; a
+// class whose threshold is <= 0 is not gated.
+type Thresholds struct {
+	// Count gates the deterministic access-count metrics (accesses,
+	// roundtrips, accesses/op) — the paper's cost model.
+	Count float64
+	// Allocs gates allocs/op, the allocation budget of the integer-tuple
+	// hot path. Requires snapshots taken with -benchmem.
+	Allocs float64
+	// Time gates ns/op, and only for benchmarks whose baseline ns/op is at
+	// least TimeFloorNS — wall time under -benchtime=1x is not comparable
+	// across machines at the tightness counts are, so this threshold is
+	// typically the widest.
+	Time float64
+	// TimeFloorNS is the baseline ns/op below which time is never gated.
+	TimeFloorNS float64
+}
+
+// Compare gates current against baseline: each gated metric regresses when
+// it grows by more than its class threshold (see Thresholds). Benchmarks
 // present on only one side are never regressions (benchmarks come and go;
-// the gate protects what both snapshots measure).
-func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS float64) []Regression {
+// the gate protects what both snapshots measure), and so are metrics one
+// side lacks (a baseline taken without -benchmem never gates allocs).
+func Compare(baseline, current []Result, t Thresholds) []Regression {
 	base := make(map[string]Result, len(baseline))
 	for _, r := range baseline {
 		base[r.Name] = r
@@ -164,10 +181,15 @@ func Compare(baseline, current []Result, threshold, timeThreshold, timeFloorNS f
 			limit := 0.0
 			switch {
 			case countMetric(unit):
-				limit = threshold
-			case unit == "ns/op" && timeThreshold > 0 && oldV >= timeFloorNS:
-				limit = timeThreshold
+				limit = t.Count
+			case unit == "allocs/op":
+				limit = t.Allocs
+			case unit == "ns/op" && oldV >= t.TimeFloorNS:
+				limit = t.Time
 			default:
+				continue
+			}
+			if limit <= 0 {
 				continue
 			}
 			if newV > oldV*(1+limit) {
@@ -198,6 +220,50 @@ type TimeDelta struct {
 
 func (d TimeDelta) String() string {
 	return fmt.Sprintf("%s ns/op: %.6g -> %.6g (%.2fx)", d.Name, d.Old, d.New, d.Ratio)
+}
+
+// WriteMarkdown renders a benchstat-style delta table of current against
+// baseline as GitHub-flavored markdown — one row per benchmark, the
+// ns/op, allocs/op and accesses columns each showing old → new (±%). CI
+// appends it to the job summary so a PR's perf drift is readable without
+// downloading artifacts. Benchmarks absent from the baseline show "new";
+// with a nil baseline every row does.
+func WriteMarkdown(w io.Writer, baseline, current []Result) error {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	sorted := make([]Result, len(current))
+	copy(sorted, current)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	cell := func(cur Result, unit string, format func(float64) string) string {
+		newV, ok := cur.Metrics[unit]
+		if !ok {
+			return "–"
+		}
+		old, haveOld := base[cur.Name]
+		oldV, okOld := old.Metrics[unit]
+		if !haveOld || !okOld || oldV <= 0 {
+			return fmt.Sprintf("%s (new)", format(newV))
+		}
+		return fmt.Sprintf("%s → %s (%+.1f%%)", format(oldV), format(newV), (newV/oldV-1)*100)
+	}
+	secs := func(ns float64) string { return fmt.Sprintf("%.3gms", ns/1e6) }
+	count := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+	if _, err := fmt.Fprintf(w, "### Benchmarks vs baseline\n\n|benchmark|ns/op|allocs/op|accesses|\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, cur := range sorted {
+		name := strings.TrimPrefix(cur.Name, "Benchmark")
+		if _, err := fmt.Fprintf(w, "|%s|%s|%s|%s|\n",
+			name, cell(cur, "ns/op", secs), cell(cur, "allocs/op", count), cell(cur, "accesses", count)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // TimeDeltas reports the ns/op drift of every benchmark present in both

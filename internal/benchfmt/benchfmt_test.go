@@ -83,13 +83,13 @@ func mk(name string, metrics map[string]float64) Result {
 func TestCompareGatesCounts(t *testing.T) {
 	base := []Result{mk("BenchmarkA", map[string]float64{"accesses": 100, "ns/op": 5e6})}
 	cur := []Result{mk("BenchmarkA", map[string]float64{"accesses": 130, "ns/op": 5e6})}
-	regs := Compare(base, cur, 0.25, 1.0, 1e6)
+	regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 1e6})
 	if len(regs) != 1 || regs[0].Metric != "accesses" {
 		t.Fatalf("regs = %v, want one accesses regression", regs)
 	}
 	// 20% growth stays under a 25% threshold.
 	cur[0].Metrics["accesses"] = 120
-	if regs := Compare(base, cur, 0.25, 1.0, 1e6); len(regs) != 0 {
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 1e6}); len(regs) != 0 {
 		t.Errorf("regs = %v, want none at +20%%", regs)
 	}
 }
@@ -103,13 +103,13 @@ func TestCompareTimeFloor(t *testing.T) {
 		mk("BenchmarkFast", map[string]float64{"ns/op": 500_000}),     // 10x, but under the floor
 		mk("BenchmarkSlow", map[string]float64{"ns/op": 120_000_000}), // 2.4x over the floor
 	}
-	regs := Compare(base, cur, 0.25, 1.0, 5e6)
+	regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 5e6})
 	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
 		t.Fatalf("regs = %v, want only the slow benchmark gated", regs)
 	}
 	// 1.6x stays under a 2x time threshold.
 	cur[1].Metrics["ns/op"] = 80_000_000
-	if regs := Compare(base, cur, 0.25, 1.0, 5e6); len(regs) != 0 {
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 5e6}); len(regs) != 0 {
 		t.Errorf("regs = %v, want none at 1.6x under a 2x time threshold", regs)
 	}
 }
@@ -123,7 +123,7 @@ func TestCompareIgnoresUngatedAndUnmatched(t *testing.T) {
 		mk("BenchmarkNew", map[string]float64{"accesses": 1e9}),
 		mk("BenchmarkB", map[string]float64{"%saved": 1, "first-answer-µs": 1e9}),
 	}
-	if regs := Compare(base, cur, 0.25, 1.0, 1e6); len(regs) != 0 {
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 1e6}); len(regs) != 0 {
 		t.Errorf("regs = %v, want none: unmatched and ungated metrics must pass", regs)
 	}
 }
@@ -148,11 +148,57 @@ func TestTimeDeltasInformational(t *testing.T) {
 	}
 	// A zero time threshold reports the 4x slowdown as a delta only — the
 	// gate must stay silent however large the drift.
-	if regs := Compare(base, cur, 0.25, 0, 5e6); len(regs) != 0 {
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, TimeFloorNS: 5e6}); len(regs) != 0 {
 		t.Errorf("regs = %v, want none with time gating disabled", regs)
 	}
 	// A positive threshold still gates it.
-	if regs := Compare(base, cur, 0.25, 1.0, 5e6); len(regs) != 1 {
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Time: 1.0, TimeFloorNS: 5e6}); len(regs) != 1 {
 		t.Errorf("regs = %v, want the 4x slowdown gated at 2x", regs)
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := []Result{mk("BenchmarkA", map[string]float64{"allocs/op": 100_000, "B/op": 1e6})}
+	cur := []Result{mk("BenchmarkA", map[string]float64{"allocs/op": 200_000, "B/op": 9e6})}
+	regs := Compare(base, cur, Thresholds{Count: 0.25, Allocs: 0.5})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want one allocs/op regression (B/op is never gated)", regs)
+	}
+	// 40% growth stays under a 50% alloc threshold.
+	cur[0].Metrics["allocs/op"] = 140_000
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Allocs: 0.5}); len(regs) != 0 {
+		t.Errorf("regs = %v, want none at +40%%", regs)
+	}
+	// Alloc gating off: any growth passes.
+	cur[0].Metrics["allocs/op"] = 1e9
+	if regs := Compare(base, cur, Thresholds{Count: 0.25}); len(regs) != 0 {
+		t.Errorf("regs = %v, want none with alloc gating disabled", regs)
+	}
+	// A baseline without -benchmem never gates allocs.
+	delete(base[0].Metrics, "allocs/op")
+	if regs := Compare(base, cur, Thresholds{Count: 0.25, Allocs: 0.5}); len(regs) != 0 {
+		t.Errorf("regs = %v, want none without a baseline allocs metric", regs)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	base := []Result{mk("BenchmarkA", map[string]float64{"ns/op": 10e6, "allocs/op": 1000, "accesses": 42})}
+	cur := []Result{
+		mk("BenchmarkA", map[string]float64{"ns/op": 20e6, "allocs/op": 500, "accesses": 42}),
+		mk("BenchmarkNew", map[string]float64{"ns/op": 5e6}),
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, base, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"|benchmark|ns/op|allocs/op|accesses|",
+		"|A|10ms → 20ms (+100.0%)|1000 → 500 (-50.0%)|42 → 42 (+0.0%)|",
+		"|New|5ms (new)|–|–|",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
 	}
 }

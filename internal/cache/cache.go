@@ -57,6 +57,7 @@ import (
 	"toorjah/internal/source"
 	"toorjah/internal/stats"
 	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // Options configures a Cache. The zero value gives a 65536-entry cache with
@@ -108,11 +109,13 @@ func (s *RelStats) Add(o RelStats) {
 	s.Entries += o.Entries
 }
 
-// entry is one cached extraction.
+// entry is one cached extraction, stored interned: keys are packed symbol
+// IDs and rows are IRows, so the cache's resident set carries no string
+// payload and hashes in a handful of words per probe.
 type entry struct {
 	key     string
 	rel     string
-	rows    []storage.Row
+	rows    []storage.IRow
 	expires time.Time // zero = never
 	elem    *list.Element
 }
@@ -203,15 +206,24 @@ func (c *Cache) shard(key string) *shard {
 	return c.shards[h%uint32(len(c.shards))]
 }
 
-// versionedKey builds the storage key of one access at one data epoch.
-// Unversioned sources (epoch 0) use the plain access key, so their entries
-// behave exactly as before data versioning existed.
-func versionedKey(rel string, binding []string, epoch uint64) string {
-	key := source.Access{Relation: rel, Binding: binding}.Key()
-	if epoch == 0 {
-		return key
+// appendVersionedKey builds the storage key of one access at one data
+// epoch: the packed integer access key, plus an epoch suffix for versioned
+// sources. Unversioned sources (epoch 0) use the plain access key, so their
+// entries behave exactly as before data versioning existed.
+func appendVersionedKey(dst []byte, rel string, binding []sym.ID, epoch uint64) []byte {
+	dst = source.AppendSymAccessKey(dst, rel, binding)
+	if epoch != 0 {
+		dst = append(dst, 0, '@')
+		dst = strconv.AppendUint(dst, epoch, 16)
 	}
-	return key + "\x00@" + strconv.FormatUint(epoch, 16)
+	return dst
+}
+
+// versionedKey is appendVersionedKey over a boundary (string) binding; the
+// values intern — an access worth caching is an access whose values the
+// engine holds anyway.
+func versionedKey(rel string, binding []string, epoch uint64) string {
+	return string(appendVersionedKey(nil, rel, sym.InternAll(binding), epoch))
 }
 
 // access serves one probe of w through the cache. The entry is keyed by
@@ -229,9 +241,9 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 		if e.expires.IsZero() || now.Before(e.expires) {
 			sh.lru.MoveToFront(e.elem)
 			sh.bump(rel).Hits++
-			rows := e.rows
+			irows := e.rows
 			sh.mu.Unlock()
-			return rows, nil
+			return storage.MaterializeRows(irows), nil
 		}
 		sh.removeLocked(e)
 		sh.bump(rel).Expirations++
@@ -274,7 +286,7 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 		if len(rows) == 0 && c.opts.NegativeTTL > 0 {
 			ttl = c.opts.NegativeTTL
 		}
-		e := &entry{key: key, rel: rel, rows: rows}
+		e := &entry{key: key, rel: rel, rows: storage.InternRows(rows)}
 		if ttl > 0 {
 			// TTL counts from when the extraction is stored, not from when
 			// the probe began — a slow source must not shorten its entry's
@@ -356,66 +368,162 @@ func (c *Cache) accessBatchCtx(ctx context.Context, w source.Wrapper, bindings [
 	return out, nil
 }
 
-// MultiGet looks up many bindings of one relation at one data epoch at
-// once (pass epoch 0 for unversioned sources). Result i holds the cached
+// accessSyms is the integer mirror of accessBatchCtx: the hot path of the
+// executors. Hits are answered from the interned entry store, misses travel
+// to the inner wrapper through source.ProbeSyms as one batched round trip,
+// and no string is constructed anywhere in between.
+func (c *Cache) accessSyms(ctx context.Context, w source.Wrapper, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	rel := w.Relation().Name
+	ctx, sp := obs.StartSpan(ctx, "cache-lookup")
+	defer sp.End()
+	sp.SetAttr("relation", rel)
+	sp.SetAttr("requested", len(bindings))
+	epoch := source.EpochOf(w) // pre-probe, like the single-access path
+	out, hit := c.MultiGetSym(rel, epoch, bindings)
+	var missIdx []int
+	var misses [][]sym.ID
+	for i := range bindings {
+		if !hit[i] {
+			missIdx = append(missIdx, i)
+			misses = append(misses, bindings[i])
+		}
+	}
+	sp.SetAttr("hits", len(bindings)-len(misses))
+	if len(misses) == 0 {
+		return out, nil
+	}
+	var kb []byte
+	for _, b := range misses {
+		kb = appendVersionedKey(kb[:0], rel, b, epoch)
+		sh := c.shard(string(kb))
+		sh.mu.Lock()
+		sh.bump(rel).Misses++
+		sh.mu.Unlock()
+	}
+	gen := c.gen.Load()
+	rows, err := source.ProbeSyms(ctx, w, misses)
+	if err != nil {
+		return nil, err
+	}
+	// Same invalidation contract as the single-access path: an extraction
+	// read from a source replaced mid-probe must not re-populate the cache.
+	if gen == c.gen.Load() {
+		c.MultiPutSym(rel, epoch, misses, rows)
+	}
+	for j, i := range missIdx {
+		out[i] = rows[j]
+	}
+	return out, nil
+}
+
+// getOne looks one key up, applying expiry and recording the hit; the
+// caller does NOT hold the shard lock.
+func (c *Cache) getOne(rel, key string, now time.Time) ([]storage.IRow, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, present := sh.entries[key]
+	if !present {
+		return nil, false
+	}
+	if e.expires.IsZero() || now.Before(e.expires) {
+		sh.lru.MoveToFront(e.elem)
+		sh.bump(rel).Hits++
+		return e.rows, true
+	}
+	sh.removeLocked(e)
+	sh.bump(rel).Expirations++
+	return nil, false
+}
+
+// putOne stores one extraction, applying TTL, negative-caching and LRU
+// eviction.
+func (c *Cache) putOne(rel, key string, rows []storage.IRow, now time.Time) {
+	if len(rows) == 0 && c.opts.DisableNegative {
+		return
+	}
+	ttl := c.opts.TTL
+	if len(rows) == 0 && c.opts.NegativeTTL > 0 {
+		ttl = c.opts.NegativeTTL
+	}
+	e := &entry{key: key, rel: rel, rows: rows}
+	if ttl > 0 {
+		e.expires = now.Add(ttl)
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if old, present := sh.entries[key]; present {
+		sh.removeLocked(old)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	for sh.capacity > 0 && sh.lru.Len() > sh.capacity {
+		oldest := sh.lru.Back().Value.(*entry)
+		sh.removeLocked(oldest)
+		sh.bump(oldest.rel).Evictions++
+	}
+	sh.mu.Unlock()
+}
+
+// MultiGetSym looks up many interned bindings of one relation at one data
+// epoch at once (epoch 0 = unversioned). Result i holds the cached
 // extraction for bindings[i] and ok[i] reports whether it was present (and
 // unexpired); hits are recorded and touched in the LRU order exactly as
-// single accesses are.
+// single accesses are. The hot-path lookup of the executors: keys pack into
+// one reused buffer, nothing materializes.
+func (c *Cache) MultiGetSym(rel string, epoch uint64, bindings [][]sym.ID) (rows [][]storage.IRow, ok []bool) {
+	rows = make([][]storage.IRow, len(bindings))
+	ok = make([]bool, len(bindings))
+	now := c.opts.now()
+	var kb []byte
+	for i, b := range bindings {
+		kb = appendVersionedKey(kb[:0], rel, b, epoch)
+		rows[i], ok[i] = c.getOne(rel, string(kb), now)
+	}
+	return rows, ok
+}
+
+// MultiPutSym stores the extractions of many interned bindings of one
+// relation at one data epoch (0 = unversioned), applying the same TTL,
+// negative-caching and LRU-eviction rules as a probed store. It does not
+// count misses: callers that probed a source account for that at the probe
+// site.
+func (c *Cache) MultiPutSym(rel string, epoch uint64, bindings [][]sym.ID, rows [][]storage.IRow) {
+	now := c.opts.now()
+	var kb []byte
+	for i, b := range bindings {
+		kb = appendVersionedKey(kb[:0], rel, b, epoch)
+		c.putOne(rel, string(kb), rows[i], now)
+	}
+}
+
+// MultiGet is MultiGetSym over boundary (string) bindings: a binding whose
+// values were never interned cannot have an entry and misses. Hits
+// materialize — callers on the hot path use MultiGetSym.
 func (c *Cache) MultiGet(rel string, epoch uint64, bindings [][]string) (rows [][]storage.Row, ok []bool) {
 	rows = make([][]storage.Row, len(bindings))
 	ok = make([]bool, len(bindings))
 	now := c.opts.now()
 	for i, b := range bindings {
-		key := versionedKey(rel, b, epoch)
-		sh := c.shard(key)
-		sh.mu.Lock()
-		if e, present := sh.entries[key]; present {
-			if e.expires.IsZero() || now.Before(e.expires) {
-				sh.lru.MoveToFront(e.elem)
-				sh.bump(rel).Hits++
-				rows[i], ok[i] = e.rows, true
-			} else {
-				sh.removeLocked(e)
-				sh.bump(rel).Expirations++
-			}
+		ids, known := sym.LookupAll(b)
+		if !known {
+			continue
 		}
-		sh.mu.Unlock()
+		irows, hit := c.getOne(rel, string(appendVersionedKey(nil, rel, ids, epoch)), now)
+		if hit {
+			rows[i], ok[i] = storage.MaterializeRows(irows), true
+		}
 	}
 	return rows, ok
 }
 
-// MultiPut stores the extractions of many bindings of one relation at one
-// data epoch (0 = unversioned), applying the same TTL, negative-caching
-// and LRU-eviction rules as a probed store. It does not count misses:
-// callers that probed a source account for that at the probe site.
+// MultiPut is MultiPutSym over boundary (string) bindings and rows; values
+// intern on the way in.
 func (c *Cache) MultiPut(rel string, epoch uint64, bindings [][]string, rows [][]storage.Row) {
 	now := c.opts.now()
 	for i, b := range bindings {
-		if len(rows[i]) == 0 && c.opts.DisableNegative {
-			continue
-		}
 		key := versionedKey(rel, b, epoch)
-		sh := c.shard(key)
-		ttl := c.opts.TTL
-		if len(rows[i]) == 0 && c.opts.NegativeTTL > 0 {
-			ttl = c.opts.NegativeTTL
-		}
-		e := &entry{key: key, rel: rel, rows: rows[i]}
-		if ttl > 0 {
-			e.expires = now.Add(ttl)
-		}
-		sh.mu.Lock()
-		if old, present := sh.entries[key]; present {
-			sh.removeLocked(old)
-		}
-		e.elem = sh.lru.PushFront(e)
-		sh.entries[key] = e
-		for sh.capacity > 0 && sh.lru.Len() > sh.capacity {
-			oldest := sh.lru.Back().Value.(*entry)
-			sh.removeLocked(oldest)
-			sh.bump(oldest.rel).Evictions++
-		}
-		sh.mu.Unlock()
+		c.putOne(rel, key, storage.InternRows(rows[i]), now)
 	}
 }
 
@@ -423,7 +531,11 @@ func (c *Cache) MultiPut(rel string, epoch uint64, bindings [][]string, rows [][
 // whether the access is currently cached at the given data epoch (0 =
 // unversioned).
 func (c *Cache) Lookup(rel string, epoch uint64, binding []string) ([]storage.Row, bool) {
-	key := versionedKey(rel, binding, epoch)
+	ids, known := sym.LookupAll(binding)
+	if !known {
+		return nil, false
+	}
+	key := string(appendVersionedKey(nil, rel, ids, epoch))
 	sh := c.shard(key)
 	now := c.opts.now()
 	sh.mu.Lock()
@@ -432,7 +544,7 @@ func (c *Cache) Lookup(rel string, epoch uint64, binding []string) ([]storage.Ro
 	if !ok || (!e.expires.IsZero() && !now.Before(e.expires)) {
 		return nil, false
 	}
-	return e.rows, true
+	return storage.MaterializeRows(e.rows), true
 }
 
 // Len returns the number of cached accesses.

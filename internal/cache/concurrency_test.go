@@ -1,6 +1,7 @@
 package cache_test
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -41,7 +42,7 @@ func TestPipelinedConcurrentCachedCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := exec.FastFailing(p.Plan, baseReg)
+	base, err := exec.FastFailing(context.Background(), p.Plan, baseReg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,12 +58,13 @@ func TestPipelinedConcurrentCachedCorrectness(t *testing.T) {
 	c := cache.New(cache.Options{})
 
 	const G = 6
-	opts := exec.PipeOptions{
+	opts := exec.Options{
 		Parallelism: 16,
+		Cache:       c,
 		// NoMetaCache disables the executor's own within-run access
 		// sharing, so concurrent identical probes actually reach the cache
 		// and exercise its singleflight.
-		Options: exec.Options{Cache: c, NoMetaCache: true},
+		NoMetaCache: true,
 	}
 	results := make([]*exec.Result, G)
 	errs := make([]error, G)
@@ -71,7 +73,7 @@ func TestPipelinedConcurrentCachedCorrectness(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = exec.Pipelined(p.Plan, reg, opts, nil)
+			results[i], errs[i] = exec.Pipelined(context.Background(), p.Plan, reg, opts, nil)
 		}(i)
 	}
 	wg.Wait()
@@ -100,7 +102,7 @@ func TestPipelinedConcurrentCachedCorrectness(t *testing.T) {
 	}
 
 	// A further run over the warm cache probes nothing.
-	warm, err := exec.Pipelined(p.Plan, reg, opts, nil)
+	warm, err := exec.Pipelined(context.Background(), p.Plan, reg, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"toorjah/internal/schema"
 	"toorjah/internal/source"
 	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // cachedSource is a source.Wrapper whose accesses are served through a
@@ -39,6 +40,12 @@ func (s *cachedSource) AccessBatch(bindings [][]string) ([][]storage.Row, error)
 // and trace baggage) through the cache to the inner wrapper.
 func (s *cachedSource) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error) {
 	return s.c.accessBatchCtx(ctx, s.inner, bindings)
+}
+
+// AccessSyms serves an interned batch through the cache: the executors'
+// probe path, integer keys and rows end to end.
+func (s *cachedSource) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	return s.c.accessSyms(ctx, s.inner, bindings)
 }
 
 // Wrap layers the cache over a wrapper. Decorators compose: wrap a

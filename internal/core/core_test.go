@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -121,7 +122,7 @@ func TestRandomizedExecutorEquivalence(t *testing.T) {
 		for _, rel := range sch.Relations() {
 			r := edb.Get(rel.Name, rel.Arity())
 			for _, row := range db.Table(rel.Name).Rows() {
-				r.Insert(datalog.Tuple(row))
+				r.Insert(datalog.T(row...))
 			}
 		}
 		idb, err := datalog.Eval(p.Plan.Program, edb)
@@ -132,17 +133,17 @@ func TestRandomizedExecutorEquivalence(t *testing.T) {
 		ref := &exec.Result{Answers: idb[p.Query.Name]}
 		want := strings.Join(ref.SortedAnswers(), ";")
 
-		naive, err := exec.Naive(sch, reg, p.Query, p.Typing)
+		naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 		if err != nil {
 			t.Errorf("seed %d: naive: %v", seed, err)
 			continue
 		}
-		fast, err := exec.FastFailing(p.Plan, reg)
+		fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
 		if err != nil {
 			t.Errorf("seed %d: fast: %v", seed, err)
 			continue
 		}
-		piped, err := exec.Pipelined(p.Plan, reg, exec.PipeOptions{}, nil)
+		piped, err := exec.Pipelined(context.Background(), p.Plan, reg, exec.Options{}, nil)
 		if err != nil {
 			t.Errorf("seed %d: pipelined: %v", seed, err)
 			continue
@@ -152,7 +153,7 @@ func TestRandomizedExecutorEquivalence(t *testing.T) {
 			t.Errorf("seed %d: unpruned prepare: %v", seed, err)
 			continue
 		}
-		ab, err := exec.FastFailing(unpruned.Plan, reg)
+		ab, err := exec.FastFailing(context.Background(), unpruned.Plan, reg)
 		if err != nil {
 			t.Errorf("seed %d: unpruned exec: %v", seed, err)
 			continue
@@ -208,11 +209,11 @@ func TestRandomizedAccessSubset(t *testing.T) {
 			continue
 		}
 		countedN, countersN := reg.Counted(true)
-		if _, err := exec.Naive(sch, countedN, p.Query, p.Typing); err != nil {
+		if _, err := exec.Naive(context.Background(), sch, countedN, p.Query, p.Typing); err != nil {
 			t.Fatal(err)
 		}
 		countedF, countersF := reg.Counted(true)
-		if _, err := exec.FastFailing(p.Plan, countedF); err != nil {
+		if _, err := exec.FastFailing(context.Background(), p.Plan, countedF); err != nil {
 			t.Fatal(err)
 		}
 		for name, cf := range countersF {

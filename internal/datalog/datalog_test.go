@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"toorjah/internal/cq"
+	"toorjah/internal/sym"
 )
 
 func rule(t *testing.T, src string) *Rule {
@@ -34,7 +35,7 @@ func rows(r *Relation) []string {
 	}
 	out := make([]string, 0, r.Len())
 	for _, t := range r.Tuples() {
-		out = append(out, strings.Join(t, "/"))
+		out = append(out, strings.Join(t.Strings(), "/"))
 	}
 	sort.Strings(out)
 	return out
@@ -46,9 +47,9 @@ func TestEvalTransitiveClosure(t *testing.T) {
 		"tc(X, Z) :- tc(X, Y), e(Y, Z)",
 	)
 	edb := DB{}
-	edb.Insert("e", Tuple{"a", "b"})
-	edb.Insert("e", Tuple{"b", "c"})
-	edb.Insert("e", Tuple{"c", "d"})
+	edb.Insert("e", T("a", "b"))
+	edb.Insert("e", T("b", "c"))
+	edb.Insert("e", T("c", "d"))
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
@@ -66,8 +67,8 @@ func TestEvalCyclicClosure(t *testing.T) {
 		"tc(X, Z) :- tc(X, Y), tc(Y, Z)",
 	)
 	edb := DB{}
-	edb.Insert("e", Tuple{"a", "b"})
-	edb.Insert("e", Tuple{"b", "a"})
+	edb.Insert("e", T("a", "b"))
+	edb.Insert("e", T("b", "a"))
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
@@ -103,10 +104,10 @@ func TestEvalNegationStratified(t *testing.T) {
 		"unreach(X) :- node(X), not reach(X)",
 	)
 	edb := DB{}
-	edb.Insert("start", Tuple{"a"})
-	edb.Insert("e", Tuple{"a", "b"})
+	edb.Insert("start", T("a"))
+	edb.Insert("e", T("a", "b"))
 	for _, n := range []string{"a", "b", "c"} {
-		edb.Insert("node", Tuple{n})
+		edb.Insert("node", T(n))
 	}
 	idb, err := Eval(p, edb)
 	if err != nil {
@@ -185,25 +186,25 @@ func TestIDBEDBSets(t *testing.T) {
 
 func TestRelationLookupIndex(t *testing.T) {
 	r := NewRelation("r", 3)
-	r.Insert(Tuple{"a", "1", "x"})
-	r.Insert(Tuple{"a", "2", "y"})
-	r.Insert(Tuple{"b", "1", "z"})
-	got := r.Lookup([]int{0}, []string{"a"})
+	r.Insert(T("a", "1", "x"))
+	r.Insert(T("a", "2", "y"))
+	r.Insert(T("b", "1", "z"))
+	got := r.Lookup([]int{0}, T("a"))
 	if len(got) != 2 {
 		t.Errorf("Lookup(0=a) = %v", got)
 	}
-	got = r.Lookup([]int{0, 1}, []string{"a", "2"})
-	if len(got) != 1 || got[0][2] != "y" {
+	got = r.Lookup([]int{0, 1}, T("a", "2"))
+	if len(got) != 1 || got[0][2] != sym.Intern("y") {
 		t.Errorf("Lookup(0=a,1=2) = %v", got)
 	}
 	// Index must see later inserts.
-	r.Insert(Tuple{"a", "3", "w"})
-	got = r.Lookup([]int{0}, []string{"a"})
+	r.Insert(T("a", "3", "w"))
+	got = r.Lookup([]int{0}, T("a"))
 	if len(got) != 3 {
 		t.Errorf("after insert: Lookup(0=a) = %v", got)
 	}
 	// Duplicate insert is a no-op.
-	if r.Insert(Tuple{"a", "3", "w"}) {
+	if r.Insert(T("a", "3", "w")) {
 		t.Error("duplicate insert returned true")
 	}
 	if r.Len() != 4 {
@@ -212,8 +213,8 @@ func TestRelationLookupIndex(t *testing.T) {
 }
 
 func TestTupleKeyNoCollision(t *testing.T) {
-	a := Tuple{"ab", "c"}
-	b := Tuple{"a", "bc"}
+	a := T("ab", "c")
+	b := T("a", "bc")
 	if a.Key() == b.Key() {
 		t.Error("tuple keys collide")
 	}
@@ -221,9 +222,9 @@ func TestTupleKeyNoCollision(t *testing.T) {
 
 func TestDBCloneIndependence(t *testing.T) {
 	db := DB{}
-	db.Insert("r", Tuple{"a"})
+	db.Insert("r", T("a"))
 	c := db.Clone()
-	c.Insert("r", Tuple{"b"})
+	c.Insert("r", T("b"))
 	if db["r"].Len() != 1 || c["r"].Len() != 2 {
 		t.Error("Clone shares storage")
 	}
@@ -231,10 +232,10 @@ func TestDBCloneIndependence(t *testing.T) {
 
 func TestEvalQueryJoin(t *testing.T) {
 	db := DB{}
-	db.Insert("pub1", Tuple{"p1", "alice"})
-	db.Insert("pub1", Tuple{"p2", "bob"})
-	db.Insert("conf", Tuple{"p1", "icde", "2008"})
-	db.Insert("rev", Tuple{"alice", "icde", "2008"})
+	db.Insert("pub1", T("p1", "alice"))
+	db.Insert("pub1", T("p2", "bob"))
+	db.Insert("conf", T("p1", "icde", "2008"))
+	db.Insert("rev", T("alice", "icde", "2008"))
 	q := cq.MustParse("q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)")
 	ans, err := EvalQuery(q, db)
 	if err != nil {
@@ -247,9 +248,9 @@ func TestEvalQueryJoin(t *testing.T) {
 
 func TestEvalQueryWithNegation(t *testing.T) {
 	db := DB{}
-	db.Insert("r", Tuple{"a"})
-	db.Insert("r", Tuple{"b"})
-	db.Insert("s", Tuple{"b"})
+	db.Insert("r", T("a"))
+	db.Insert("r", T("b"))
+	db.Insert("s", T("b"))
 	q := cq.MustParse("q(X) :- r(X), not s(X)")
 	ans, err := EvalQuery(q, db)
 	if err != nil {
@@ -269,8 +270,8 @@ func TestEvalUnknownRelation(t *testing.T) {
 
 func TestEvalSelfJoinWithinAtom(t *testing.T) {
 	db := DB{}
-	db.Insert("e", Tuple{"a", "a"})
-	db.Insert("e", Tuple{"a", "b"})
+	db.Insert("e", T("a", "a"))
+	db.Insert("e", T("a", "b"))
 	q := cq.MustParse("q(X) :- e(X, X)")
 	ans, err := EvalQuery(q, db)
 	if err != nil {
@@ -299,7 +300,7 @@ func TestSemiNaiveAgreesWithReachabilityProperty(t *testing.T) {
 			v := int(e&0xff) % n
 			adj[u][v] = true
 			reach[u][v] = true
-			edb.Insert("e", Tuple{fmt.Sprint(u), fmt.Sprint(v)})
+			edb.Insert("e", T(fmt.Sprint(u), fmt.Sprint(v)))
 		}
 		for k := 0; k < n; k++ {
 			for i := 0; i < n; i++ {
@@ -325,7 +326,7 @@ func TestSemiNaiveAgreesWithReachabilityProperty(t *testing.T) {
 			for j := 0; j < n; j++ {
 				if reach[i][j] {
 					count++
-					if !tc.Contains(Tuple{fmt.Sprint(i), fmt.Sprint(j)}) {
+					if !tc.Contains(T(fmt.Sprint(i), fmt.Sprint(j))) {
 						return false
 					}
 				}

@@ -5,18 +5,19 @@ import (
 	"testing"
 
 	"toorjah/internal/cq"
+	"toorjah/internal/sym"
 )
 
 // TestEvalConstantInHead: rules may emit constants in head positions.
 func TestEvalConstantInHead(t *testing.T) {
 	p := program(t, "q(X, tag) :- r(X)")
 	edb := DB{}
-	edb.Insert("r", Tuple{"a"})
+	edb.Insert("r", T("a"))
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !idb["q"].Contains(Tuple{"a", "tag"}) {
+	if !idb["q"].Contains(T("a", "tag")) {
 		t.Errorf("q = %v", idb["q"].Tuples())
 	}
 }
@@ -25,12 +26,12 @@ func TestEvalConstantInHead(t *testing.T) {
 func TestEvalRepeatedHeadVariable(t *testing.T) {
 	p := program(t, "q(X, X) :- r(X)")
 	edb := DB{}
-	edb.Insert("r", Tuple{"a"})
+	edb.Insert("r", T("a"))
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !idb["q"].Contains(Tuple{"a", "a"}) {
+	if !idb["q"].Contains(T("a", "a")) {
 		t.Errorf("q = %v", idb["q"].Tuples())
 	}
 }
@@ -43,10 +44,10 @@ func TestEvalDeepRecursionIterative(t *testing.T) {
 		"reach(Y) :- reach(X), e(X, Y)",
 	)
 	edb := DB{}
-	edb.Insert("start", Tuple{"n0"})
+	edb.Insert("start", T("n0"))
 	const n = 3000
 	for i := 0; i < n; i++ {
-		edb.Insert("e", Tuple{fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)})
+		edb.Insert("e", T(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)))
 	}
 	idb, err := Eval(p, edb)
 	if err != nil {
@@ -65,18 +66,18 @@ func TestEvalMutualRecursion(t *testing.T) {
 		"even(Y) :- odd(X), succ(X, Y)",
 	)
 	edb := DB{}
-	edb.Insert("zero", Tuple{"0"})
+	edb.Insert("zero", T("0"))
 	for i := 0; i < 10; i++ {
-		edb.Insert("succ", Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+		edb.Insert("succ", T(fmt.Sprint(i), fmt.Sprint(i+1)))
 	}
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !idb["even"].Contains(Tuple{"10"}) || idb["even"].Contains(Tuple{"9"}) {
+	if !idb["even"].Contains(T("10")) || idb["even"].Contains(T("9")) {
 		t.Errorf("even = %v", idb["even"].Tuples())
 	}
-	if !idb["odd"].Contains(Tuple{"9"}) || idb["odd"].Contains(Tuple{"10"}) {
+	if !idb["odd"].Contains(T("9")) || idb["odd"].Contains(T("10")) {
 		t.Errorf("odd = %v", idb["odd"].Tuples())
 	}
 }
@@ -106,11 +107,11 @@ func TestEvalNegationOverIDBAndEDB(t *testing.T) {
 	)
 	edb := DB{}
 	for _, v := range []string{"a", "b", "c"} {
-		edb.Insert("all", Tuple{v})
+		edb.Insert("all", T(v))
 	}
-	edb.Insert("flagged", Tuple{"a"})
-	edb.Insert("checked", Tuple{"a"})
-	edb.Insert("checked", Tuple{"b"})
+	edb.Insert("flagged", T("a"))
+	edb.Insert("checked", T("a"))
+	edb.Insert("checked", T("b"))
 	idb, err := Eval(p, edb)
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +127,8 @@ func TestEvalNegationOverIDBAndEDB(t *testing.T) {
 func TestEvalRuleWithDeltaMatchesFull(t *testing.T) {
 	r := rule(t, "q(X, Z) :- a(X, Y), b(Y, Z)")
 	db := DB{}
-	db.Insert("a", Tuple{"x1", "y1"})
-	db.Insert("b", Tuple{"y1", "z1"})
+	db.Insert("a", T("x1", "y1"))
+	db.Insert("b", T("y1", "z1"))
 	full1, err := EvalRuleWithDelta(r, db, nil, -1)
 	if err != nil {
 		t.Fatal(err)
@@ -137,26 +138,26 @@ func TestEvalRuleWithDeltaMatchesFull(t *testing.T) {
 	}
 	// New b tuple arrives: the delta join must derive only the new pair.
 	delta := NewRelation("b", 2)
-	delta.Insert(Tuple{"y1", "z2"})
-	db.Insert("b", Tuple{"y1", "z2"})
+	delta.Insert(T("y1", "z2"))
+	db.Insert("b", T("y1", "z2"))
 	inc, err := EvalRuleWithDelta(r, db, delta, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(inc) != 1 || inc[0][1] != "z2" {
+	if len(inc) != 1 || inc[0][1] != sym.Intern("z2") {
 		t.Errorf("incremental = %v", inc)
 	}
 }
 
 func TestEvalQueryHeadConstantsFilter(t *testing.T) {
 	db := DB{}
-	db.Insert("r", Tuple{"a", "x"})
+	db.Insert("r", T("a", "x"))
 	q := cq.MustParse("q(k, X) :- r(X, Y)")
 	ans, err := EvalQuery(q, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ans.Contains(Tuple{"k", "a"}) {
+	if !ans.Contains(T("k", "a")) {
 		t.Errorf("answers = %v", ans.Tuples())
 	}
 }

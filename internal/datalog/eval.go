@@ -6,32 +6,34 @@ import (
 	"strings"
 
 	"toorjah/internal/cq"
+	"toorjah/internal/sym"
 )
 
-// Tuple is one row of a relation.
-type Tuple []string
+// Tuple is one row of a relation, in the engine's stored form: interned
+// symbol IDs. Constants intern on entry (query parse, rule heads); values
+// materialize back into strings only at the result boundary via Strings.
+type Tuple []sym.ID
 
-// Key encodes the tuple into a collision-free string for set membership.
-func (t Tuple) Key() string {
-	var b strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte(0)
-		}
-		b.WriteString(v)
-	}
-	return b.String()
-}
+// T builds a tuple from string values, interning them — the boundary
+// constructor used by tests and by callers holding boundary data.
+func T(vals ...string) Tuple { return Tuple(sym.InternAll(vals)) }
+
+// Strings materializes the tuple back into its boundary form.
+func (t Tuple) Strings() []string { return sym.Strs(t) }
+
+// Key packs the tuple into a collision-free string for set membership.
+func (t Tuple) Key() string { return sym.Key(t) }
 
 // Relation is a set of equal-length tuples with lazily built hash indexes on
-// position subsets.
+// position subsets. All keys — membership and index — are packed symbol
+// IDs, 4 bytes per value.
 type Relation struct {
 	Name   string
 	Arity  int
 	tuples []Tuple
 	seen   map[string]bool
-	// indexes maps a position-set signature ("0,2") to value-key -> tuple
-	// offsets. Indexes are built on first use and extended on insert.
+	// indexes maps a position-set signature ("0,2") to packed value-key ->
+	// tuple offsets. Indexes are built on first use and extended on insert.
 	indexes map[string]map[string][]int
 }
 
@@ -45,11 +47,12 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("relation %s: inserting arity-%d tuple into arity-%d relation", r.Name, len(t), r.Arity))
 	}
-	k := t.Key()
-	if r.seen[k] {
+	var kb [64]byte
+	k := sym.AppendKey(kb[:0], t)
+	if r.seen[string(k)] {
 		return false
 	}
-	r.seen[k] = true
+	r.seen[string(k)] = true
 	r.tuples = append(r.tuples, t)
 	idx := len(r.tuples) - 1
 	for sig, m := range r.indexes {
@@ -60,7 +63,10 @@ func (r *Relation) Insert(t Tuple) bool {
 }
 
 // Contains reports membership of a tuple.
-func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	var kb [64]byte
+	return r.seen[string(sym.AppendKey(kb[:0], t))]
+}
 
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
@@ -71,7 +77,7 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // Lookup returns the tuples whose values at the given positions equal vals.
 // With no positions it returns all tuples. The lookup is backed by a hash
 // index built on first use.
-func (r *Relation) Lookup(positions []int, vals []string) []Tuple {
+func (r *Relation) Lookup(positions []int, vals []sym.ID) []Tuple {
 	if len(positions) == 0 {
 		return r.tuples
 	}
@@ -88,8 +94,8 @@ func (r *Relation) Lookup(positions []int, vals []string) []Tuple {
 		}
 		r.indexes[sig] = m
 	}
-	key := projectKey(Tuple(vals), intRange(len(vals)))
-	offs := m[key]
+	var kb [64]byte
+	offs := m[string(sym.AppendKey(kb[:0], vals))]
 	out := make([]Tuple, len(offs))
 	for i, off := range offs {
 		out[i] = r.tuples[off]
@@ -115,22 +121,13 @@ func sigPositions(sig string) []int {
 }
 
 func projectKey(t Tuple, positions []int) string {
-	var b strings.Builder
-	for i, p := range positions {
-		if i > 0 {
-			b.WriteByte(0)
-		}
-		b.WriteString(t[p])
+	var kb [64]byte
+	out := kb[:0]
+	for _, p := range positions {
+		id := t[p]
+		out = append(out, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
-	return b.String()
-}
-
-func intRange(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return string(out)
 }
 
 // DB maps predicate names to relations.
@@ -272,22 +269,45 @@ func evalStratum(rules []*Rule, inStratum map[string]bool, idb DB, lookup func(s
 	return nil
 }
 
+// constIDs interns the constant terms of an atom once, so the join loops
+// compare symbol IDs instead of strings; variable positions hold 0 (never
+// a valid ID).
+func constIDs(a cq.Atom) []sym.ID {
+	out := make([]sym.ID, len(a.Args))
+	for i, term := range a.Args {
+		if !term.IsVar {
+			out[i] = sym.Intern(term.Name)
+		}
+	}
+	return out
+}
+
 // evalRule derives head tuples for one rule. When deltaPos >= 0, the body
 // atom at that position ranges over deltaRel instead of its full relation
 // (semi-naive differentiation). Negated atoms are checked last; safety
-// guarantees they are ground by then.
+// guarantees they are ground by then. The whole join runs on symbol IDs:
+// atom constants intern once up front, variable bindings are IDs.
 func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaPos int) ([]Tuple, error) {
 	var out []Tuple
-	bind := make(map[string]string)
+	bind := make(map[string]sym.ID)
 	// Order the body atoms: the delta atom first (it is typically smallest),
 	// then greedily by number of bound variables.
 	order := bodyOrder(r, deltaPos)
+	bodyConst := make([][]sym.ID, len(r.Body))
+	for i, a := range r.Body {
+		bodyConst[i] = constIDs(a)
+	}
+	negConst := make([][]sym.ID, len(r.Negated))
+	for i, a := range r.Negated {
+		negConst[i] = constIDs(a)
+	}
+	headConst := constIDs(r.Head)
 	var rec func(step int) error
 	rec = func(step int) error {
 		if step == len(order) {
-			for _, a := range r.Negated {
+			for ni, a := range r.Negated {
 				rel := lookup(a.Pred)
-				t, ok := groundAtom(a, bind)
+				t, ok := groundAtom(a, negConst[ni], bind)
 				if !ok {
 					return fmt.Errorf("rule %s: negated atom %s not ground", r, a)
 				}
@@ -300,7 +320,7 @@ func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaP
 				if term.IsVar {
 					head[i] = bind[term.Name]
 				} else {
-					head[i] = term.Name
+					head[i] = headConst[i]
 				}
 			}
 			out = append(out, head)
@@ -308,6 +328,7 @@ func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaP
 		}
 		i := order[step]
 		a := r.Body[i]
+		cids := bodyConst[i]
 		var rel *Relation
 		if i == deltaPos {
 			rel = deltaRel
@@ -318,11 +339,11 @@ func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaP
 			return fmt.Errorf("rule %s: unknown relation %s", r, a.Pred)
 		}
 		var positions []int
-		var vals []string
+		var vals []sym.ID
 		for p, term := range a.Args {
 			if !term.IsVar {
 				positions = append(positions, p)
-				vals = append(vals, term.Name)
+				vals = append(vals, cids[p])
 			} else if v, ok := bind[term.Name]; ok {
 				positions = append(positions, p)
 				vals = append(vals, v)
@@ -333,7 +354,7 @@ func evalRule(r *Rule, lookup func(string) *Relation, deltaRel *Relation, deltaP
 			ok := true
 			for p, term := range a.Args {
 				if !term.IsVar {
-					if t[p] != term.Name {
+					if t[p] != cids[p] {
 						ok = false
 						break
 					}
@@ -410,12 +431,12 @@ func bodyOrder(r *Rule, deltaPos int) []int {
 }
 
 // groundAtom instantiates an atom under a binding; ok is false when a
-// variable is unbound.
-func groundAtom(a cq.Atom, bind map[string]string) (Tuple, bool) {
+// variable is unbound. cids carries the atom's pre-interned constants.
+func groundAtom(a cq.Atom, cids []sym.ID, bind map[string]sym.ID) (Tuple, bool) {
 	t := make(Tuple, len(a.Args))
 	for i, term := range a.Args {
 		if !term.IsVar {
-			t[i] = term.Name
+			t[i] = cids[i]
 			continue
 		}
 		v, ok := bind[term.Name]

@@ -81,19 +81,19 @@ func TestBatchingInvariance(t *testing.T) {
 				opts := Options{MaxBatch: mb}
 				got := map[string]outcome{}
 
-				nr, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, opts)
+				nr, err := NaiveOpts(context.Background(), f.sch, f.reg, f.q, f.ty, opts)
 				if err != nil {
 					t.Fatalf("naive MaxBatch=%d: %v", mb, err)
 				}
 				got["naive"] = outcome{strings.Join(nr.SortedAnswers(), ";"), nr.TotalAccesses(), nr.TotalBatches()}
 
-				fr, err := FastFailingOpts(f.plan, f.reg, opts)
+				fr, err := FastFailingOpts(context.Background(), f.plan, f.reg, opts)
 				if err != nil {
 					t.Fatalf("fastfail MaxBatch=%d: %v", mb, err)
 				}
 				got["fastfail"] = outcome{strings.Join(fr.SortedAnswers(), ";"), fr.TotalAccesses(), fr.TotalBatches()}
 
-				pr, err := Pipelined(f.plan, f.reg, PipeOptions{Options: opts}, nil)
+				pr, err := Pipelined(context.Background(), f.plan, f.reg, opts, nil)
 				if err != nil {
 					t.Fatalf("pipelined MaxBatch=%d: %v", mb, err)
 				}
@@ -137,7 +137,7 @@ func TestBatchingInvariance(t *testing.T) {
 // sequential executors actually fold accesses into fewer round trips.
 func TestBatchingSavesRoundTrips(t *testing.T) {
 	f := wideFixture(t, 60)
-	r, err := FastFailingOpts(f.plan, f.reg, Options{})
+	r, err := FastFailingOpts(context.Background(), f.plan, f.reg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,12 +192,12 @@ func cancelAfter(t *testing.T, f *fixture, budget int) context.Context {
 // the result is flagged truncated, is a sound subset, and saved accesses.
 func TestNaiveCancellation(t *testing.T) {
 	f := wideFixture(t, 60)
-	full, err := Naive(f.sch, f.reg, f.q, f.ty)
+	full, err := Naive(context.Background(), f.sch, f.reg, f.q, f.ty)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := cancelAfter(t, f, 10)
-	r, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, Options{Ctx: ctx, MaxBatch: -1})
+	r, err := NaiveOpts(ctx, f.sch, f.reg, f.q, f.ty, Options{MaxBatch: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,12 +218,12 @@ func TestNaiveCancellation(t *testing.T) {
 // TestFastFailingCancellation: same contract for the fast-failing strategy.
 func TestFastFailingCancellation(t *testing.T) {
 	f := wideFixture(t, 60)
-	full, err := FastFailing(f.plan, f.reg)
+	full, err := FastFailing(context.Background(), f.plan, f.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := cancelAfter(t, f, 10)
-	r, err := FastFailingOpts(f.plan, f.reg, Options{Ctx: ctx, MaxBatch: -1})
+	r, err := FastFailingOpts(ctx, f.plan, f.reg, Options{MaxBatch: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,14 +247,14 @@ func TestCancelledBeforeStart(t *testing.T) {
 	f := wideFixture(t, 20)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	r, err := NaiveOpts(f.sch, f.reg, f.q, f.ty, Options{Ctx: ctx})
+	r, err := NaiveOpts(ctx, f.sch, f.reg, f.q, f.ty, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r.Truncated || r.TotalAccesses() != 0 {
 		t.Errorf("naive: truncated=%v accesses=%d, want truncated with 0 accesses", r.Truncated, r.TotalAccesses())
 	}
-	rf, err := FastFailingOpts(f.plan, f.reg, Options{Ctx: ctx})
+	rf, err := FastFailingOpts(ctx, f.plan, f.reg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

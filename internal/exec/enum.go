@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"toorjah/internal/plan"
+	"toorjah/internal/sym"
+)
+
+// enumState tracks which domain values one cache node has already folded
+// into its candidate cross product. The domain pools only ever grow (the
+// cache database is monotone within an execution), so enumerating, each
+// pass, exactly the combinations that contain at least one value first
+// derived since the previous pass visits every candidate binding exactly
+// once across the whole execution. The executors therefore need no
+// per-binding tried set: a binding reaching the emit callback is new by
+// construction, and its access key is packed and hashed once, not once per
+// fixpoint pass.
+type enumState struct {
+	fired bool              // the empty binding () was emitted (no-input patterns)
+	seen  []map[sym.ID]bool // per input position: values already enumerated
+	old   [][]sym.ID        // per input position: those values, in first-seen order
+}
+
+// newBindings enumerates the candidate access bindings of cache c that no
+// earlier pass has enumerated, and reports whether any were emitted. The
+// binding slice handed to emit is reused between calls — emit must copy it
+// if it keeps it. While any input position's domain is still empty no
+// binding is complete, so nothing is emitted and no state is consumed: the
+// values the other positions already derived stay fresh for the first pass
+// that can combine them.
+func (st *groupState) newBindings(c *plan.Cache, emit func(binding []sym.ID) error) (bool, error) {
+	es := st.enums[c]
+	if es == nil {
+		n := len(c.DomainPreds)
+		es = &enumState{seen: make([]map[sym.ID]bool, n), old: make([][]sym.ID, n)}
+		for i := range es.seen {
+			es.seen[i] = make(map[sym.ID]bool)
+		}
+		st.enums[c] = es
+	}
+	if len(c.DomainPreds) == 0 {
+		// A pattern with no input attributes has the single free access ().
+		if es.fired {
+			return false, nil
+		}
+		es.fired = true
+		return true, emit(nil)
+	}
+	fresh := make([][]sym.ID, len(c.DomainPreds))
+	any := false
+	for i, dp := range c.DomainPreds {
+		vals, err := st.domainValues(dp)
+		if err != nil {
+			return false, err
+		}
+		for v := range vals {
+			if !es.seen[i][v] {
+				fresh[i] = append(fresh[i], v)
+			}
+		}
+		if len(es.old[i])+len(fresh[i]) == 0 {
+			return false, nil
+		}
+		any = any || len(fresh[i]) > 0
+	}
+	if !any {
+		return false, nil
+	}
+	// Semi-naive product: with d the rightmost fresh coordinate, positions
+	// before d draw from their full pools, position d from its fresh values
+	// only, positions after d from their old pools — every combination with
+	// at least one fresh coordinate appears under exactly one d.
+	binding := make([]sym.ID, len(fresh))
+	emitted := false
+	var walk func(i, d int) error
+	walk = func(i, d int) error {
+		if i == len(binding) {
+			emitted = true
+			return emit(binding)
+		}
+		use := func(pool []sym.ID) error {
+			for _, v := range pool {
+				binding[i] = v
+				if err := walk(i+1, d); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if i == d {
+			return use(fresh[i])
+		}
+		if err := use(es.old[i]); err != nil {
+			return err
+		}
+		if i < d {
+			return use(fresh[i])
+		}
+		return nil
+	}
+	for d := range fresh {
+		if len(fresh[d]) == 0 {
+			continue
+		}
+		if err := walk(0, d); err != nil {
+			return emitted, err
+		}
+	}
+	for i := range fresh {
+		for _, v := range fresh[i] {
+			es.seen[i][v] = true
+		}
+		es.old[i] = append(es.old[i], fresh[i]...)
+	}
+	return emitted, nil
+}

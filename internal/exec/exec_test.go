@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func (f *fixture) referenceAnswers(t *testing.T) []string {
 			t.Fatalf("source for %s is not a table source", rel.Name)
 		}
 		for _, row := range ts.Table().Rows() {
-			edb.Insert(rel.Name, datalog.Tuple(row))
+			edb.Insert(rel.Name, datalog.T(row...))
 		}
 	}
 	idb, err := datalog.Eval(f.plan.Program, edb)
@@ -88,7 +89,7 @@ func (f *fixture) referenceAnswers(t *testing.T) []string {
 
 func (f *fixture) naive(t *testing.T) *Result {
 	t.Helper()
-	r, err := Naive(f.sch, f.reg, f.q, f.ty)
+	r, err := Naive(context.Background(), f.sch, f.reg, f.q, f.ty)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func (f *fixture) naive(t *testing.T) *Result {
 
 func (f *fixture) fast(t *testing.T) *Result {
 	t.Helper()
-	r, err := FastFailing(f.plan, f.reg)
+	r, err := FastFailing(context.Background(), f.plan, f.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func (f *fixture) fast(t *testing.T) *Result {
 
 func (f *fixture) piped(t *testing.T) *Result {
 	t.Helper()
-	r, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	r, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ lim^io(P, D2)
 	}
 	// Ablation: without early failure, lim is still not probed (no values
 	// derivable) but no early-empty flag is set.
-	r2, err := FastFailingOpts(f.plan, f.reg, Options{NoEarlyFailure: true})
+	r2, err := FastFailingOpts(context.Background(), f.plan, f.reg, Options{NoEarlyFailure: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ r^io(A, B)
 		t.Errorf("r accessed %d times, want 2 (meta-cache shares occurrences)", got)
 	}
 	// Ablation: without the meta-cache, both occurrences probe.
-	r2, err := FastFailingOpts(f.plan, f.reg, Options{NoMetaCache: true})
+	r2, err := FastFailingOpts(context.Background(), f.plan, f.reg, Options{NoMetaCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,11 +310,11 @@ last^io(C, D)
 	})
 	// Run with outer logging counters to compare access sets.
 	countedN, countersN := f.reg.Counted(true)
-	if _, err := Naive(f.sch, countedN, f.q, f.ty); err != nil {
+	if _, err := Naive(context.Background(), f.sch, countedN, f.q, f.ty); err != nil {
 		t.Fatal(err)
 	}
 	countedF, countersF := f.reg.Counted(true)
-	if _, err := FastFailing(f.plan, countedF); err != nil {
+	if _, err := FastFailing(context.Background(), f.plan, countedF); err != nil {
 		t.Fatal(err)
 	}
 	for name, cf := range countersF {
@@ -410,8 +411,8 @@ mid^io(B, C)
 		"mid":  mid,
 	})
 	var streamed []string
-	r, err := Pipelined(f.plan, f.reg, PipeOptions{}, func(tu datalog.Tuple) {
-		streamed = append(streamed, strings.Join(tu, ","))
+	r, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, func(tu datalog.Tuple) {
+		streamed = append(streamed, strings.Join(tu.Strings(), ","))
 	})
 	if err != nil {
 		t.Fatal(err)

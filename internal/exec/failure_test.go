@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -41,7 +42,7 @@ mid^io(B, C)
 func TestNaivePropagatesSourceError(t *testing.T) {
 	f := chainFixture(t)
 	flakyFixture(t, f, "mid", 5)
-	_, err := Naive(f.sch, f.reg, f.q, f.ty)
+	_, err := Naive(context.Background(), f.sch, f.reg, f.q, f.ty)
 	if !errors.Is(err, errSourceDown) {
 		t.Errorf("err = %v, want %v", err, errSourceDown)
 	}
@@ -50,7 +51,7 @@ func TestNaivePropagatesSourceError(t *testing.T) {
 func TestFastFailingPropagatesSourceError(t *testing.T) {
 	f := chainFixture(t)
 	flakyFixture(t, f, "mid", 5)
-	_, err := FastFailing(f.plan, f.reg)
+	_, err := FastFailing(context.Background(), f.plan, f.reg)
 	if !errors.Is(err, errSourceDown) {
 		t.Errorf("err = %v, want %v", err, errSourceDown)
 	}
@@ -63,7 +64,7 @@ func TestPipelinedPropagatesSourceErrorNoDeadlock(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		f := chainFixture(t)
 		flakyFixture(t, f, "mid", trial)
-		_, err := Pipelined(f.plan, f.reg, PipeOptions{Parallelism: 3, QueueLen: 2}, nil)
+		_, err := Pipelined(context.Background(), f.plan, f.reg, Options{Parallelism: 3, QueueLen: 2}, nil)
 		if !errors.Is(err, errSourceDown) {
 			t.Fatalf("trial %d: err = %v, want %v", trial, err, errSourceDown)
 		}
@@ -74,10 +75,10 @@ func TestPipelinedPropagatesSourceErrorNoDeadlock(t *testing.T) {
 func TestErrorBeforeAnyAccess(t *testing.T) {
 	f := chainFixture(t)
 	flakyFixture(t, f, "free", 0)
-	if _, err := FastFailing(f.plan, f.reg); !errors.Is(err, errSourceDown) {
+	if _, err := FastFailing(context.Background(), f.plan, f.reg); !errors.Is(err, errSourceDown) {
 		t.Errorf("fast: err = %v", err)
 	}
-	if _, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil); !errors.Is(err, errSourceDown) {
+	if _, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil); !errors.Is(err, errSourceDown) {
 		t.Errorf("pipelined: err = %v", err)
 	}
 }
@@ -88,11 +89,11 @@ func TestSufficientBudgetSucceeds(t *testing.T) {
 	f := chainFixture(t)
 	flakyFixture(t, f, "mid", 1000)
 	flakyFixture(t, f, "free", 1000)
-	ff, err := FastFailing(f.plan, f.reg)
+	ff, err := FastFailing(context.Background(), f.plan, f.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pp, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	pp, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

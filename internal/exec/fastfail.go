@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"toorjah/internal/cache"
@@ -12,14 +13,26 @@ import (
 	"toorjah/internal/obs"
 	"toorjah/internal/plan"
 	"toorjah/internal/source"
+	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // DefaultMaxBatch is the batch size used when Options.MaxBatch is zero.
 const DefaultMaxBatch = 16
 
-// Options tunes the optimized executors; the zero value is the paper's
-// fast-failing strategy with batching at DefaultMaxBatch. The switches
-// exist for the ablation experiments.
+// Options is the unified execution configuration of every executor in the
+// package — the fast-failing batch strategy, the naive reference
+// algorithm, the parallel pipelined engine and the concurrent union
+// runner each read the fields that concern them and ignore the rest. The
+// zero value is the paper's fast-failing defaults: batching at
+// DefaultMaxBatch, no answer limit, full parallelism for unions.
+// Cancellation is not configured here: every executor takes a
+// context.Context as its first parameter — once the context is done no
+// further probes are made and the run returns early with Truncated set
+// (the answers already derivable are a sound subset for positive queries;
+// queries with negated atoms return none, since no answer is sound until
+// every cache is complete). The context also carries the query's
+// observability baggage (trace ID, current span) down to the sources.
 type Options struct {
 	// NoEarlyFailure disables the per-group non-emptiness test.
 	NoEarlyFailure bool
@@ -42,14 +55,6 @@ type Options struct {
 	// a batch already in flight when the stop lands completes as one round
 	// trip and is charged in full.
 	MaxBatch int
-	// Ctx, when non-nil, cancels the extraction: once the context is done
-	// no further probes are made and the run returns early with Truncated
-	// set. The answers already derivable from the extracted tuples are
-	// returned for positive queries (a sound subset); queries with negated
-	// atoms return no answers, since no answer is sound until every cache
-	// is complete. The context also carries the query's observability
-	// baggage (trace ID, current span) down to the sources.
-	Ctx context.Context
 	// Obs, when non-nil, instruments the execution: probe metrics (latency
 	// and batch-size histograms, per-relation access counters) are recorded
 	// below the cache — only probes that reach a source count — and the
@@ -57,6 +62,26 @@ type Options struct {
 	// it, yielding the per-query cache-hit ratio. All instruments are
 	// atomic; a nil Obs leaves the probe path untouched.
 	Obs *obs.ExecObs
+
+	// QueueLen is the pipelined engine's per-wrapper access queue capacity
+	// (paper Fig. 5); default 32. Ignored by the batch strategies.
+	QueueLen int
+	// Parallelism is the pipelined engine's concurrent probes per relation;
+	// default 4. Ignored by the batch strategies.
+	Parallelism int
+	// Limit, when positive, caps the answers: the pipelined engine stops
+	// the extraction as soon as that many answers have been emitted — the
+	// paper's interactive early stop ("the user can stop the lengthy
+	// answering process once satisfied") — and the union runner stops once
+	// the union holds that many distinct answers. The result is then a
+	// sound subset and carries Truncated. For queries with negated atoms no
+	// answer is sound until every cache is complete, so the limit cannot
+	// save accesses there; it still caps the answers returned.
+	Limit int
+	// MaxConcurrent bounds how many union disjuncts execute at once; 0
+	// means runtime.GOMAXPROCS(0), negative means one at a time. Ignored
+	// outside the union runner.
+	MaxConcurrent int
 }
 
 // maxBatch resolves the effective batch bound (always >= 1).
@@ -70,13 +95,36 @@ func (o Options) maxBatch() int {
 	return o.MaxBatch
 }
 
-// cancelled reports whether the options' context has been cancelled.
-func (o Options) cancelled() bool {
-	if o.Ctx == nil {
-		return false
+// queueLen and parallelism resolve the pipelined defaults.
+func (o Options) queueLen() int {
+	if o.QueueLen <= 0 {
+		return 32
 	}
+	return o.QueueLen
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return 4
+	}
+	return o.Parallelism
+}
+
+// maxConcurrent resolves the effective disjunct parallelism (always >= 1).
+func (o Options) maxConcurrent() int {
+	if o.MaxConcurrent == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrent < 1 {
+		return 1
+	}
+	return o.MaxConcurrent
+}
+
+// ctxDone reports whether ctx has been cancelled.
+func ctxDone(ctx context.Context) bool {
 	select {
-	case <-o.Ctx.Done():
+	case <-ctx.Done():
 		return true
 	default:
 		return false
@@ -126,30 +174,41 @@ func rewrap(reg *source.Registry, wrap func(source.Wrapper) source.Wrapper) *sou
 // metaCache shares access results across the occurrences of a relation:
 // before probing a relation, the executor consults the relation's
 // meta-cache and reuses the stored extraction without touching the source.
+// One integer-keyed binding map per relation — an executor resolves its
+// relation's map once per pass and every hit/store is a single-word map
+// operation, no access-key string ever materializing.
 type metaCache struct {
 	disabled bool
-	results  map[string][]datalog.Tuple // access key -> extraction
+	rels     map[string]*sym.BindMap[[]datalog.Tuple]
 }
 
 func newMetaCache(disabled bool) *metaCache {
-	return &metaCache{disabled: disabled, results: make(map[string][]datalog.Tuple)}
+	return &metaCache{disabled: disabled, rels: make(map[string]*sym.BindMap[[]datalog.Tuple])}
 }
 
-// hit returns the stored extraction for an already-probed binding.
-func (m *metaCache) hit(rel string, binding []string) ([]datalog.Tuple, bool) {
+// forRel returns the relation's binding map (creating it on first use), or
+// nil when the meta-cache is disabled — callers treat nil as "never hits,
+// never stores".
+func (m *metaCache) forRel(name string) *sym.BindMap[[]datalog.Tuple] {
 	if m.disabled {
-		return nil, false
+		return nil
 	}
-	rows, ok := m.results[source.Access{Relation: rel, Binding: binding}.Key()]
-	return rows, ok
+	rm := m.rels[name]
+	if rm == nil {
+		rm = new(sym.BindMap[[]datalog.Tuple])
+		m.rels[name] = rm
+	}
+	return rm
 }
 
-// store records the extraction of one access.
-func (m *metaCache) store(rel string, binding []string, rows []datalog.Tuple) {
-	if m.disabled {
-		return
+// tuplesOf reinterprets stored rows as Datalog tuples; both are []sym.ID,
+// so the conversion copies slice headers, never values.
+func tuplesOf(rows []storage.IRow) []datalog.Tuple {
+	out := make([]datalog.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = datalog.Tuple(r)
 	}
-	m.results[source.Access{Relation: rel, Binding: binding}.Key()] = rows
+	return out
 }
 
 // FastFailing executes a ⊂-minimal plan with the fast-failing strategy of
@@ -159,18 +218,21 @@ func (m *metaCache) store(rel string, binding []string, rows []datalog.Tuple) {
 // to a fixpoint, generating access bindings from the domain predicates and
 // never repeating an access to a relation; finally it evaluates the
 // rewritten query over the caches.
-func FastFailing(p *plan.Plan, reg *source.Registry) (*Result, error) {
-	return FastFailingOpts(p, reg, Options{})
+func FastFailing(ctx context.Context, p *plan.Plan, reg *source.Registry) (*Result, error) {
+	return FastFailingOpts(ctx, p, reg, Options{})
 }
 
 // FastFailingOpts is FastFailing with ablation options.
-func FastFailingOpts(p *plan.Plan, reg *source.Registry, opts Options) (*Result, error) {
+func FastFailingOpts(ctx context.Context, p *plan.Plan, reg *source.Registry, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	counted, counters := instrument(reg, opts)
 	st := newGroupState(p, counted, opts)
 
 	for gi := range p.Groups {
-		gctx, gsp := obs.StartSpan(opts.Ctx, "group")
+		gctx, gsp := obs.StartSpan(ctx, "group")
 		gsp.SetAttr("group", gi)
 		if !opts.NoEarlyFailure && gi > 0 {
 			sat, err := st.subquerySatisfiable(gi)
@@ -227,7 +289,7 @@ type groupState struct {
 
 	cdb   datalog.DB // cache predicate relations
 	meta  *metaCache
-	tried map[string]map[string]bool // cache pred -> probed binding keys
+	enums map[*plan.Cache]*enumState // per node: semi-naive binding enumeration
 
 	// domainRules[pred] lists the rules defining a domain predicate.
 	domainRules map[string][]*datalog.Rule
@@ -240,15 +302,16 @@ func newGroupState(p *plan.Plan, reg *source.Registry, opts Options) *groupState
 		opts:        opts,
 		cdb:         datalog.DB{},
 		meta:        newMetaCache(opts.NoMetaCache),
-		tried:       make(map[string]map[string]bool),
+		enums:       make(map[*plan.Cache]*enumState),
 		domainRules: make(map[string][]*datalog.Rule),
 	}
 	domainPreds := make(map[string]bool)
 	for _, c := range p.Caches {
 		st.cdb.Get(c.Pred, c.Source.Rel.Arity())
-		st.tried[c.Pred] = make(map[string]bool)
 		if c.IsConst {
-			st.cdb.Insert(c.Pred, datalog.Tuple{c.ConstValue})
+			// Query constants intern here — the last string boundary on the
+			// way into an execution.
+			st.cdb.Insert(c.Pred, datalog.Tuple{sym.Intern(c.ConstValue)})
 		}
 		for _, dp := range c.DomainPreds {
 			domainPreds[dp] = true
@@ -263,9 +326,9 @@ func newGroupState(p *plan.Plan, reg *source.Registry, opts Options) *groupState
 }
 
 // domainValues evaluates the rules of one domain predicate over the current
-// caches and returns the provided values.
-func (st *groupState) domainValues(pred string) (map[string]bool, error) {
-	out := make(map[string]bool)
+// caches and returns the provided values (as interned IDs).
+func (st *groupState) domainValues(pred string) (map[sym.ID]bool, error) {
+	out := make(map[sym.ID]bool)
 	for _, r := range st.domainRules[pred] {
 		tuples, err := datalog.EvalRuleWithDelta(r, st.cdb, nil, -1)
 		if err != nil {
@@ -312,25 +375,13 @@ func (st *groupState) populateCacheOnce(ctx context.Context, c *plan.Cache, onTu
 	if w == nil {
 		return false, fmt.Errorf("exec: no source bound for relation %s", rel.Name)
 	}
-	pools := make([][]string, len(c.DomainPreds))
-	for i, dp := range c.DomainPreds {
-		vals, err := st.domainValues(dp)
-		if err != nil {
-			return false, err
-		}
-		if len(vals) == 0 {
-			return false, nil // no bindings derivable yet
-		}
-		for v := range vals {
-			pools[i] = append(pools[i], v)
-		}
-	}
 
 	// ingest folds one extraction into the cache, storing it in the
 	// meta-cache so other occurrences of the relation reuse it.
-	ingest := func(binding []string, rows []datalog.Tuple, fromMeta bool) error {
-		if !fromMeta {
-			st.meta.store(rel.Name, binding, rows)
+	rm := st.meta.forRel(rel.Name)
+	ingest := func(binding []sym.ID, rows []datalog.Tuple, fromMeta bool) error {
+		if !fromMeta && rm != nil {
+			rm.Put(binding, rows)
 		}
 		var fresh []datalog.Tuple
 		for _, row := range rows {
@@ -344,57 +395,37 @@ func (st *groupState) populateCacheOnce(ctx context.Context, c *plan.Cache, onTu
 		return nil
 	}
 
-	// Enumerate the untried bindings of this pass in the canonical order;
+	// Enumerate the pass's new bindings in the canonical order (the
+	// semi-naive enumerator guarantees each reaches here exactly once);
 	// meta-cache hits are ingested on the spot, the rest queue for probing.
-	changed := false
-	var toProbe [][]string
-	binding := make([]string, len(pools))
-	var walk func(i int) error
-	walk = func(i int) error {
-		if i == len(pools) {
-			key := source.Access{Relation: rel.Name, Binding: binding}.Key()
-			if st.tried[c.Pred][key] {
-				return nil
-			}
-			st.tried[c.Pred][key] = true
-			changed = true
-			b := append([]string(nil), binding...)
-			if rows, hit := st.meta.hit(rel.Name, b); hit {
-				return ingest(b, rows, true)
-			}
-			toProbe = append(toProbe, b)
-			return nil
-		}
-		for _, v := range pools[i] {
-			binding[i] = v
-			if err := walk(i + 1); err != nil {
-				return err
+	var toProbe [][]sym.ID
+	changed, err := st.newBindings(c, func(binding []sym.ID) error {
+		if rm != nil {
+			if rows, hit := rm.Get(binding); hit {
+				return ingest(nil, rows, true)
 			}
 		}
+		toProbe = append(toProbe, append([]sym.ID(nil), binding...))
 		return nil
-	}
-	if err := walk(0); err != nil {
+	})
+	if err != nil {
 		return false, err
 	}
 
 	maxBatch := st.opts.maxBatch()
 	for len(toProbe) > 0 {
-		if st.opts.cancelled() {
+		if ctxDone(ctx) {
 			return changed, errCancelled
 		}
 		n := min(maxBatch, len(toProbe))
 		chunk := toProbe[:n]
 		toProbe = toProbe[n:]
-		raws, err := source.ProbeBatchCtx(ctx, w, chunk)
+		raws, err := source.ProbeSyms(ctx, w, chunk)
 		if err != nil {
 			return false, err
 		}
-		for i, b := range chunk {
-			rows := make([]datalog.Tuple, len(raws[i]))
-			for k, r := range raws[i] {
-				rows[k] = datalog.Tuple(r)
-			}
-			if err := ingest(b, rows, false); err != nil {
+		for i := range chunk {
+			if err := ingest(chunk[i], tuplesOf(raws[i]), false); err != nil {
 				return false, err
 			}
 		}

@@ -24,7 +24,7 @@ mid^io(B, C)
 		"free": free,
 		"mid":  mid,
 	})
-	full, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	full, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ mid^io(B, C)
 	}
 
 	var streamed []datalog.Tuple
-	lim, err := Pipelined(f.plan, f.reg, PipeOptions{Limit: 10, Parallelism: 2}, func(tu datalog.Tuple) {
+	lim, err := Pipelined(context.Background(), f.plan, f.reg, Options{Limit: 10, Parallelism: 2}, func(tu datalog.Tuple) {
 		streamed = append(streamed, tu)
 	})
 	if err != nil {
@@ -72,7 +72,7 @@ mid^io(B, C)
 		"free": free,
 		"mid":  mid,
 	})
-	full, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	full, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ mid^io(B, C)
 	// Cancel after the first few answers, as a disconnected client would.
 	ctx, cancel := context.WithCancel(context.Background())
 	n := 0
-	res, err := Pipelined(f.plan, f.reg, PipeOptions{Ctx: ctx, Parallelism: 2}, func(datalog.Tuple) {
+	res, err := Pipelined(ctx, f.plan, f.reg, Options{Parallelism: 2}, func(datalog.Tuple) {
 		if n++; n == 5 {
 			cancel()
 		}
@@ -106,7 +106,7 @@ mid^io(B, C)
 	// valid, non-erroring call.
 	pre, cancel2 := context.WithCancel(context.Background())
 	cancel2()
-	if _, err := Pipelined(f.plan, f.reg, PipeOptions{Ctx: pre}, nil); err != nil {
+	if _, err := Pipelined(pre, f.plan, f.reg, Options{}, nil); err != nil {
 		t.Fatalf("pre-cancelled run: %v", err)
 	}
 }
@@ -126,14 +126,14 @@ bad^i(A)
 		"free": free,
 		"bad":  {{"a00"}},
 	})
-	full, err := Pipelined(f.plan, f.reg, PipeOptions{}, nil)
+	full, err := Pipelined(context.Background(), f.plan, f.reg, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if full.Answers.Len() != 19 {
 		t.Fatalf("full run: %d answers, want 19", full.Answers.Len())
 	}
-	lim, err := Pipelined(f.plan, f.reg, PipeOptions{Limit: 5}, nil)
+	lim, err := Pipelined(context.Background(), f.plan, f.reg, Options{Limit: 5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ free^oo(A, B)
 `, "q(X, Y) :- free(X, Y), free(X, Y2)", map[string][]storage.Row{
 		"free": {{"a", "b"}, {"c", "d"}},
 	})
-	r, err := Pipelined(f.plan, f.reg, PipeOptions{Limit: 100}, nil)
+	r, err := Pipelined(context.Background(), f.plan, f.reg, Options{Limit: 100}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

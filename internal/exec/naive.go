@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"toorjah/internal/datalog"
 	"toorjah/internal/schema"
 	"toorjah/internal/source"
+	"toorjah/internal/sym"
 )
 
 // Naive runs the algorithm of the paper's Fig. 1 on the original query
@@ -19,25 +21,29 @@ import (
 //
 // The typing must come from cq.Validate(q, sch). Every access is counted
 // once; no binding is ever probed twice.
-func Naive(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing) (*Result, error) {
-	return NaiveOpts(sch, reg, q, ty, Options{})
+func Naive(ctx context.Context, sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing) (*Result, error) {
+	return NaiveOpts(ctx, sch, reg, q, ty, Options{})
 }
 
-// NaiveOpts is Naive with options; the cross-query Cache, MaxBatch and Ctx
+// NaiveOpts is Naive with options; the cross-query Cache and MaxBatch
 // options are meaningful here (the ablation switches target the optimized
 // strategies). Each round's untried bindings of a relation are probed in
-// batches of at most MaxBatch; a cancelled Ctx stops the extraction and
+// batches of at most MaxBatch; a cancelled ctx stops the extraction and
 // returns the answers derivable so far as a truncated, sound subset.
-func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing, opts Options) (*Result, error) {
+func NaiveOpts(ctx context.Context, sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	counted, counters := instrument(reg, opts)
 
-	// B: known values per abstract domain, seeded with the query constants.
-	known := make(map[schema.Domain]map[string]bool)
-	addValue := func(d schema.Domain, v string) bool {
+	// B: known values per abstract domain, seeded with the query constants
+	// (interned here — the string boundary of the run).
+	known := make(map[schema.Domain]map[sym.ID]bool)
+	addValue := func(d schema.Domain, v sym.ID) bool {
 		m, ok := known[d]
 		if !ok {
-			m = make(map[string]bool)
+			m = make(map[sym.ID]bool)
 			known[d] = m
 		}
 		if m[v] {
@@ -47,14 +53,18 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 		return true
 	}
 	for c, d := range ty.ConstDomain {
-		addValue(d, c)
+		addValue(d, sym.Intern(c))
 	}
 
 	cache := datalog.DB{}
 	for _, rel := range sch.Relations() {
 		cache.Get(rel.Name, rel.Arity())
 	}
-	tried := make(map[string]bool)
+	// tried: per-relation sets of already-probed input bindings, keyed on
+	// packed symbol IDs and recycled across runs (and, in a sequential
+	// union, across disjuncts).
+	tried := getBindSets()
+	defer putBindSets(tried)
 
 	for changed := true; changed; {
 		changed = false
@@ -63,11 +73,16 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 			if w == nil {
 				return nil, fmt.Errorf("naive: no source bound for relation %s", rel.Name)
 			}
+			relTried := tried[rel.Name]
+			if relTried == nil {
+				relTried = &sym.BindMap[struct{}]{}
+				tried[rel.Name] = relTried
+			}
 			inputs := rel.InputPositions()
 			domains := rel.InputDomains()
 			// Enumerate every combination of known values for the input
 			// domains; free relations have the single empty combination.
-			pools := make([][]string, len(inputs))
+			pools := make([][]sym.ID, len(inputs))
 			empty := false
 			for i, d := range domains {
 				for v := range known[d] {
@@ -85,18 +100,17 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 			// order, then probe them in batches of at most MaxBatch: the
 			// access set is identical to probing one at a time (pools are
 			// fixed for the pass; new values only feed the next round).
-			var toProbe [][]string
-			binding := make([]string, len(inputs))
+			var toProbe [][]sym.ID
+			binding := make([]sym.ID, len(inputs))
 			var walk func(i int)
 			walk = func(i int) {
 				if i == len(inputs) {
-					key := source.Access{Relation: rel.Name, Binding: binding}.Key()
-					if tried[key] {
+					if _, dup := relTried.Get(binding); dup {
 						return
 					}
-					tried[key] = true
+					relTried.Put(binding, struct{}{})
 					changed = true
-					toProbe = append(toProbe, append([]string(nil), binding...))
+					toProbe = append(toProbe, append([]sym.ID(nil), binding...))
 					return
 				}
 				for _, v := range pools[i] {
@@ -107,13 +121,13 @@ func NaiveOpts(sch *schema.Schema, reg *source.Registry, q *cq.CQ, ty *cq.Typing
 			walk(0)
 			maxBatch := opts.maxBatch()
 			for len(toProbe) > 0 {
-				if opts.cancelled() {
+				if ctxDone(ctx) {
 					return truncatedResult(q, cache, counters, start)
 				}
 				n := min(maxBatch, len(toProbe))
 				chunk := toProbe[:n]
 				toProbe = toProbe[n:]
-				raws, err := source.ProbeBatchCtx(opts.Ctx, w, chunk)
+				raws, err := source.ProbeSyms(ctx, w, chunk)
 				if err != nil {
 					return nil, err
 				}

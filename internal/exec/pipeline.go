@@ -12,57 +12,19 @@ import (
 	"toorjah/internal/obs"
 	"toorjah/internal/plan"
 	"toorjah/internal/source"
+	"toorjah/internal/sym"
 )
-
-// PipeOptions tunes the pipelined executor.
-type PipeOptions struct {
-	// QueueLen is the per-wrapper access queue capacity (paper Fig. 5);
-	// default 32.
-	QueueLen int
-	// Parallelism is the number of concurrent probes per relation;
-	// default 4.
-	Parallelism int
-	// Limit, when positive, stops the extraction as soon as that many
-	// answers have been emitted — the paper's interactive early stop
-	// ("the user can stop the lengthy answering process once satisfied").
-	// The result is then a sound subset of the obtainable answers and
-	// carries Truncated. For queries with negated atoms no answer is sound
-	// until every cache is complete, so the limit cannot save accesses
-	// there; it still caps the answers returned.
-	Limit int
-	// Ctx, when non-nil, cancels the extraction: once the context is done
-	// no further probes are dispatched and the run returns early with
-	// Truncated set (the answers emitted so far are a sound subset). A
-	// server uses this to stop spending accesses on abandoned requests.
-	// When nil, Options.Ctx is used instead.
-	Ctx context.Context
-	// MaxBatch (inherited from Options) caps how many queued access tuples
-	// a wrapper worker drains into one source round trip; default 16.
-	Options
-}
-
-func (o *PipeOptions) defaults() {
-	if o.QueueLen <= 0 {
-		o.QueueLen = 32
-	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = 4
-	}
-	if o.Ctx == nil {
-		o.Ctx = o.Options.Ctx
-	}
-}
 
 // job is one access tuple queued for a wrapper.
 type job struct {
 	cache   *plan.Cache
-	binding []string
+	binding []sym.ID
 }
 
 // probeResult carries a wrapper's extraction back to the coordinator.
 type probeResult struct {
 	cache   *plan.Cache
-	binding []string
+	binding []sym.ID
 	rows    []datalog.Tuple
 	err     error
 }
@@ -77,16 +39,18 @@ type probeResult struct {
 // For queries with negated atoms, incremental emission would be unsound
 // (a later extraction can invalidate a tentative answer), so answers are
 // emitted only after all caches are complete.
-func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer func(datalog.Tuple)) (*Result, error) {
-	opts.defaults()
+func Pipelined(ctx context.Context, p *plan.Plan, reg *source.Registry, opts Options, onAnswer func(datalog.Tuple)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	counted, counters := instrument(reg, opts.Options)
-	st := newGroupState(p, counted, opts.Options)
+	counted, counters := instrument(reg, opts)
+	st := newGroupState(p, counted, opts)
 
 	// One "pipeline" span covers the whole distillation; the workers' probe
 	// batches hang off it (the span is nil — free — when the context
 	// carries no trace).
-	pctx, psp := obs.StartSpan(opts.Ctx, "pipeline")
+	pctx, psp := obs.StartSpan(ctx, "pipeline")
 	defer psp.End()
 
 	// One queue and worker pool per relation occurring in the plan.
@@ -106,10 +70,10 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 		if w == nil {
 			return nil, fmt.Errorf("pipelined: no source bound for relation %s", name)
 		}
-		q := make(chan job, opts.QueueLen)
+		q := make(chan job, opts.queueLen())
 		queues[name] = q
-		maxBatch := opts.Options.maxBatch()
-		for i := 0; i < opts.Parallelism; i++ {
+		maxBatch := opts.maxBatch()
+		for i := 0; i < opts.parallelism(); i++ {
 			wg.Add(1)
 			go func(w source.Wrapper, q chan job) {
 				defer wg.Done()
@@ -138,11 +102,11 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 						}
 						continue
 					}
-					bindings := make([][]string, len(batch))
+					bindings := make([][]sym.ID, len(batch))
 					for k, jb := range batch {
 						bindings[k] = jb.binding
 					}
-					raws, err := source.ProbeBatchCtx(pctx, w, bindings)
+					raws, err := source.ProbeSyms(pctx, w, bindings)
 					if err != nil {
 						for _, jb := range batch {
 							results <- probeResult{cache: jb.cache, binding: jb.binding, err: err}
@@ -150,11 +114,7 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 						continue
 					}
 					for k, jb := range batch {
-						rows := make([]datalog.Tuple, len(raws[k]))
-						for i, r := range raws[k] {
-							rows[i] = datalog.Tuple(r)
-						}
-						results <- probeResult{cache: jb.cache, binding: jb.binding, rows: rows}
+						results <- probeResult{cache: jb.cache, binding: jb.binding, rows: tuplesOf(raws[k])}
 					}
 				}
 			}(w, q)
@@ -233,64 +193,46 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 	// waiter instead of re-probing ("every access tuple is never sent twice
 	// to the same wrapper"); everything else is queued.
 	var pending []job
-	inflight := make(map[string][]*plan.Cache)
+	inflight := make(map[string]*sym.BindMap[[]*plan.Cache])
+	inflightFor := func(rel string) *sym.BindMap[[]*plan.Cache] {
+		if opts.NoMetaCache {
+			return nil
+		}
+		fl := inflight[rel]
+		if fl == nil {
+			fl = new(sym.BindMap[[]*plan.Cache])
+			inflight[rel] = fl
+		}
+		return fl
+	}
 	generate := func() error {
 		for _, c := range p.Caches {
 			if c.IsConst {
 				continue
 			}
 			rel := c.Source.Rel
-			pools := make([][]string, len(c.DomainPreds))
-			ready := true
-			for i, dp := range c.DomainPreds {
-				vals, err := st.domainValues(dp)
-				if err != nil {
-					return err
-				}
-				if len(vals) == 0 {
-					ready = false
-					break
-				}
-				for v := range vals {
-					pools[i] = append(pools[i], v)
-				}
-			}
-			if !ready {
-				continue
-			}
-			binding := make([]string, len(pools))
-			var walk func(i int) error
-			walk = func(i int) error {
-				if i == len(pools) {
-					key := source.Access{Relation: rel.Name, Binding: binding}.Key()
-					if st.tried[c.Pred][key] {
-						return nil
-					}
-					st.tried[c.Pred][key] = true
-					b := append([]string(nil), binding...)
-					if rows, hit := st.meta.hit(rel.Name, b); hit {
+			rm := st.meta.forRel(rel.Name)
+			fl := inflightFor(rel.Name)
+			// The semi-naive enumerator hands over each candidate binding of
+			// this node exactly once across all generate calls.
+			_, err := st.newBindings(c, func(binding []sym.ID) error {
+				if rm != nil {
+					if rows, hit := rm.Get(binding); hit {
 						return ingest(st, c, rows, onFresh)
 					}
-					if !opts.NoMetaCache {
-						akey := source.Access{Relation: rel.Name, Binding: b}.Key()
-						if _, flying := inflight[akey]; flying {
-							inflight[akey] = append(inflight[akey], c)
-							return nil
-						}
-						inflight[akey] = nil
-					}
-					pending = append(pending, job{cache: c, binding: b})
-					return nil
 				}
-				for _, v := range pools[i] {
-					binding[i] = v
-					if err := walk(i + 1); err != nil {
-						return err
+				cp := append([]sym.ID(nil), binding...)
+				if fl != nil {
+					if waiters, flying := fl.Get(cp); flying {
+						fl.Put(cp, append(waiters, c))
+						return nil
 					}
+					fl.Put(cp, nil)
 				}
+				pending = append(pending, job{cache: c, binding: cp})
 				return nil
-			}
-			if err := walk(0); err != nil {
+			})
+			if err != nil {
 				return err
 			}
 		}
@@ -298,18 +240,7 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 	}
 
 	limitHit := func() bool { return opts.Limit > 0 && answers.Len() >= opts.Limit }
-	cancelled := func() bool {
-		if opts.Ctx == nil {
-			return false
-		}
-		select {
-		case <-opts.Ctx.Done():
-			return true
-		default:
-			return false
-		}
-	}
-	stopRequested := func() bool { return limitHit() || cancelled() }
+	stopRequested := func() bool { return limitHit() || ctxDone(ctx) }
 
 	if err := generate(); err != nil {
 		return nil, err
@@ -336,17 +267,22 @@ func Pipelined(p *plan.Plan, reg *source.Registry, opts PipeOptions, onAnswer fu
 			return nil, res.err
 		}
 		relName := res.cache.Source.Rel.Name
-		st.meta.store(relName, res.binding, res.rows)
+		if rm := st.meta.forRel(relName); rm != nil {
+			rm.Put(res.binding, res.rows)
+		}
 		if err := ingest(st, res.cache, res.rows, onFresh); err != nil {
 			return nil, err
 		}
-		akey := source.Access{Relation: relName, Binding: res.binding}.Key()
-		for _, waiter := range inflight[akey] {
-			if err := ingest(st, waiter, res.rows, onFresh); err != nil {
-				return nil, err
+		if fl := inflight[relName]; fl != nil {
+			if waiters, ok := fl.Get(res.binding); ok {
+				for _, waiter := range waiters {
+					if err := ingest(st, waiter, res.rows, onFresh); err != nil {
+						return nil, err
+					}
+				}
+				fl.Delete(res.binding)
 			}
 		}
-		delete(inflight, akey)
 		if err := generate(); err != nil {
 			return nil, err
 		}

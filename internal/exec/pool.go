@@ -1,0 +1,40 @@
+package exec
+
+import (
+	"sync"
+
+	"toorjah/internal/sym"
+)
+
+// bindSetPool recycles the integer-keyed tried-binding sets of the naive
+// executor. Every naive execution — and, in a sequential union, every
+// disjunct — used to allocate a fresh string-keyed dedup map and grow it
+// from empty; now each run borrows a per-relation family of sym.BindMap
+// sets whose buckets stay allocated across runs. Clearing a map keeps its
+// capacity in Go, which is the entire point: steady-state executions stop
+// paying map growth, and no access key is ever materialized as a string.
+// (The optimized executors need no such pool: their delta enumeration
+// visits each candidate binding exactly once, so they keep no tried set.)
+var bindSetPool = sync.Pool{
+	New: func() any { return make(map[string]*sym.BindMap[struct{}], 8) },
+}
+
+// getBindSets returns an empty relation→tried-bindings family with warm
+// per-relation capacity. Entries for relations of other schemas may be
+// present but empty; lookups simply miss them.
+func getBindSets() map[string]*sym.BindMap[struct{}] {
+	return bindSetPool.Get().(map[string]*sym.BindMap[struct{}])
+}
+
+// putBindSets clears every relation's set — keeping the sets themselves,
+// and their bucket arrays, for the next run — and returns the family to
+// the pool. Callers must not retain the map or any set afterwards.
+func putBindSets(m map[string]*sym.BindMap[struct{}]) {
+	if m == nil {
+		return
+	}
+	for _, s := range m {
+		s.Clear()
+	}
+	bindSetPool.Put(m)
+}

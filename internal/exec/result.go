@@ -79,14 +79,15 @@ func (r *Result) TotalTuples() int {
 }
 
 // SortedAnswers returns the answers as sorted strings, for deterministic
-// comparison and display.
+// comparison and display. This is a result boundary: tuples materialize
+// from symbol IDs into strings here.
 func (r *Result) SortedAnswers() []string {
 	if r.Answers == nil {
 		return nil
 	}
 	out := make([]string, 0, r.Answers.Len())
 	for _, t := range r.Answers.Tuples() {
-		out = append(out, strings.Join(t, ","))
+		out = append(out, strings.Join(t.Strings(), ","))
 	}
 	sort.Strings(out)
 	return out

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"time"
 
@@ -11,41 +10,13 @@ import (
 	"toorjah/internal/source"
 )
 
-// UnionOptions tunes the concurrent union runner.
-type UnionOptions struct {
-	// MaxConcurrent bounds how many disjuncts execute at once; 0 means
-	// runtime.GOMAXPROCS(0), negative means one at a time (concurrent
-	// dispatch machinery with sequential occupancy).
-	MaxConcurrent int
-	// Limit, when positive, caps the distinct answers emitted: once the
-	// union holds that many, further fresh answers are discarded, the
-	// remaining disjuncts are cancelled, and the result carries Truncated.
-	// A run whose obtainable union has exactly Limit answers completes
-	// normally and is not truncated.
-	Limit int
-	// Ctx, when non-nil, cancels the union: disjuncts not yet started are
-	// skipped, running ones see a cancelled context, and the result is a
-	// truncated sound subset (matching the per-CQ executors).
-	Ctx context.Context
-}
-
-// maxConcurrent resolves the effective disjunct parallelism (always >= 1).
-func (o UnionOptions) maxConcurrent() int {
-	if o.MaxConcurrent == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if o.MaxConcurrent < 1 {
-		return 1
-	}
-	return o.MaxConcurrent
-}
-
 // DisjunctRun executes one disjunct of a union. The runner hands it a
-// context derived from UnionOptions.Ctx — the run must honor it the way the
-// CQ executors honor Options.Ctx (stop probing, return a truncated sound
-// subset) — and an emit callback for streaming strategies; non-streaming
-// runs may ignore emit, since the runner also folds the returned Answers
-// into the union. A run must return a non-nil Result unless it errors.
+// context derived from the union's — the run must honor it the way the CQ
+// executors honor their ctx parameter (stop probing, return a truncated
+// sound subset) — and an emit callback for streaming strategies;
+// non-streaming runs may ignore emit, since the runner also folds the
+// returned Answers into the union. A run must return a non-nil Result
+// unless it errors.
 type DisjunctRun func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error)
 
 // Union executes the disjuncts of a union of conjunctive queries
@@ -68,15 +39,15 @@ type DisjunctRun func(ctx context.Context, emit func(datalog.Tuple)) (*Result, e
 //   - Elapsed and TimeToFirst are wall-clock times of the whole union, not
 //     sums over disjuncts.
 //
-// The first disjunct error cancels the rest and is returned; a cancelled
-// UnionOptions.Ctx instead yields a truncated result, never an error.
-func Union(name string, arity int, runs []DisjunctRun, opts UnionOptions, onAnswer func(datalog.Tuple)) (*Result, error) {
+// The union reads Options.MaxConcurrent and Options.Limit; the first
+// disjunct error cancels the rest and is returned, while a cancelled ctx
+// instead yields a truncated result, never an error.
+func Union(ctx context.Context, name string, arity int, runs []DisjunctRun, opts Options, onAnswer func(datalog.Tuple)) (*Result, error) {
 	start := time.Now()
-	parent := opts.Ctx
-	if parent == nil {
-		parent = context.Background()
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	ctx, cancel := context.WithCancel(parent)
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	union := datalog.NewRelation(name, arity)

@@ -11,6 +11,7 @@ import (
 
 	"toorjah/internal/datalog"
 	"toorjah/internal/source"
+	"toorjah/internal/sym"
 )
 
 // fakeDisjunct fabricates a disjunct run that emits the given answers and
@@ -38,17 +39,17 @@ func sortedUnion(t *testing.T, r *Result) string {
 func TestUnionDedupAndStatsMerge(t *testing.T) {
 	runs := []DisjunctRun{
 		fakeDisjunct(
-			[]datalog.Tuple{{"a"}, {"b"}},
+			[]datalog.Tuple{datalog.T("a"), datalog.T("b")},
 			map[string]source.Stats{"r": {Accesses: 3, Batches: 2, Tuples: 5}},
 			false, true),
 		fakeDisjunct(
-			[]datalog.Tuple{{"b"}, {"c"}},
+			[]datalog.Tuple{datalog.T("b"), datalog.T("c")},
 			map[string]source.Stats{"r": {Accesses: 1, Batches: 1, Tuples: 1}, "s": {Accesses: 4, Batches: 1, Tuples: 9}},
 			true, false),
 	}
 	var streamed []string
-	res, err := Union("q", 1, runs, UnionOptions{}, func(t datalog.Tuple) {
-		streamed = append(streamed, t[0])
+	res, err := Union(context.Background(), "q", 1, runs, Options{}, func(t datalog.Tuple) {
+		streamed = append(streamed, sym.Str(t[0]))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestUnionError(t *testing.T) {
 		},
 	}
 	// MaxConcurrent 2 so both disjuncts are in flight when the first fails.
-	_, err := Union("q", 1, runs, UnionOptions{MaxConcurrent: 2}, nil)
+	_, err := Union(context.Background(), "q", 1, runs, Options{MaxConcurrent: 2}, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
@@ -116,12 +117,12 @@ func TestUnionError(t *testing.T) {
 func TestUnionLimit(t *testing.T) {
 	many := make([]datalog.Tuple, 10)
 	for i := range many {
-		many[i] = datalog.Tuple{string(rune('a' + i))}
+		many[i] = datalog.T(string(rune('a' + i)))
 	}
 	var streamed int32
-	res, err := Union("q", 1,
+	res, err := Union(context.Background(), "q", 1,
 		[]DisjunctRun{fakeDisjunct(many, nil, false, false)},
-		UnionOptions{Limit: 3},
+		Options{Limit: 3},
 		func(datalog.Tuple) { atomic.AddInt32(&streamed, 1) })
 	if err != nil {
 		t.Fatal(err)
@@ -134,9 +135,9 @@ func TestUnionLimit(t *testing.T) {
 	}
 
 	// A limit equal to the obtainable union is not a truncation.
-	exact, err := Union("q", 1,
+	exact, err := Union(context.Background(), "q", 1,
 		[]DisjunctRun{fakeDisjunct(many[:3], nil, false, false)},
-		UnionOptions{Limit: 3}, nil)
+		Options{Limit: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,12 +153,12 @@ func TestUnionCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := false
-	res, err := Union("q", 1, []DisjunctRun{
+	res, err := Union(ctx, "q", 1, []DisjunctRun{
 		func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
 			ran = true
 			return &Result{Answers: datalog.NewRelation("q", 1)}, nil
 		},
-	}, UnionOptions{Ctx: ctx}, nil)
+	}, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestUnionBoundedParallelism(t *testing.T) {
 		return &Result{Answers: datalog.NewRelation("q", 1)}, nil
 	}
 	runs := []DisjunctRun{slow, slow, slow, slow}
-	if _, err := Union("q", 1, runs, UnionOptions{MaxConcurrent: 2}, nil); err != nil {
+	if _, err := Union(context.Background(), "q", 1, runs, Options{MaxConcurrent: 2}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if p := atomic.LoadInt32(&peak); p > 2 {
@@ -194,7 +195,7 @@ func TestUnionBoundedParallelism(t *testing.T) {
 	}
 
 	atomic.StoreInt32(&peak, 0)
-	if _, err := Union("q", 1, runs, UnionOptions{MaxConcurrent: 4}, nil); err != nil {
+	if _, err := Union(context.Background(), "q", 1, runs, Options{MaxConcurrent: 4}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if p := atomic.LoadInt32(&peak); p < 2 {
@@ -213,7 +214,7 @@ func TestUnionSerializedEmission(t *testing.T) {
 		runs[i] = func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
 			rel := datalog.NewRelation("q", 1)
 			for j := 0; j < 50; j++ {
-				t := datalog.Tuple{string(rune('a' + (i+j)%26))}
+				t := datalog.T(string(rune('a' + (i+j)%26)))
 				rel.Insert(t)
 				emit(t)
 			}
@@ -223,15 +224,15 @@ func TestUnionSerializedEmission(t *testing.T) {
 	var inCallback int32
 	seen := make(map[string]bool)
 	var mu sync.Mutex
-	res, err := Union("q", 1, runs, UnionOptions{MaxConcurrent: disjuncts}, func(t datalog.Tuple) {
+	res, err := Union(context.Background(), "q", 1, runs, Options{MaxConcurrent: disjuncts}, func(t datalog.Tuple) {
 		if atomic.AddInt32(&inCallback, 1) != 1 {
 			panic("onAnswer invoked concurrently")
 		}
 		mu.Lock()
-		if seen[t[0]] {
+		if seen[sym.Str(t[0])] {
 			panic("duplicate answer emitted")
 		}
-		seen[t[0]] = true
+		seen[sym.Str(t[0])] = true
 		mu.Unlock()
 		atomic.AddInt32(&inCallback, -1)
 	})

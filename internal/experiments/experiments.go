@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -61,11 +62,11 @@ func RunFig6(seed int64, tuples int) ([]Fig6Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", qs, err)
 		}
-		naive, err := exec.Naive(sch, reg, p.Query, p.Typing)
+		naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 		if err != nil {
 			return nil, err
 		}
-		fast, err := exec.FastFailing(p.Plan, reg)
+		fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -180,11 +181,11 @@ func RunFig10(seed int64, nSchemas, nQueries int, cfg gen.Config) (*Fig10Stats, 
 				out.Orderable++
 			}
 
-			naive, err := exec.Naive(sch, reg, p.Query, p.Typing)
+			naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 			if err != nil {
 				return nil, err
 			}
-			fast, err := exec.FastFailing(p.Plan, reg)
+			fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
 			if err != nil {
 				return nil, err
 			}
@@ -271,11 +272,11 @@ func RunFig11(seed int64, nSchemas, nQueries int, latency time.Duration, cfg gen
 			if err != nil || !p.Answerable() {
 				continue
 			}
-			naive, err := exec.Naive(sch, reg, p.Query, p.Typing)
+			naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
 			if err != nil {
 				return nil, err
 			}
-			fast, err := exec.FastFailing(p.Plan, reg)
+			fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
 			if err != nil {
 				return nil, err
 			}

@@ -8,6 +8,7 @@ import (
 	"toorjah/internal/schema"
 	"toorjah/internal/source"
 	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // Source-facing instrumentation. Two decorators, sitting on opposite sides
@@ -148,6 +149,34 @@ func (p *probeSource) AccessBatchCtx(ctx context.Context, bindings [][]string) (
 	return rows, nil
 }
 
+// AccessSyms records the batch exactly as AccessBatchCtx does while keeping
+// the probe on the integer fast path (the instruments are counts and
+// durations — they never need the values).
+func (p *probeSource) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	start := time.Now()
+	ctx, sp := StartSpan(ctx, "probe")
+	sp.SetAttr("relation", p.inner.Relation().Name)
+	sp.SetAttr("accesses", len(bindings))
+	rows, err := source.ProbeSyms(ctx, p.inner, bindings)
+	p.duration.Observe(time.Since(start).Seconds())
+	p.batchSize.Observe(float64(len(bindings)))
+	p.roundTrips.Inc()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	p.accesses.Add(int64(len(bindings)))
+	var tuples int64
+	for _, r := range rows {
+		tuples += int64(len(r))
+	}
+	p.tuples.Add(tuples)
+	sp.SetAttr("tuples", tuples)
+	sp.End()
+	return rows, nil
+}
+
 // demandSource counts the accesses a plan requests, before the cache gets
 // a chance to absorb them.
 type demandSource struct {
@@ -170,4 +199,10 @@ func (d *demandSource) AccessBatch(bindings [][]string) ([][]storage.Row, error)
 func (d *demandSource) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]storage.Row, error) {
 	d.obs.demanded.Add(int64(len(bindings)))
 	return source.ProbeBatchCtx(ctx, d.inner, bindings)
+}
+
+// AccessSyms counts the demanded accesses and forwards the interned batch.
+func (d *demandSource) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	d.obs.demanded.Add(int64(len(bindings)))
+	return source.ProbeSyms(ctx, d.inner, bindings)
 }

@@ -81,20 +81,20 @@ func TestPaperExample7(t *testing.T) {
 	// Reference semantics: evaluating the program's least fixpoint over
 	// Example 2-style data returns the right answers.
 	edb := datalog.DB{}
-	edb.Insert("r1", datalog.Tuple{"a", "b1"})
-	edb.Insert("r1", datalog.Tuple{"z", "b9"}) // not reachable via l_a
-	edb.Insert("r2", datalog.Tuple{"b1", "c1"})
-	edb.Insert("r2", datalog.Tuple{"b9", "c9"})
+	edb.Insert("r1", datalog.T("a", "b1"))
+	edb.Insert("r1", datalog.T("z", "b9")) // not reachable via l_a
+	edb.Insert("r2", datalog.T("b1", "c1"))
+	edb.Insert("r2", datalog.T("b9", "c9"))
 	idb, err := datalog.Eval(p.Program, edb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ans := idb["q"]
-	if ans.Len() != 1 || !ans.Contains(datalog.Tuple{"c1"}) {
+	if ans.Len() != 1 || !ans.Contains(datalog.T("c1")) {
 		t.Errorf("answers = %v", ans.Tuples())
 	}
 	// The cache of r1 must not contain the unreachable tuple.
-	if idb["hat_r1_1"].Contains(datalog.Tuple{"z", "b9"}) {
+	if idb["hat_r1_1"].Contains(datalog.T("z", "b9")) {
 		t.Error("cache contains tuple unreachable under access limitations")
 	}
 }

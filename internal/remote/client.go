@@ -17,6 +17,7 @@ import (
 	"toorjah/internal/obs"
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // Options tunes a remote-source client; the zero value means every default
@@ -535,4 +536,26 @@ func (s *Source) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]s
 		}
 	}
 	return results, nil
+}
+
+// AccessSyms is AccessBatchCtx on interned tuples — the remote-decode
+// boundary of the engine. The probe protocol speaks NDJSON strings, so the
+// bindings materialize into wire form and every decoded row interns here;
+// the freshly decoded strings become garbage immediately instead of living
+// on in caches and relations, and everything above this source (cache,
+// counters, executors) stays on integer tuples.
+func (s *Source) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	strs := make([][]string, len(bindings))
+	for i, b := range bindings {
+		strs[i] = sym.Strs(b)
+	}
+	rows, err := s.AccessBatchCtx(ctx, strs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]storage.IRow, len(rows))
+	for i, rs := range rows {
+		out[i] = storage.InternRows(rs)
+	}
+	return out, nil
 }

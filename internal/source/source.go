@@ -22,6 +22,7 @@ import (
 
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
+	"toorjah/internal/sym"
 )
 
 // Access identifies one probe of a relation: the values binding its input
@@ -105,6 +106,58 @@ func ProbeBatchCtx(ctx context.Context, w Wrapper, bindings [][]string) ([][]sto
 		return cs.AccessBatchCtx(ctx, bindings)
 	}
 	return ProbeBatch(w, bindings)
+}
+
+// SymBatchSource is the integer fast path of a source: AccessSyms is
+// AccessBatchCtx with interned bindings and interned extractions, so the
+// standard stack — table source, counting, caching, metrics decorators, the
+// remote client — serves every probe without constructing a single string.
+// Sources that cannot speak interned tuples simply do not implement the
+// interface; ProbeSyms converts at the boundary for them.
+type SymBatchSource interface {
+	Wrapper
+	AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error)
+}
+
+// ProbeSyms serves a batch of interned accesses through w: natively when w
+// implements SymBatchSource, otherwise by materializing the bindings,
+// probing the string surface, and interning the extracted rows on the way
+// back — so custom string wrappers keep working unchanged while the
+// standard stack stays integer end to end.
+func ProbeSyms(ctx context.Context, w Wrapper, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	if ss, ok := w.(SymBatchSource); ok {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return ss.AccessSyms(ctx, bindings)
+	}
+	strs := make([][]string, len(bindings))
+	for i, b := range bindings {
+		strs[i] = sym.Strs(b)
+	}
+	rows, err := ProbeBatchCtx(ctx, w, strs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]storage.IRow, len(rows))
+	for i, rs := range rows {
+		out[i] = storage.InternRows(rs)
+	}
+	return out, nil
+}
+
+// SymAccessKey encodes an interned access for deduplication: the relation
+// name and the packed binding. The integer counterpart of Access.Key.
+func SymAccessKey(rel string, binding []sym.ID) string {
+	return string(AppendSymAccessKey(nil, rel, binding))
+}
+
+// AppendSymAccessKey appends the encoding of SymAccessKey to dst, letting
+// hot loops reuse one key buffer across probes.
+func AppendSymAccessKey(dst []byte, rel string, binding []sym.ID) []byte {
+	dst = append(dst, rel...)
+	dst = append(dst, 0)
+	return sym.AppendKey(dst, binding)
 }
 
 // Versioned is implemented by sources whose extraction set carries a
@@ -252,6 +305,23 @@ func (s *TableSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) 
 	return s.view().SelectBatch(inputs, bindings), nil
 }
 
+// AccessSyms probes the table once per interned binding in a single round
+// trip, entirely on packed integer keys; the extracted rows are shared
+// stored rows and must not be mutated.
+func (s *TableSource) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	inputs := s.rel.InputPositions()
+	for _, b := range bindings {
+		if len(b) != len(inputs) {
+			return nil, fmt.Errorf("source %s: binding of %d values for %d input arguments",
+				s.rel.Name, len(b), len(inputs))
+		}
+	}
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	return s.view().SelectBatchSym(inputs, bindings), nil
+}
+
 // Stats aggregates the access accounting of one relation.
 type Stats struct {
 	// Accesses is the paper's cost metric: the number of bindings probed.
@@ -276,16 +346,22 @@ func (s *Stats) Add(o Stats) {
 type Counter struct {
 	inner Wrapper
 
-	mu       sync.Mutex
-	stats    Stats
-	log      []Access
-	keepLog  bool
-	distinct map[string]bool
+	mu      sync.Mutex
+	stats   Stats
+	log     []Access
+	keepLog bool
+	// distinct holds the distinct bindings probed through the interned fast
+	// path (integer-keyed — no string ever materializes for accounting);
+	// distinctStr holds those probed through the legacy string methods. One
+	// execution drives one path, so the split never double-counts in
+	// practice.
+	distinct    sym.BindMap[struct{}]
+	distinctStr map[string]bool
 }
 
 // NewCounter wraps w; when keepLog is set every access is recorded in order.
 func NewCounter(w Wrapper, keepLog bool) *Counter {
-	return &Counter{inner: w, keepLog: keepLog, distinct: make(map[string]bool)}
+	return &Counter{inner: w, keepLog: keepLog, distinctStr: make(map[string]bool)}
 }
 
 // Relation returns the wrapped relation schema.
@@ -306,7 +382,7 @@ func (c *Counter) Access(binding []string) ([]storage.Row, error) {
 	c.stats.Accesses++
 	c.stats.Batches++
 	c.stats.Tuples += len(rows)
-	c.distinct[a.Key()] = true
+	c.distinctStr[a.Key()] = true
 	if c.keepLog {
 		c.log = append(c.log, a)
 	}
@@ -334,9 +410,33 @@ func (c *Counter) AccessBatchCtx(ctx context.Context, bindings [][]string) ([][]
 	for i, b := range bindings {
 		c.stats.Tuples += len(rows[i])
 		a := Access{Relation: rel, Binding: append([]string(nil), b...)}
-		c.distinct[a.Key()] = true
+		c.distinctStr[a.Key()] = true
 		if c.keepLog {
 			c.log = append(c.log, a)
+		}
+	}
+	c.mu.Unlock()
+	return rows, nil
+}
+
+// AccessSyms forwards the interned batch to the wrapped source, recording
+// one probe per binding and one round trip for the batch. Accounting runs
+// on packed keys: the distinct-access set and the stats never materialize a
+// string (the optional log does — it exists for debugging, not hot paths).
+func (c *Counter) AccessSyms(ctx context.Context, bindings [][]sym.ID) ([][]storage.IRow, error) {
+	rows, err := ProbeSyms(ctx, c.inner, bindings)
+	if err != nil {
+		return nil, err
+	}
+	rel := c.inner.Relation().Name
+	c.mu.Lock()
+	c.stats.Accesses += len(bindings)
+	c.stats.Batches++
+	for i, b := range bindings {
+		c.stats.Tuples += len(rows[i])
+		c.distinct.Put(b, struct{}{})
+		if c.keepLog {
+			c.log = append(c.log, Access{Relation: rel, Binding: sym.Strs(b)})
 		}
 	}
 	c.mu.Unlock()
@@ -354,15 +454,20 @@ func (c *Counter) Stats() Stats {
 func (c *Counter) DistinctAccesses() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.distinct)
+	return c.distinct.Len() + len(c.distinctStr)
 }
 
 // AccessSet returns the set of distinct access keys probed so far.
 func (c *Counter) AccessSet() map[string]bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]bool, len(c.distinct))
-	for k := range c.distinct {
+	out := make(map[string]bool, c.distinct.Len()+len(c.distinctStr))
+	rel := c.inner.Relation().Name
+	c.distinct.Range(func(b []sym.ID, _ struct{}) bool {
+		out[string(AppendSymAccessKey(nil, rel, b))] = true
+		return true
+	})
+	for k := range c.distinctStr {
 		out[k] = true
 	}
 	return out
@@ -383,7 +488,8 @@ func (c *Counter) Reset() {
 	defer c.mu.Unlock()
 	c.stats = Stats{}
 	c.log = nil
-	c.distinct = make(map[string]bool)
+	c.distinct = sym.BindMap[struct{}]{}
+	c.distinctStr = make(map[string]bool)
 }
 
 // Flaky decorates a wrapper with failure injection: the first FailAfter

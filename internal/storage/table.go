@@ -1,10 +1,18 @@
 // Package storage provides the in-memory relational store backing the data
 // sources of the reproduction. The paper's prototype kept its sources in
 // local PostgreSQL tables and translated each access into an SQL query; here
-// a Table plays that role — a named set of rows with lazily built hash
-// indexes on the position sets that accesses bind. The cost metric of the
-// paper is the number of accesses, not SQL time, so this substitution
-// preserves every reported behaviour.
+// a Table plays that role — a named set of rows with hash indexes on the
+// position sets that accesses bind. The cost metric of the paper is the
+// number of accesses, not SQL time, so this substitution preserves every
+// reported behaviour.
+//
+// Rows are interned: every value is swapped for its internal/sym ID at
+// insert time (ingest, CSV load), so the stored representation is an IRow —
+// a flat []sym.ID with no pointers for the GC to trace — and every lookup
+// below the insert boundary runs on packed integer keys instead of
+// NUL-joined strings. The string Row type remains the boundary
+// representation (CSV files, JSON ingestion, results); Select/Rows
+// materialize through the symbol table only when a caller asks for strings.
 //
 // Tables are live: Insert and Delete batches mutate a table while queries
 // run. Mutation is copy-on-write — every batch publishes a new immutable
@@ -15,6 +23,17 @@
 // (source.Registry.Snapshot), which is what makes concurrent ingestion safe:
 // a query's answers are always the answers over some single epoch of each
 // relation, never a torn mix of two.
+//
+// Indexes are persistent across epochs: all snapshots of a table share one
+// copy-on-write index set, and a snapshot that needs an index extends it
+// incrementally over the rows appended since the index was last used —
+// instead of rebuilding a fresh map per snapshot per position set, the old
+// per-snapshot lazy scheme. Buckets hold master-log offsets in ascending
+// order; each snapshot serves lookups by cutting a bucket at its own row
+// watermark and skipping its own tombstones, so arbitrarily many epochs
+// read one shared index without seeing each other's rows. Compaction (which
+// renumbers offsets) starts a fresh index set; snapshots published before
+// it keep the old one.
 package storage
 
 import (
@@ -24,35 +43,74 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"toorjah/internal/sym"
 )
 
-// Row is one tuple of a table.
+// Row is one tuple of a table in its boundary representation: plain
+// strings, as read from CSV files or JSON ingestion and as rendered into
+// results. Inside the table rows are stored interned (IRow).
 type Row []string
 
 // Key encodes the row into a collision-free string.
 func (r Row) Key() string { return strings.Join([]string(r), "\x00") }
 
+// Intern swaps every value for its symbol ID (interning first-seen values).
+func (r Row) Intern() IRow { return sym.InternAll(r) }
+
+// IRow is one stored tuple: the interned form of a Row. It is the canonical
+// representation everywhere below the ingest boundary — storage, sources,
+// the cross-query cache and the executors exchange IRows and materialize
+// strings only at the result/NDJSON boundary.
+type IRow []sym.ID
+
+// Strings materializes the row back into its boundary form.
+func (r IRow) Strings() Row { return sym.Strs(r) }
+
+// Key packs the row into a collision-free map key (4 bytes per value).
+func (r IRow) Key() string { return sym.Key(r) }
+
+// InternRows interns a batch of boundary rows.
+func InternRows(rows []Row) []IRow {
+	out := make([]IRow, len(rows))
+	for i, r := range rows {
+		out[i] = r.Intern()
+	}
+	return out
+}
+
+// MaterializeRows renders a batch of stored rows into boundary rows.
+func MaterializeRows(rows []IRow) []Row {
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Strings()
+	}
+	return out
+}
+
 // Table is a named set of rows of fixed arity with hash indexes and
-// copy-on-write mutation. The master state — an append-only row log, the
-// dedup map, and the current tombstone set — belongs to writers and is
-// guarded by wmu; readers never touch it. Every mutating batch publishes a
-// fresh immutable Snapshot (sharing the row log's backing array, which is
-// safe: a snapshot of length n never reads past n, and writers only append).
+// copy-on-write mutation. The master state — an append-only interned row
+// log, the dedup map, and the current tombstone set — belongs to writers
+// and is guarded by wmu; readers never touch it. Every mutating batch
+// publishes a fresh immutable Snapshot (sharing the row log's backing
+// array, which is safe: a snapshot of length n never reads past n, and
+// writers only append) carrying the table's shared persistent index set.
 type Table struct {
 	Name  string
 	Arity int
 
 	wmu  sync.Mutex     // serializes writers
-	rows []Row          // append-only master log
-	seen map[string]int // row key -> offset in rows
+	rows []IRow         // append-only master log (interned)
+	seen map[string]int // packed row key -> offset in rows
 	dead map[int]bool   // current tombstones; copied, never mutated, once published
+	idx  *indexSet      // persistent indexes over rows; replaced on compaction
 	snap atomic.Pointer[Snapshot]
 }
 
 // NewTable creates an empty table at epoch 1.
 func NewTable(name string, arity int) *Table {
-	t := &Table{Name: name, Arity: arity, seen: make(map[string]int)}
-	t.snap.Store(&Snapshot{name: name, arity: arity, epoch: 1})
+	t := &Table{Name: name, Arity: arity, seen: make(map[string]int), idx: newIndexSet()}
+	t.snap.Store(&Snapshot{name: name, arity: arity, epoch: 1, idx: t.idx})
 	return t
 }
 
@@ -76,6 +134,7 @@ func (t *Table) publish() {
 		at:    time.Now(),
 		rows:  t.rows[:len(t.rows):len(t.rows)],
 		dead:  t.dead,
+		idx:   t.idx,
 	})
 }
 
@@ -94,10 +153,10 @@ func (t *Table) copyDeadLocked() map[int]bool {
 // every changing batch is one copy-on-write step and one epoch.
 func (t *Table) Insert(r Row) bool { return t.InsertAll([]Row{r}) == 1 }
 
-// InsertAll adds every row in one batch, deduplicating against the live
-// contents, and returns the number of rows actually added. A batch that
-// adds at least one row advances the table's epoch by exactly one;
-// re-inserting a previously deleted row revives it.
+// InsertAll adds every row in one batch, interning the values and
+// deduplicating against the live contents, and returns the number of rows
+// actually added. A batch that adds at least one row advances the table's
+// epoch by exactly one; re-inserting a previously deleted row revives it.
 func (t *Table) InsertAll(rows []Row) int {
 	for _, r := range rows {
 		if len(r) != t.Arity {
@@ -108,9 +167,11 @@ func (t *Table) InsertAll(rows []Row) int {
 	defer t.wmu.Unlock()
 	n := 0
 	deadCopied := false
+	var kb []byte
 	for _, r := range rows {
-		k := r.Key()
-		if off, ok := t.seen[k]; ok {
+		ir := r.Intern()
+		kb = sym.AppendKey(kb[:0], ir)
+		if off, ok := t.seen[string(kb)]; ok {
 			if !t.dead[off] {
 				continue
 			}
@@ -122,8 +183,8 @@ func (t *Table) InsertAll(rows []Row) int {
 			n++
 			continue
 		}
-		t.seen[k] = len(t.rows)
-		t.rows = append(t.rows, r)
+		t.seen[string(kb)] = len(t.rows)
+		t.rows = append(t.rows, ir)
 		n++
 	}
 	if n > 0 {
@@ -146,8 +207,16 @@ func (t *Table) DeleteAll(rows []Row) int {
 	n := 0
 	deadCopied := false
 	for _, r := range rows {
-		off, ok := t.seen[r.Key()]
-		if !ok || t.dead[off] || len(r) != t.Arity {
+		if len(r) != t.Arity {
+			continue
+		}
+		// A row whose values were never interned cannot be stored anywhere.
+		ir, ok := sym.LookupAll(r)
+		if !ok {
+			continue
+		}
+		off, present := t.seen[sym.Key(ir)]
+		if !present || t.dead[off] {
 			continue
 		}
 		if !deadCopied {
@@ -170,24 +239,26 @@ const compactMinDead = 1024
 
 // maybeCompactLocked rewrites the master log without its tombstoned rows
 // once they dominate it, so that sustained insert/delete churn — the
-// streaming-ingest workload — keeps memory and per-snapshot index cost
-// proportional to the live data, not to everything ever inserted. The
-// rewrite allocates fresh state; snapshots already published keep the old
-// log untouched. Invisible to readers: the next publish carries the usual
-// single epoch advance. wmu is held.
+// streaming-ingest workload — keeps memory and index cost proportional to
+// the live data, not to everything ever inserted. The rewrite renumbers
+// offsets, so it also starts a fresh persistent index set; snapshots
+// already published keep the old log and the old indexes untouched.
+// Invisible to readers: the next publish carries the usual single epoch
+// advance. wmu is held.
 func (t *Table) maybeCompactLocked() {
 	if len(t.dead) < compactMinDead || 2*len(t.dead) < len(t.rows) {
 		return
 	}
-	live := make([]Row, 0, len(t.rows)-len(t.dead))
+	live := make([]IRow, 0, len(t.rows)-len(t.dead))
 	seen := make(map[string]int, len(t.rows)-len(t.dead))
 	for off, r := range t.rows {
 		if !t.dead[off] {
-			seen[r.Key()] = len(live)
+			seen[sym.Key(r)] = len(live)
 			live = append(live, r)
 		}
 	}
 	t.rows, t.seen, t.dead = live, seen, make(map[int]bool)
+	t.idx = newIndexSet()
 }
 
 // The read surface of Table delegates to the current snapshot, so callers
@@ -200,7 +271,7 @@ func (t *Table) Len() int { return t.Snapshot().Len() }
 // Contains reports row membership.
 func (t *Table) Contains(r Row) bool { return t.Snapshot().Contains(r) }
 
-// Rows returns a copy of all live rows.
+// Rows returns a copy of all live rows in boundary form.
 func (t *Table) Rows() []Row { return t.Snapshot().Rows() }
 
 // Select returns the rows whose values at positions equal vals; with no
@@ -219,20 +290,22 @@ func (t *Table) SelectBatch(positions []int, bindings [][]string) [][]Row {
 func (t *Table) Project(pos int) []string { return t.Snapshot().Project(pos) }
 
 // Snapshot is one immutable version of a table: the rows visible at one
-// epoch. All methods are safe for concurrent use; the hash indexes are
-// built lazily per snapshot — on first use for each distinct position set —
-// under the snapshot's own mutex, while the row data itself is read
-// lock-free.
+// epoch. All methods are safe for concurrent use. Lookups are served by the
+// table's persistent index set, shared across snapshots: the first snapshot
+// to use a position set builds its index, later epochs only extend it over
+// their newly appended rows, and each snapshot filters lookups through its
+// own row watermark and tombstones.
 type Snapshot struct {
 	name  string
 	arity int
 	epoch uint64
 	at    time.Time
-	rows  []Row        // immutable prefix of the master log
+	rows  []IRow       // immutable prefix of the master log
 	dead  map[int]bool // immutable tombstones over rows
+	idx   *indexSet    // shared persistent indexes (see indexSet)
 
-	mu      sync.Mutex
-	indexes map[string]map[string][]int
+	liveOnce sync.Once
+	live     []IRow // cached live rows (== rows when no tombstones)
 }
 
 // Epoch returns this version's number; epochs start at 1 and increase by
@@ -246,16 +319,28 @@ func (s *Snapshot) ModifiedAt() time.Time { return s.at }
 // Len returns the number of live rows in this version.
 func (s *Snapshot) Len() int { return len(s.rows) - len(s.dead) }
 
-// Rows returns a copy of the live rows of this version.
-func (s *Snapshot) Rows() []Row {
-	out := make([]Row, 0, s.Len())
-	for off, r := range s.rows {
-		if !s.dead[off] {
-			out = append(out, r)
+// RowsSym returns the live rows of this version in stored (interned) form.
+// The returned slice is shared and must not be mutated; free-relation
+// probes serve every access from it without materializing a string.
+func (s *Snapshot) RowsSym() []IRow {
+	s.liveOnce.Do(func() {
+		if len(s.dead) == 0 {
+			s.live = s.rows
+			return
 		}
-	}
-	return out
+		live := make([]IRow, 0, s.Len())
+		for off, r := range s.rows {
+			if !s.dead[off] {
+				live = append(live, r)
+			}
+		}
+		s.live = live
+	})
+	return s.live
 }
+
+// Rows returns a copy of the live rows of this version in boundary form.
+func (s *Snapshot) Rows() []Row { return MaterializeRows(s.RowsSym()) }
 
 // Contains reports row membership in this version.
 func (s *Snapshot) Contains(r Row) bool {
@@ -265,16 +350,20 @@ func (s *Snapshot) Contains(r Row) bool {
 	if s.arity == 0 {
 		return s.Len() > 0
 	}
+	ir, ok := sym.LookupAll(r)
+	if !ok {
+		return false
+	}
 	positions := make([]int, s.arity)
 	for i := range positions {
 		positions[i] = i
 	}
-	return len(s.Select(positions, r)) > 0
+	return len(s.SelectSym(positions, ir)) > 0
 }
 
 // Select returns the rows whose values at positions equal vals; with no
-// positions it returns every live row. Selection is served by a hash index
-// built on first use for each distinct position set.
+// positions it returns every live row. The boundary-form adapter over
+// SelectSym: values never interned match nothing.
 func (s *Snapshot) Select(positions []int, vals []string) []Row {
 	if len(positions) != len(vals) {
 		panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(vals)))
@@ -282,20 +371,32 @@ func (s *Snapshot) Select(positions []int, vals []string) []Row {
 	if len(positions) == 0 {
 		return s.Rows()
 	}
-	m := s.indexFor(positions)
-	offs := m[strings.Join(vals, "\x00")]
-	out := make([]Row, len(offs))
-	for i, off := range offs {
-		out[i] = s.rows[off]
+	ids, ok := sym.LookupAll(vals)
+	if !ok {
+		return []Row{}
 	}
-	return out
+	return MaterializeRows(s.SelectSym(positions, ids))
+}
+
+// SelectSym returns the stored rows whose values at positions equal vals;
+// with no positions it returns every live row (shared slice). This is the
+// probe primitive of the engine: lookup key packing, index access and the
+// returned rows are all integer-only.
+func (s *Snapshot) SelectSym(positions []int, vals []sym.ID) []IRow {
+	if len(positions) != len(vals) {
+		panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(vals)))
+	}
+	if len(positions) == 0 {
+		return s.RowsSym()
+	}
+	var kb [64]byte
+	key := sym.AppendKey(kb[:0], vals)
+	return s.idx.lookup(s, positions, string(key))
 }
 
 // SelectBatch answers many selections over the same position set in one
 // call: result i holds the rows matching bindings[i], exactly as
-// Select(positions, bindings[i]) would return them. The index for the
-// position set is built at most once, so a batch of N lookups costs one
-// table pass instead of N.
+// Select(positions, bindings[i]) would return them.
 func (s *Snapshot) SelectBatch(positions []int, bindings [][]string) [][]Row {
 	out := make([][]Row, len(bindings))
 	if len(positions) == 0 {
@@ -305,77 +406,163 @@ func (s *Snapshot) SelectBatch(positions []int, bindings [][]string) [][]Row {
 		}
 		return out
 	}
-	m := s.indexFor(positions)
+	for i, b := range bindings {
+		out[i] = s.Select(positions, b)
+	}
+	return out
+}
+
+// SelectBatchSym answers many interned selections over the same position
+// set in one call; the index for the position set is extended at most once,
+// so a batch of N lookups costs one index pass instead of N.
+func (s *Snapshot) SelectBatchSym(positions []int, bindings [][]sym.ID) [][]IRow {
+	out := make([][]IRow, len(bindings))
+	if len(positions) == 0 {
+		rows := s.RowsSym()
+		for i := range out {
+			out[i] = rows
+		}
+		return out
+	}
+	var kb [64]byte
 	for i, b := range bindings {
 		if len(positions) != len(b) {
 			panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(b)))
 		}
-		offs := m[strings.Join(b, "\x00")]
-		rows := make([]Row, len(offs))
-		for j, off := range offs {
-			rows[j] = s.rows[off]
-		}
-		out[i] = rows
+		key := sym.AppendKey(kb[:0], b)
+		out[i] = s.idx.lookup(s, positions, string(key))
 	}
 	return out
 }
 
 // Project returns the sorted, deduplicated values of one column.
 func (s *Snapshot) Project(pos int) []string {
-	set := make(map[string]bool)
-	for off, r := range s.rows {
-		if !s.dead[off] {
-			set[r[pos]] = true
-		}
+	set := make(map[sym.ID]bool)
+	for _, r := range s.RowsSym() {
+		set[r[pos]] = true
 	}
 	out := make([]string, 0, len(set))
 	for v := range set {
-		out = append(out, v)
+		out = append(out, sym.Str(v))
 	}
 	sort.Strings(out)
 	return out
 }
 
-// indexFor returns the hash index of one position set, building it on first
-// use. Tombstoned rows are skipped at build time, so lookups need no
-// per-row liveness check. The index maps are reached only through this
-// method, under mu; the offsets they hold point into the immutable rows.
-func (s *Snapshot) indexFor(positions []int) map[string][]int {
+// indexSet is the persistent index state shared by every snapshot of one
+// table (until a compaction renumbers offsets and starts a fresh set).
+// Each index maps a packed value key to the ascending master-log offsets of
+// the rows projecting to it, over the prefix [0, built); a snapshot
+// extends an index to its own watermark on first use and filters lookups
+// through its watermark and tombstone set, so one index serves every epoch.
+type indexSet struct {
+	mu      sync.RWMutex
+	indexes map[string]*index
+}
+
+type index struct {
+	positions []int
+	built     int // rows [0, built) are indexed
+	m         map[string][]int32
+}
+
+func newIndexSet() *indexSet { return &indexSet{indexes: make(map[string]*index)} }
+
+// lookup returns the rows of snapshot s matching the packed key over the
+// position set, extending the index over s's rows first when it lags.
+func (ix *indexSet) lookup(s *Snapshot, positions []int, key string) []IRow {
 	sig := sigOf(positions)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.indexes[sig]
-	if !ok {
-		m = make(map[string][]int)
-		for off, r := range s.rows {
-			if s.dead[off] {
-				continue
-			}
-			k := indexKey(r, positions)
-			m[k] = append(m[k], off)
-		}
-		if s.indexes == nil {
-			s.indexes = make(map[string]map[string][]int)
-		}
-		s.indexes[sig] = m
+	ix.mu.RLock()
+	in, ok := ix.indexes[sig]
+	if !ok || in.built < len(s.rows) {
+		ix.mu.RUnlock()
+		ix.mu.Lock()
+		in = ix.extendLocked(sig, positions, s.rows)
+		rows := s.collect(in.m[key])
+		ix.mu.Unlock()
+		return rows
 	}
-	return m
+	rows := s.collect(in.m[key])
+	ix.mu.RUnlock()
+	return rows
+}
+
+// extendLocked brings the index of one position set up to the given row
+// prefix; ix.mu is held for writing. Later rows appended by newer epochs
+// are indexed when a newer snapshot first looks them up.
+func (ix *indexSet) extendLocked(sig string, positions []int, rows []IRow) *index {
+	in, ok := ix.indexes[sig]
+	if !ok {
+		in = &index{positions: append([]int(nil), positions...)}
+		in.m = make(map[string][]int32)
+		ix.indexes[sig] = in
+	}
+	var kb [64]byte
+	for off := in.built; off < len(rows); off++ {
+		key := sym.AppendKey(kb[:0], projectRow(rows[off], in.positions))
+		in.m[string(key)] = append(in.m[string(key)], int32(off))
+	}
+	if len(rows) > in.built {
+		in.built = len(rows)
+	}
+	return in
+}
+
+// collect resolves a bucket of master-log offsets into this snapshot's
+// rows: offsets are ascending, so the bucket is cut at the snapshot's
+// watermark, and the snapshot's own tombstones are skipped.
+func (s *Snapshot) collect(offs []int32) []IRow {
+	n := len(offs)
+	// Binary-search the watermark cut: rows past this snapshot belong to
+	// later epochs.
+	if n > 0 && int(offs[n-1]) >= len(s.rows) {
+		n = sort.Search(n, func(i int) bool { return int(offs[i]) >= len(s.rows) })
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]IRow, 0, n)
+	if len(s.dead) == 0 {
+		for _, off := range offs[:n] {
+			out = append(out, s.rows[off])
+		}
+		return out
+	}
+	for _, off := range offs[:n] {
+		if !s.dead[int(off)] {
+			out = append(out, s.rows[off])
+		}
+	}
+	return out
+}
+
+// projectRow gathers the row's values at the given positions; small
+// position sets reuse a stack buffer at the call sites via sym.AppendKey.
+func projectRow(r IRow, positions []int) []sym.ID {
+	out := make([]sym.ID, len(positions))
+	for i, p := range positions {
+		out[i] = r[p]
+	}
+	return out
 }
 
 func sigOf(positions []int) string {
-	parts := make([]string, len(positions))
+	var b [16]byte
+	out := b[:0]
 	for i, p := range positions {
-		parts[i] = fmt.Sprint(p)
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = appendInt(out, p)
 	}
-	return strings.Join(parts, ",")
+	return string(out)
 }
 
-func indexKey(r Row, positions []int) string {
-	parts := make([]string, len(positions))
-	for i, p := range positions {
-		parts[i] = r[p]
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
 	}
-	return strings.Join(parts, "\x00")
+	return append(b, byte('0'+v%10))
 }
 
 // Database is a collection of named tables.

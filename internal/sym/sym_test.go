@@ -1,0 +1,224 @@
+package sym_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"toorjah/internal/storage"
+	"toorjah/internal/sym"
+)
+
+// TestInternRoundTrip is the basic interning property: on a stream of
+// random values (with duplicates, NULs, unicode, and the empty-adjacent
+// cases), Intern is idempotent, Str inverts it, Lookup agrees with Intern,
+// and the table issues dense IDs starting at 1.
+func TestInternRoundTrip(t *testing.T) {
+	tab := sym.NewTable()
+	rng := rand.New(rand.NewSource(1))
+	values := []string{"a", "\x00", "a\x00b", "héllo wörld", "0"}
+	for i := 0; i < 2000; i++ {
+		values = append(values, fmt.Sprintf("v%d", rng.Intn(700)))
+	}
+
+	ids := map[string]sym.ID{}
+	seen := map[sym.ID]bool{}
+	for _, v := range values {
+		id := tab.Intern(v)
+		if id == 0 {
+			t.Fatalf("Intern(%q) issued the reserved zero ID", v)
+		}
+		if prev, ok := ids[v]; ok {
+			if prev != id {
+				t.Fatalf("Intern(%q) unstable: %d then %d", v, prev, id)
+			}
+		} else {
+			if seen[id] {
+				t.Fatalf("Intern(%q) reused ID %d", v, id)
+			}
+			ids[v] = id
+			seen[id] = true
+		}
+		if got := tab.Str(id); got != v {
+			t.Fatalf("Str(Intern(%q)) = %q", v, got)
+		}
+		if lid, ok := tab.Lookup(v); !ok || lid != id {
+			t.Fatalf("Lookup(%q) = %d,%v; want %d,true", v, lid, ok, id)
+		}
+	}
+	if tab.Len() != len(ids) {
+		t.Errorf("Len() = %d, want %d distinct values", tab.Len(), len(ids))
+	}
+	for v, id := range ids {
+		if uint32(id) > uint32(len(ids)) {
+			t.Errorf("ID %d for %q not dense (only %d symbols)", id, v, len(ids))
+		}
+	}
+}
+
+// TestLookupAndStrOfAbsent pins the read-path contracts: Lookup never
+// interns, and Str of the zero or a never-issued ID is the empty string.
+func TestLookupAndStrOfAbsent(t *testing.T) {
+	tab := sym.NewTable()
+	tab.Intern("present")
+	before := tab.Len()
+	if _, ok := tab.Lookup("absent"); ok {
+		t.Error("Lookup of an absent value reported ok")
+	}
+	if tab.Len() != before {
+		t.Errorf("Lookup grew the table: %d -> %d", before, tab.Len())
+	}
+	if got := tab.Str(0); got != "" {
+		t.Errorf("Str(0) = %q, want \"\"", got)
+	}
+	if got := tab.Str(1 << 20); got != "" {
+		t.Errorf("Str(never issued) = %q, want \"\"", got)
+	}
+	if ids, ok := tab.LookupAll([]string{"present", "absent"}); ok || ids != nil {
+		t.Errorf("LookupAll with an absent value = %v,%v; want nil,false", ids, ok)
+	}
+}
+
+// TestInternPageGrowth interns several pages' worth of symbols so the
+// reverse-lookup directory has to grow, then verifies every ID — including
+// those issued before the growth — still resolves.
+func TestInternPageGrowth(t *testing.T) {
+	tab := sym.NewTable()
+	const n = 3*4096 + 17
+	ids := make([]sym.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = tab.Intern(fmt.Sprintf("sym-%d", i))
+	}
+	for i, id := range ids {
+		if got, want := tab.Str(id), fmt.Sprintf("sym-%d", i); got != want {
+			t.Fatalf("after page growth Str(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// TestConcurrentIntern is the -race property: goroutines interning heavily
+// overlapping value sets must agree on every ID, resolve every ID back to
+// its value mid-flight, and leave exactly one ID per distinct value.
+func TestConcurrentIntern(t *testing.T) {
+	tab := sym.NewTable()
+	const goroutines = 16
+	const distinct = 3000
+
+	results := make([][]sym.ID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			out := make([]sym.ID, distinct)
+			for _, i := range rng.Perm(distinct) {
+				v := fmt.Sprintf("shared-%d", i)
+				id := tab.Intern(v)
+				out[i] = id
+				if got := tab.Str(id); got != v {
+					t.Errorf("g%d: Str(Intern(%q)) = %q mid-flight", g, v, got)
+					return
+				}
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutines disagree on shared-%d: %d vs %d", i, results[g][i], results[0][i])
+			}
+		}
+	}
+	if tab.Len() != distinct {
+		t.Errorf("Len() = %d, want %d", tab.Len(), distinct)
+	}
+}
+
+// TestKeyInjectivity: packed keys collide only when the ID tuples are
+// equal — the property that lets dedup sets and cache keys hash packed
+// bytes instead of NUL-joined strings (which DO collide on values
+// containing the separator).
+func TestKeyInjectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string][]sym.ID{}
+	var buf []byte
+	for i := 0; i < 20000; i++ {
+		ids := make([]sym.ID, rng.Intn(5))
+		for j := range ids {
+			ids[j] = sym.ID(rng.Intn(500) + 1)
+		}
+		buf = sym.AppendKey(buf[:0], ids)
+		k := string(buf)
+		if k != sym.Key(ids) {
+			t.Fatal("AppendKey and Key disagree")
+		}
+		if prev, ok := seen[k]; ok {
+			if len(prev) != len(ids) {
+				t.Fatalf("key collision across arities: %v vs %v", prev, ids)
+			}
+			for j := range ids {
+				if prev[j] != ids[j] {
+					t.Fatalf("key collision: %v vs %v", prev, ids)
+				}
+			}
+		} else {
+			seen[k] = append([]sym.ID(nil), ids...)
+		}
+	}
+}
+
+// TestIDStabilityAcrossSnapshotsAndCompaction is the epoch-stability
+// contract the cross-query cache rests on: IDs recorded in a storage
+// snapshot keep resolving to the same values — and the forward map keeps
+// returning the same IDs — after the table underneath churns through
+// deletes, compaction and new epochs full of fresh symbols.
+func TestIDStabilityAcrossSnapshotsAndCompaction(t *testing.T) {
+	tab := storage.NewTable("r", 2)
+	for i := 0; i < 200; i++ {
+		tab.Insert(storage.Row{fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)})
+	}
+	snap := tab.Snapshot()
+	pinnedRows := snap.RowsSym()
+	pinnedIDs := make([][]sym.ID, len(pinnedRows))
+	pinnedStrs := make([][]string, len(pinnedRows))
+	for i, r := range pinnedRows {
+		pinnedIDs[i] = append([]sym.ID(nil), r...)
+		pinnedStrs[i] = r.Strings()
+	}
+
+	// Churn: delete most rows (driving the dead fraction past the
+	// compaction threshold), then insert fresh values across many epochs.
+	for i := 0; i < 180; i++ {
+		tab.Delete(storage.Row{fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)})
+	}
+	for i := 0; i < 5000; i++ {
+		tab.Insert(storage.Row{fmt.Sprintf("churn%d", i), fmt.Sprintf("w%d", i)})
+	}
+	if tab.Epoch() <= snap.Epoch() {
+		t.Fatalf("churn did not advance the epoch: %d <= %d", tab.Epoch(), snap.Epoch())
+	}
+
+	for i, ids := range pinnedIDs {
+		for j, id := range ids {
+			if got := sym.Str(id); got != pinnedStrs[i][j] {
+				t.Fatalf("ID %d renumbered: Str = %q, snapshot had %q", id, got, pinnedStrs[i][j])
+			}
+			if again, ok := sym.Lookup(pinnedStrs[i][j]); !ok || again != id {
+				t.Fatalf("Lookup(%q) = %d,%v after churn; snapshot had %d", pinnedStrs[i][j], again, ok, id)
+			}
+		}
+	}
+	// The pinned snapshot still materializes its original contents.
+	for i, r := range snap.RowsSym() {
+		for j, id := range r {
+			if id != pinnedIDs[i][j] {
+				t.Fatalf("snapshot row %d changed: %v vs %v", i, r, pinnedIDs[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package toorjah_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -220,7 +221,7 @@ func TestLiveMutationConsistency(t *testing.T) {
 				p := plans[rng.Intn(len(plans))]
 				switch rng.Intn(6) {
 				case 0:
-					res, err := p.cq.Execute()
+					res, err := p.cq.Execute(context.Background())
 					check("fastfail CQ", res, err, false)
 				case 1:
 					res, err := p.cq.ExecuteNaive()
@@ -229,13 +230,13 @@ func TestLiveMutationConsistency(t *testing.T) {
 					res, err := p.cq.Stream(toorjah.PipeOptions{}, nil)
 					check("pipelined CQ", res, err, false)
 				case 3:
-					res, err := p.ucq.Execute()
+					res, err := p.ucq.Execute(context.Background())
 					check("parallel UCQ", res, err, true)
 				case 4:
 					res, err := p.ucq.Stream(toorjah.PipeOptions{}, func(toorjah.Tuple) {})
 					check("streamed UCQ", res, err, true)
 				case 5:
-					res, err := p.ucq.ExecuteSequential(toorjah.Options{})
+					res, err := p.ucq.ExecuteSequential(context.Background(), toorjah.Options{})
 					check("sequential UCQ", res, err, true)
 				}
 			}
@@ -252,12 +253,16 @@ func TestLiveMutationConsistency(t *testing.T) {
 	wantU := fmt.Sprintf("u%d", finalGen)
 	for i, p := range plans {
 		for kind, run := range map[string]func() (*toorjah.Result, error){
-			"fastfail": p.cq.Execute,
-			"naive":    p.cq.ExecuteNaive,
+			"fastfail": func() (*toorjah.Result, error) {
+				return p.cq.Execute(context.Background())
+			},
+			"naive": p.cq.ExecuteNaive,
 			"pipelined": func() (*toorjah.Result, error) {
 				return p.cq.Stream(toorjah.PipeOptions{}, nil)
 			},
-			"ucq": p.ucq.Execute,
+			"ucq": func() (*toorjah.Result, error) {
+				return p.ucq.Execute(context.Background())
+			},
 		} {
 			res, err := run()
 			if err != nil {

@@ -9,6 +9,7 @@ package toorjah
 // paper's cost model is untouched by federation) and is the gated metric.
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -74,7 +75,7 @@ func benchRemote(b *testing.B, maxBatch int) {
 	var accesses, batches int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := q.Execute()
+		r, err := q.Execute(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

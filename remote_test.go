@@ -1,6 +1,7 @@
 package toorjah
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -69,7 +70,7 @@ func TestWithRemoteFederatedQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := lq.Execute()
+	want, err := lq.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestWithRemoteFederatedQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := q.Execute()
+	got, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ r3^oo(Artist, Album)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := q.Execute()
+		res, err := q.Execute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ r3^oo(Artist, Album)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := q.Execute()
+	cold, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ r3^oo(Artist, Album)
 	if coldProbes == 0 || cold.TotalAccesses() == 0 {
 		t.Fatalf("cold run: %d probes, %d accesses, want > 0", coldProbes, cold.TotalAccesses())
 	}
-	warm, err := q.Execute()
+	warm, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestRemoteUCQ(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := lu.Execute()
+	want, err := lu.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestRemoteUCQ(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := u.Execute()
+	got, err := u.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestAttachRemoteErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ r3^oo(Artist, Album)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

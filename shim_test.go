@@ -1,0 +1,132 @@
+package toorjah
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDeprecatedShimEquivalence pins the deprecated execution entry points
+// to the context-first Execute they now delegate to: same answers, same
+// access counts, same callback behavior — so callers can migrate (or not)
+// without any observable change.
+func TestDeprecatedShimEquivalence(t *testing.T) {
+	sys := musicSystem(t)
+	ctx := context.Background()
+
+	q, err := sys.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.PrepareUCQ("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)\nq(B) :- r3(madonna, B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{MaxBatch: -1, NoMetaCache: true}
+	pairs := []struct {
+		name       string
+		deprecated func() (*Result, error)
+		current    func() (*Result, error)
+	}{
+		{"cq/ExecuteOpts",
+			func() (*Result, error) { return q.ExecuteOpts(opts) },
+			func() (*Result, error) { return q.Execute(ctx, WithExecOptions(opts)) }},
+		{"cq/ExecuteNaive",
+			func() (*Result, error) { return q.ExecuteNaive() },
+			func() (*Result, error) { return q.Execute(ctx, WithExecutor(ExecutorNaive)) }},
+		{"cq/ExecuteNaiveOpts",
+			func() (*Result, error) { return q.ExecuteNaiveOpts(opts) },
+			func() (*Result, error) {
+				return q.Execute(ctx, WithExecutor(ExecutorNaive), WithExecOptions(opts))
+			}},
+		{"ucq/ExecuteOpts",
+			func() (*Result, error) { return u.ExecuteOpts(opts) },
+			func() (*Result, error) { return u.Execute(ctx, WithExecOptions(opts)) }},
+		{"ucq/ExecuteNaive",
+			func() (*Result, error) { return u.ExecuteNaive() },
+			func() (*Result, error) { return u.Execute(ctx, WithExecutor(ExecutorNaive)) }},
+		{"ucq/ExecuteNaiveOpts",
+			func() (*Result, error) { return u.ExecuteNaiveOpts(opts) },
+			func() (*Result, error) {
+				return u.Execute(ctx, WithExecutor(ExecutorNaive), WithExecOptions(opts))
+			}},
+	}
+	for _, p := range pairs {
+		old, err := p.deprecated()
+		if err != nil {
+			t.Fatalf("%s: deprecated: %v", p.name, err)
+		}
+		cur, err := p.current()
+		if err != nil {
+			t.Fatalf("%s: current: %v", p.name, err)
+		}
+		oldA := strings.Join(old.SortedAnswers(), ";")
+		curA := strings.Join(cur.SortedAnswers(), ";")
+		if oldA != curA {
+			t.Errorf("%s: answers diverge: deprecated [%s], current [%s]", p.name, oldA, curA)
+		}
+		if old.TotalAccesses() != cur.TotalAccesses() {
+			t.Errorf("%s: accesses diverge: deprecated %d, current %d",
+				p.name, old.TotalAccesses(), cur.TotalAccesses())
+		}
+	}
+
+	// Stream shims: same answers, and the callback fires once per distinct
+	// answer on both sides.
+	var oldCalls, curCalls int
+	oldS, err := q.Stream(PipeOptions{Parallelism: 2, Options: Options{MaxBatch: -1}},
+		func(Tuple) { oldCalls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	curS, err := q.Execute(ctx,
+		WithExecOptions(Options{Parallelism: 2, MaxBatch: -1}),
+		OnAnswer(func(Tuple) { curCalls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := strings.Join(oldS.SortedAnswers(), ";"), strings.Join(curS.SortedAnswers(), ";"); a != b {
+		t.Errorf("cq/Stream answers diverge: deprecated [%s], current [%s]", a, b)
+	}
+	if oldCalls != oldS.Answers.Len() || curCalls != curS.Answers.Len() {
+		t.Errorf("callback counts: deprecated %d/%d answers, current %d/%d answers",
+			oldCalls, oldS.Answers.Len(), curCalls, curS.Answers.Len())
+	}
+
+	oldCalls, curCalls = 0, 0
+	oldU, err := u.Stream(PipeOptions{}, func(Tuple) { oldCalls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	curU, err := u.Execute(ctx, OnAnswer(func(Tuple) { curCalls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := strings.Join(oldU.SortedAnswers(), ";"), strings.Join(curU.SortedAnswers(), ";"); a != b {
+		t.Errorf("ucq/Stream answers diverge: deprecated [%s], current [%s]", a, b)
+	}
+	if oldCalls != oldU.Answers.Len() || curCalls != curU.Answers.Len() {
+		t.Errorf("union callback counts: deprecated %d/%d answers, current %d/%d answers",
+			oldCalls, oldU.Answers.Len(), curCalls, curU.Answers.Len())
+	}
+
+	// PipeOptions outer fields must flatten into the unified Options: a
+	// Limit set on the deprecated struct truncates exactly like WithLimit.
+	oldL, err := u.Stream(PipeOptions{Limit: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curL, err := u.Execute(ctx, WithLimit(1), OnAnswer(func(Tuple) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldL.Answers.Len() != 1 || curL.Answers.Len() != 1 {
+		t.Errorf("limit shim: deprecated %d answers, current %d answers (want 1 each)",
+			oldL.Answers.Len(), curL.Answers.Len())
+	}
+	if !oldL.Truncated || !curL.Truncated {
+		t.Errorf("limit shim: truncated flags deprecated=%v current=%v (want true)",
+			oldL.Truncated, curL.Truncated)
+	}
+}

@@ -24,8 +24,20 @@
 //	sys := toorjah.NewSystem(sch)
 //	sys.BindRows("artist", rows...)            // or sys.Bind(rel, wrapper)
 //	q, _ := sys.Prepare("q(N) :- artist(A, N, Y1), song(volare, Y2, A)")
-//	res, _ := q.Execute()
+//	res, _ := q.Execute(ctx)
 //	fmt.Println(res.SortedAnswers(), res.TotalAccesses())
+//
+// Execute is context-first: the context cancels the extraction (returning
+// the answers derived so far as a truncated, sound subset) and carries the
+// query's observability baggage down to the sources. Functional options
+// select the executor and shape the run — WithExecutor picks the
+// fast-failing batch strategy (default), the parallel pipelined engine or
+// the naive reference algorithm; OnAnswer streams answers as they are
+// derived (and alone implies the pipelined engine); WithLimit caps the
+// answers; WithExecOptions opens the full executor-level Options block:
+//
+//	res, _ = q.Execute(ctx, toorjah.WithLimit(10),
+//	    toorjah.OnAnswer(func(t toorjah.Tuple) { fmt.Println(t.Strings()) }))
 //
 // Unions of conjunctive queries are first-class too: PrepareUCQ takes one
 // disjunct per line (same head predicate and arity), and the resulting
@@ -34,7 +46,7 @@
 // disjuncts:
 //
 //	u, _ := sys.PrepareUCQ("q(N) :- artist(A, N, Y)\nq(N) :- song(N, Y, A)")
-//	ures, _ := u.Execute()
+//	ures, _ := u.Execute(ctx)
 //
 // A System can keep a cross-query access cache (see WithCache): since the
 // dominant cost is the number of accesses, a long-running service that
@@ -70,6 +82,7 @@
 package toorjah
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -109,10 +122,10 @@ type (
 	Wrapper = source.Wrapper
 	// Row is one stored tuple.
 	Row = storage.Row
-	// Options tunes the optimized executors (ablation switches).
+	// Options is the unified executor-level configuration (ablation
+	// switches, cross-query cache, batching, pipelined tuning, union
+	// parallelism); see WithExecOptions.
 	Options = exec.Options
-	// PipeOptions tunes the pipelined executor.
-	PipeOptions = exec.PipeOptions
 	// CacheOptions configures the cross-query access cache.
 	CacheOptions = cache.Options
 	// AccessCache is a shared cross-query access cache (see WithCache).
@@ -159,7 +172,7 @@ func ParseQuery(text string) (*CQ, error) { return cq.Parse(text) }
 
 // System binds a schema to data sources and prepares queries against them.
 // With a cache configured (WithCache / WithSharedCache), every execution —
-// Execute, ExecuteNaive, Stream, and UCQ execution — serves its accesses
+// whichever executor, CQ or UCQ — serves its accesses
 // through the shared cross-query cache; Result.Stats then counts only the
 // probes that actually reached the sources, so a fully cached run reports
 // zero accesses.
@@ -362,9 +375,12 @@ func (s *System) Insert(name string, rows ...Row) (int, error) {
 }
 
 // validateRows rejects rows a table could not store faithfully: wrong
-// arity, and values containing NUL (the storage layer's row and index keys
-// are NUL-joined, so a NUL inside a value would let two distinct rows
-// collide — unreachable from CSV, but reachable from JSON ingestion).
+// arity, and values containing NUL. Storage itself no longer cares — rows
+// are interned to symbol IDs and indexed on packed integer keys — but the
+// wire formats still do: the HTTP probe protocol and Access.Key join
+// values with NUL, so a NUL inside a value would let two distinct bindings
+// collide at the federation boundary (unreachable from CSV, reachable from
+// JSON ingestion).
 func validateRows(name string, rows []Row, arity int) error {
 	for _, r := range rows {
 		if len(r) != arity {
@@ -589,58 +605,72 @@ func (q *Query) emptyResult() *Result {
 	}
 }
 
-// Execute runs the fast-failing ⊂-minimal strategy and returns all
-// obtainable answers.
-func (q *Query) Execute() (*Result, error) {
-	return q.ExecuteOpts(Options{})
+// PipeOptions tunes the deprecated Stream entry points. The outer fields
+// shadow the same-named fields of the embedded Options; flatten folds them
+// into one executor-level block.
+//
+// Deprecated: use Execute with OnAnswer (and WithExecOptions for the
+// tuning knobs); pass the context as Execute's first argument instead of
+// the Ctx field.
+type PipeOptions struct {
+	// QueueLen is the per-wrapper access queue capacity; default 32.
+	QueueLen int
+	// Parallelism is the number of concurrent probes per relation;
+	// default 4.
+	Parallelism int
+	// Limit, when positive, stops the extraction at that many answers.
+	Limit int
+	// Ctx, when non-nil, cancels the extraction.
+	Ctx context.Context
+	Options
 }
 
-// ExecuteOpts is Execute with ablation options; the system's cross-query
-// cache, when configured, is used unless opts carries its own.
-func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
-	return q.executeOn(q.sys.reg, opts)
-}
-
-// executeOn is ExecuteOpts over an explicit registry: the UCQ runner passes
-// one pinned snapshot so every disjunct answers over the same data version.
-func (q *Query) executeOn(reg *source.Registry, opts Options) (*Result, error) {
-	if !q.Answerable() {
-		return q.emptyResult(), nil
+// flatten folds the shadowing outer fields into the embedded Options.
+func (o PipeOptions) flatten() Options {
+	out := o.Options
+	if o.QueueLen != 0 {
+		out.QueueLen = o.QueueLen
 	}
-	return exec.FastFailingOpts(q.pipeline.Plan, reg, q.sys.execOpts(opts))
+	if o.Parallelism != 0 {
+		out.Parallelism = o.Parallelism
+	}
+	if o.Limit != 0 {
+		out.Limit = o.Limit
+	}
+	return out
+}
+
+// ExecuteOpts runs the fast-failing strategy with ablation options.
+//
+// Deprecated: use Execute(ctx, WithExecOptions(opts)).
+func (q *Query) ExecuteOpts(opts Options) (*Result, error) {
+	return q.Execute(context.Background(), WithExecOptions(opts))
 }
 
 // ExecuteNaive runs the reference algorithm of the paper's Fig. 1 (probe
 // everything probeable until fixpoint).
+//
+// Deprecated: use Execute(ctx, WithExecutor(ExecutorNaive)).
 func (q *Query) ExecuteNaive() (*Result, error) {
-	return q.ExecuteNaiveOpts(Options{})
+	return q.Execute(context.Background(), WithExecutor(ExecutorNaive))
 }
 
-// ExecuteNaiveOpts is ExecuteNaive with options; Cache, MaxBatch and Ctx
-// are meaningful here (the ablation switches target the optimized
-// strategies).
+// ExecuteNaiveOpts is ExecuteNaive with options.
+//
+// Deprecated: use Execute(ctx, WithExecutor(ExecutorNaive),
+// WithExecOptions(opts)).
 func (q *Query) ExecuteNaiveOpts(opts Options) (*Result, error) {
-	return q.executeNaiveOn(q.sys.reg, opts)
-}
-
-// executeNaiveOn is ExecuteNaiveOpts over an explicit registry.
-func (q *Query) executeNaiveOn(reg *source.Registry, opts Options) (*Result, error) {
-	return exec.NaiveOpts(q.sys.sch, reg, q.pipeline.Query, q.pipeline.Typing,
-		q.sys.execOpts(opts))
+	return q.Execute(context.Background(),
+		WithExecutor(ExecutorNaive), WithExecOptions(opts))
 }
 
 // Stream runs the parallel pipelined engine; onAnswer is invoked for every
 // answer the moment it becomes derivable (for queries without negation) or
 // at completion (with negation).
+//
+// Deprecated: use Execute(ctx, OnAnswer(onAnswer)) — OnAnswer alone
+// selects the pipelined engine.
 func (q *Query) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
-	return q.streamOn(q.sys.reg, opts, onAnswer)
-}
-
-// streamOn is Stream over an explicit registry.
-func (q *Query) streamOn(reg *source.Registry, opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
-	if !q.Answerable() {
-		return q.emptyResult(), nil
-	}
-	opts.Options = q.sys.execOpts(opts.Options)
-	return exec.Pipelined(q.pipeline.Plan, reg, opts, onAnswer)
+	return q.Execute(opts.Ctx, WithExecutor(ExecutorPipelined),
+		WithExecOptions(opts.flatten()), OnAnswer(onAnswer))
 }

@@ -1,6 +1,7 @@
 package toorjah
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func TestSystemEndToEnd(t *testing.T) {
 	if !q.Answerable() {
 		t.Fatal("answerable")
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ r2^oo(B, C)
 	if q.Answerable() {
 		t.Error("nothing provides domain A: not answerable")
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ r2^io(B, C)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSystemLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ q(X) :- pub2(P, X), conf(P, icde, Y)
 	if !u.Answerable() || len(u.Disjuncts()) != 2 {
 		t.Fatal("UCQ preparation broken")
 	}
-	res, err := u.Execute()
+	res, err := u.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,14 +260,14 @@ func TestCachedSystemSecondRunNoProbes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1, err := q.Execute()
+	res1, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res1.TotalAccesses() == 0 {
 		t.Fatal("cold run made no accesses")
 	}
-	res2, err := q.Execute()
+	res2, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,11 +323,11 @@ func TestCachedSystemRebindInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.Execute(); err != nil {
+	if _, err := q.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	must(t, sys.BindRows("r3", Row{"madonna", "like_a_prayer"}))
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestSharedCacheRequiresExplicitBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := qA.Execute(); err != nil {
+	if _, err := qA.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -364,7 +365,7 @@ r3^oo(Artist, Album)
 	}
 
 	// sysA's cached answers are intact.
-	res, err := qA.Execute()
+	res, err := qA.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,14 +387,14 @@ func TestSharedCacheAcrossSystems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := qA.Execute(); err != nil {
+	if _, err := qA.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	qB, err := sysB.Prepare("q(N) :- r1(A, N, Y1), r2(volare, Y2, A)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := qB.Execute()
+	res, err := qB.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +428,7 @@ r3^oo(Artist, Album)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := q.Execute()
+	res, err := q.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +445,7 @@ r3^oo(Artist, Album)
 		t.Fatalf("metrics missing %q:\n%s", want, out.String())
 	}
 	// A cache-warm repeat must not advance the probed-access counter.
-	if _, err := q.Execute(); err != nil {
+	if _, err := q.Execute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()

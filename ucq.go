@@ -7,7 +7,6 @@ import (
 
 	"toorjah/internal/cq"
 	"toorjah/internal/datalog"
-	"toorjah/internal/exec"
 	"toorjah/internal/source"
 )
 
@@ -75,108 +74,62 @@ func (u *UnionQuery) Answerable() bool {
 	return false
 }
 
-// unionOpts builds the runner options shared by the concurrent entry
-// points.
-func (u *UnionQuery) unionOpts(ctx context.Context) exec.UnionOptions {
-	return exec.UnionOptions{MaxConcurrent: u.MaxConcurrent, Ctx: ctx}
-}
-
-// disjunctRuns adapts one per-Query execution function into the runner's
-// disjunct slice; call receives the runner's derived context, which it must
-// thread into the executor options.
-func (u *UnionQuery) disjunctRuns(call func(q *Query, ctx context.Context, emit func(datalog.Tuple)) (*Result, error)) []exec.DisjunctRun {
-	runs := make([]exec.DisjunctRun, len(u.queries))
-	for i, q := range u.queries {
-		q := q
-		runs[i] = func(ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
-			return call(q, ctx, emit)
-		}
-	}
-	return runs
-}
-
-// Execute runs every disjunct's fast-failing ⊂-minimal strategy
-// concurrently and unions the answers.
-func (u *UnionQuery) Execute() (*Result, error) {
-	return u.ExecuteOpts(Options{})
-}
-
-// ExecuteOpts is Execute with ablation options: the disjuncts run
-// concurrently (bounded by MaxConcurrent) over the shared registry and the
-// system's cross-query cache. Per-relation statistics merge via
-// source.Stats.Add over disjuncts — accesses, source round trips (Batches)
-// and extracted tuples all survive — and Truncated/EarlyEmpty are OR-ed: a
-// cancelled Options.Ctx yields a truncated, sound subset of the obtainable
-// union, exactly as with the CQ executors. Elapsed and TimeToFirst are
-// wall-clock times of the whole union.
+// ExecuteOpts runs every disjunct's fast-failing strategy concurrently
+// with ablation options.
+//
+// Deprecated: use Execute(ctx, WithExecOptions(opts)).
 func (u *UnionQuery) ExecuteOpts(opts Options) (*Result, error) {
-	pinned := u.sys.reg.Snapshot() // one data version for every disjunct
-	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
-		o := opts
-		o.Ctx = ctx
-		return q.executeOn(pinned, o)
-	})
-	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
+	return u.Execute(context.Background(), WithExecOptions(opts))
 }
 
 // ExecuteNaive runs the reference algorithm of the paper's Fig. 1 on every
 // disjunct, concurrently, and unions the answers.
+//
+// Deprecated: use Execute(ctx, WithExecutor(ExecutorNaive)).
 func (u *UnionQuery) ExecuteNaive() (*Result, error) {
-	return u.ExecuteNaiveOpts(Options{})
+	return u.Execute(context.Background(), WithExecutor(ExecutorNaive))
 }
 
-// ExecuteNaiveOpts is ExecuteNaive with options (Cache, MaxBatch, Ctx).
+// ExecuteNaiveOpts is ExecuteNaive with options.
+//
+// Deprecated: use Execute(ctx, WithExecutor(ExecutorNaive),
+// WithExecOptions(opts)).
 func (u *UnionQuery) ExecuteNaiveOpts(opts Options) (*Result, error) {
-	pinned := u.sys.reg.Snapshot()
-	runs := u.disjunctRuns(func(q *Query, ctx context.Context, _ func(datalog.Tuple)) (*Result, error) {
-		o := opts
-		o.Ctx = ctx
-		return q.executeNaiveOn(pinned, o)
-	})
-	return exec.Union(u.name, u.arity, runs, u.unionOpts(opts.Ctx), nil)
+	return u.Execute(context.Background(),
+		WithExecutor(ExecutorNaive), WithExecOptions(opts))
 }
 
 // Stream runs every disjunct's pipelined engine concurrently; onAnswer is
-// invoked exactly once per distinct union answer, the moment the first
-// disjunct derives it (cross-disjunct deduplication). Calls to onAnswer are
-// serialized — never concurrent — so a single-threaded sink (an HTTP
-// response, a terminal) needs no locking. opts.Limit caps the distinct
-// union answers; opts.Ctx (or opts.Options.Ctx) cancels the whole union
-// into a truncated sound subset.
+// invoked exactly once per distinct union answer.
+//
+// Deprecated: use Execute(ctx, OnAnswer(onAnswer)) — OnAnswer alone
+// selects the pipelined engine.
 func (u *UnionQuery) Stream(opts PipeOptions, onAnswer func(Tuple)) (*Result, error) {
-	pinned := u.sys.reg.Snapshot()
-	runs := u.disjunctRuns(func(q *Query, ctx context.Context, emit func(datalog.Tuple)) (*Result, error) {
-		o := opts
-		o.Ctx = ctx
-		return q.streamOn(pinned, o, emit)
-	})
-	ctx := opts.Ctx
-	if ctx == nil {
-		ctx = opts.Options.Ctx
-	}
-	uo := u.unionOpts(ctx)
-	uo.Limit = opts.Limit
-	return exec.Union(u.name, u.arity, runs, uo, onAnswer)
+	return u.Execute(opts.Ctx, WithExecutor(ExecutorPipelined),
+		WithExecOptions(opts.flatten()), OnAnswer(onAnswer))
 }
 
 // ExecuteSequential runs the disjuncts one at a time with the fast-failing
 // strategy — the historical UCQ loop, kept for measurement against the
 // concurrent Execute (the benchmarks compare them under source latency).
-// The merge is the same as ExecuteOpts: stats via source.Stats.Add, flags
-// OR-ed, wall-clock Elapsed/TimeToFirst; a cancelled Options.Ctx stops
-// between (and inside) disjuncts with a truncated sound subset.
-func (u *UnionQuery) ExecuteSequential(opts Options) (*Result, error) {
+// The merge is the same as Execute's: stats via source.Stats.Add, flags
+// OR-ed, wall-clock Elapsed/TimeToFirst; a cancelled ctx stops between
+// (and inside) disjuncts with a truncated sound subset.
+func (u *UnionQuery) ExecuteSequential(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	pinned := u.sys.reg.Snapshot() // one data version across the loop too
 	union := datalog.NewRelation(u.name, u.arity)
 	stats := make(map[string]source.Stats)
 	out := &Result{Answers: union, Stats: stats}
 	for _, q := range u.queries {
-		if ctxDone(opts.Ctx) {
+		if ctx.Err() != nil {
 			out.Truncated = true
 			break
 		}
-		r, err := q.executeOn(pinned, opts)
+		r, err := q.executeWith(ctx, pinned, execConfig{opts: opts})
 		if err != nil {
 			return nil, err
 		}
@@ -195,17 +148,4 @@ func (u *UnionQuery) ExecuteSequential(opts Options) (*Result, error) {
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
-}
-
-// ctxDone reports whether a (possibly nil) context has been cancelled.
-func ctxDone(ctx context.Context) bool {
-	if ctx == nil {
-		return false
-	}
-	select {
-	case <-ctx.Done():
-		return true
-	default:
-		return false
-	}
 }

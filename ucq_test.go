@@ -70,9 +70,9 @@ func TestUCQBatchesPropagated(t *testing.T) {
 		}
 		var res *Result
 		if mode == "parallel" {
-			res, err = u.Execute() // default MaxBatch = 16
+			res, err = u.Execute(context.Background()) // default MaxBatch = 16
 		} else {
-			res, err = u.ExecuteSequential(Options{})
+			res, err = u.ExecuteSequential(context.Background(), Options{})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -106,7 +106,7 @@ func TestUCQParallelCachedNoMoreAccesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seqRes, err := seqU.ExecuteSequential(opts)
+	seqRes, err := seqU.ExecuteSequential(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestUCQPropertyUnionOfDisjuncts(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
-			r, err := q.Execute()
+			r, err := q.Execute(context.Background())
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
@@ -239,9 +239,9 @@ func TestUCQPropertyUnionOfDisjuncts(t *testing.T) {
 			}
 			u.MaxConcurrent = len(u.Disjuncts())
 
-			res, err := u.Execute()
+			res, err := u.Execute(context.Background())
 			check(label+"/parallel", res, err)
-			res, err = u.ExecuteSequential(Options{})
+			res, err = u.ExecuteSequential(context.Background(), Options{})
 			check(label+"/sequential", res, err)
 			res, err = u.ExecuteNaive()
 			check(label+"/naive", res, err)
@@ -255,7 +255,7 @@ func TestUCQPropertyUnionOfDisjuncts(t *testing.T) {
 			}
 			if cached {
 				// A warm repeat is served entirely from the cache.
-				warm, err := u.Execute()
+				warm, err := u.Execute(context.Background())
 				check("warm/parallel", warm, err)
 				if err == nil && warm.TotalAccesses() != 0 {
 					t.Errorf("seed %d warm run made %d probes, want 0", seed, warm.TotalAccesses())
@@ -277,7 +277,7 @@ func TestUCQCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := fullU.Execute()
+	full, err := fullU.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestUCQCancellation(t *testing.T) {
 	// truncated empty union.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := fullU.ExecuteOpts(Options{Ctx: ctx})
+	res, err := fullU.Execute(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,9 +308,9 @@ func TestUCQCancellation(t *testing.T) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 		var r *Result
 		if mode == "execute" {
-			r, err = u.ExecuteOpts(Options{Ctx: ctx, MaxBatch: -1})
+			r, err = u.Execute(ctx, WithExecOptions(Options{MaxBatch: -1}))
 		} else {
-			r, err = u.Stream(PipeOptions{Options: Options{Ctx: ctx, MaxBatch: -1}}, nil)
+			r, err = u.Stream(PipeOptions{Ctx: ctx, Options: Options{MaxBatch: -1}}, nil)
 		}
 		cancel()
 		if err != nil {
@@ -351,7 +351,7 @@ q(X) :- pub2(P, X), conf(P, icde, Y)
 		t.Fatal(err)
 	}
 	var streamed []string
-	res, err := u.Stream(PipeOptions{}, func(t Tuple) { streamed = append(streamed, t[0]) })
+	res, err := u.Stream(PipeOptions{}, func(t Tuple) { streamed = append(streamed, t.Strings()[0]) })
 	if err != nil {
 		t.Fatal(err)
 	}
