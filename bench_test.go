@@ -82,7 +82,7 @@ func BenchmarkFig6_Q3_Optimized(b *testing.B) { benchFig6Query(b, 2, false) }
 func BenchmarkFig10(b *testing.B) {
 	var saved float64
 	for i := 0; i < b.N; i++ {
-		st, err := experiments.RunFig10(int64(i+1), 2, 6, gen.Fig10())
+		st, err := experiments.RunFig10(context.Background(), int64(i+1), 2, 6, gen.Fig10())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func benchFig11(b *testing.B, atoms int) {
 	cfg.MinAtoms, cfg.MaxAtoms = atoms, atoms
 	var naiveMS, optMS float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunFig11(int64(i+1), 2, 5, 200*time.Microsecond, cfg)
+		rows, err := experiments.RunFig11(context.Background(), int64(i+1), 2, 5, 200*time.Microsecond, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,26 +52,27 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
+	ctx := context.Background()
 
 	// The old main dropped the figure errors on the floor; propagate them,
 	// so a generation failure exits non-zero instead of truncating output.
 	switch *fig {
 	case "6":
-		return experiments.Fig6(stdout, *seed, *tuples)
+		return experiments.Fig6(ctx, stdout, *seed, *tuples)
 	case "10":
-		return experiments.Fig10(stdout, *seed, *schemas, *queries)
+		return experiments.Fig10(ctx, stdout, *seed, *schemas, *queries)
 	case "11":
-		return experiments.Fig11(stdout, *seed, *schemas, *queries, *latencyUS)
+		return experiments.Fig11(ctx, stdout, *seed, *schemas, *queries, *latencyUS)
 	case "all":
-		if err := experiments.Fig6(stdout, *seed, *tuples); err != nil {
+		if err := experiments.Fig6(ctx, stdout, *seed, *tuples); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout)
-		if err := experiments.Fig10(stdout, *seed, *schemas, *queries); err != nil {
+		if err := experiments.Fig10(ctx, stdout, *seed, *schemas, *queries); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout)
-		return experiments.Fig11(stdout, *seed, *schemas, *queries, *latencyUS)
+		return experiments.Fig11(ctx, stdout, *seed, *schemas, *queries, *latencyUS)
 	default:
 		return fmt.Errorf("unknown figure %q (want 6, 10, 11 or all)", *fig)
 	}

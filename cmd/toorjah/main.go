@@ -114,7 +114,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	for _, spec := range remotes {
-		if err := sys.AttachRemote(spec); err != nil {
+		if err := sys.AttachRemote(context.Background(), spec); err != nil {
 			return err
 		}
 	}
@@ -258,7 +258,7 @@ func loadDatabase(sch *schema.Schema, dir string) (*storage.Database, error) {
 		if err != nil {
 			return nil, err
 		}
-		dbt.InsertAll(tab.Rows())
+		dbt.InsertAll(tab.Snapshot().Rows())
 	}
 	return db, nil
 }

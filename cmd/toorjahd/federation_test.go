@@ -230,7 +230,7 @@ func (w *federationWorkload) federatedSystem(t *testing.T, opts ...toorjah.Syste
 		t.Fatal(err)
 	}
 	for _, spec := range w.specs {
-		if err := sys.AttachRemote(spec); err != nil {
+		if err := sys.AttachRemote(context.Background(), spec); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -367,7 +367,7 @@ func TestFederationFaults(t *testing.T) {
 		t.Helper()
 		url := startToorjahd(t, sch.Relations(), db, wrap)
 		sys := toorjah.NewSystem(sch.Clone(), toorjah.WithRemoteOptions(ropts))
-		if err := sys.AttachRemote(url); err != nil {
+		if err := sys.AttachRemote(context.Background(), url); err != nil {
 			t.Fatal(err)
 		}
 		q, err := sys.Prepare(pubQuery)
@@ -484,7 +484,7 @@ func TestServerFederationEndpoints(t *testing.T) {
 		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
 		t.Fatal(err)
 	}
-	if err := front.AttachRemote(peerURL + "=rev"); err != nil {
+	if err := front.AttachRemote(context.Background(), peerURL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
 	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
@@ -584,7 +584,7 @@ func TestReadinessReportsDeadPeer(t *testing.T) {
 		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
 		t.Fatal(err)
 	}
-	if err := front.AttachRemote(peer.URL + "=rev"); err != nil {
+	if err := front.AttachRemote(context.Background(), peer.URL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
 	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())

@@ -177,7 +177,7 @@ func main() {
 		fatal(err)
 	}
 	for _, spec := range remotes {
-		if err := sys.AttachRemote(spec); err != nil {
+		if err := sys.AttachRemote(context.Background(), spec); err != nil {
 			fatal(err)
 		}
 		log.Printf("toorjahd: attached federation peer %s", spec)
@@ -279,7 +279,7 @@ func loadDatabase(sch *schema.Schema, dir string) (*storage.Database, error) {
 		if err != nil {
 			return nil, err
 		}
-		dbt.InsertAll(tab.Rows())
+		dbt.InsertAll(tab.Snapshot().Rows())
 	}
 	return db, nil
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -328,7 +329,7 @@ func TestFederatedTraceStitching(t *testing.T) {
 		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
 		t.Fatal(err)
 	}
-	if err := front.AttachRemote(peer.URL + "=rev"); err != nil {
+	if err := front.AttachRemote(context.Background(), peer.URL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
 	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
@@ -424,7 +425,7 @@ func TestReadyTimeoutBoundsSlowPeer(t *testing.T) {
 		[]*schema.Relation{sch.Relation("pub1"), sch.Relation("conf")})); err != nil {
 		t.Fatal(err)
 	}
-	if err := front.AttachRemote(peerURL + "=rev"); err != nil {
+	if err := front.AttachRemote(context.Background(), peerURL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
 	fsrv := newServer(front, toorjah.Options{})

@@ -86,6 +86,7 @@ type server struct {
 	queryDuration *obs.HistogramVec
 	queryFirst    *obs.HistogramVec
 	peerProbeDur  *obs.Histogram
+	writeErrs     *obs.Counter
 	queryLog      *obs.QueryLog
 	readyTimeout  time.Duration
 }
@@ -123,6 +124,8 @@ func newServer(sys *toorjah.System, execOpts toorjah.Options) *server {
 		"Time until the first answer of one served /query streamed, by executor.", obs.LatencyBuckets, "executor")
 	s.peerProbeDur = s.metrics.Histogram("toorjah_peer_probe_duration_seconds",
 		"Latency of one /probe round trip served to a federated peer.", obs.LatencyBuckets)
+	s.writeErrs = s.metrics.Counter("toorjah_response_write_errors_total",
+		"Response writes dropped because the client disconnected mid-reply.")
 	s.registerCollectors()
 	s.probeH = remote.NewHandler(sys.ProbeRegistry())
 	s.probeH.Record = s.recordProbe
@@ -341,7 +344,7 @@ func (s *server) handler() http.Handler {
 // federated queries to a node whose peers are unreachable).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !r.URL.Query().Has("ready") {
-		io.WriteString(w, "ok\n")
+		s.writeString(w, "ok\n")
 		return
 	}
 	type peerStatus struct {
@@ -382,7 +385,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(resp)
+	s.encode(enc, resp)
+}
+
+// encode writes one JSON value to the response stream, counting a failed
+// write; the false return tells a streaming caller the client is gone.
+func (s *server) encode(enc *json.Encoder, v any) bool {
+	if err := enc.Encode(v); err != nil {
+		s.writeErrs.Inc()
+		return false
+	}
+	return true
+}
+
+// writeString is io.WriteString to the response with the same
+// dropped-write accounting.
+func (s *server) writeString(w io.Writer, text string) {
+	if _, err := io.WriteString(w, text); err != nil {
+		s.writeErrs.Inc()
+	}
 }
 
 // prepared returns the warm plan for a query text — a single CQ, or a UCQ
@@ -516,8 +537,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// value lookup per probe batch and nothing else.
 	traceID := obs.NewTraceID()
 	// A disconnected client cancels the run, so the executor stops
-	// spending accesses on an answer nobody will read.
-	ctx := obs.ContextWithTraceID(r.Context(), traceID)
+	// spending accesses on an answer nobody will read. A failed answer
+	// write cancels it too: the TCP session can outlive the reader.
+	ctx, cancel := context.WithCancel(obs.ContextWithTraceID(r.Context(), traceID))
+	defer cancel()
 	var trace *obs.Trace
 	if r.URL.Query().Get("trace") == "1" {
 		trace = obs.NewTrace(traceID, "query")
@@ -541,7 +564,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// materialize to strings only here, at the NDJSON boundary.
 	res, err := q.Execute(ctx, toorjah.WithExecOptions(opts),
 		toorjah.OnAnswer(func(t toorjah.Tuple) {
-			enc.Encode(answerLine{Answer: t.Strings()})
+			if !s.encode(enc, answerLine{Answer: t.Strings()}) {
+				cancel() // nobody is reading: abort the execution, not just the stream
+				return
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -549,7 +575,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.queryLog.Query(obs.QueryRecord{TraceID: traceID, Query: text, Executor: executor, Err: err})
 		// The stream may already be half-written; report the error in-band.
-		enc.Encode(errorLine{Error: err.Error()})
+		s.encode(enc, errorLine{Error: err.Error()})
 		return
 	}
 	s.recordSources(res.Stats)
@@ -592,7 +618,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tj := trace.JSON()
 		done.Trace = &tj
 	}
-	enc.Encode(done)
+	s.encode(enc, done)
 }
 
 // ingestResponse is the JSON payload answering one applied /ingest.
@@ -646,35 +672,20 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxIngestBytes))
-	var rows []toorjah.Row
-	for {
-		var row []string
-		err := dec.Decode(&row)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				http.Error(w, fmt.Sprintf("ingest body exceeds %d bytes", tooLarge.Limit),
-					http.StatusRequestEntityTooLarge)
-				return
-			}
-			http.Error(w, fmt.Sprintf("row %d: %v", len(rows)+1, err), http.StatusBadRequest)
+	rows, err := decodeIngestRows(http.MaxBytesReader(w, r.Body, s.maxIngestBytes), relSchema.Arity())
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("ingest body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
 			return
 		}
-		if len(row) != relSchema.Arity() {
-			http.Error(w, fmt.Sprintf("row %d has arity %d, want %d", len(rows)+1, len(row), relSchema.Arity()),
-				http.StatusBadRequest)
-			return
-		}
-		rows = append(rows, toorjah.Row(row))
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 
 	start := time.Now()
 	var applied int
-	var err error
 	if op == "insert" {
 		applied, err = s.sys.Insert(rel, rows...)
 	} else {
@@ -688,7 +699,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.recordIngest(rel, op, applied)
 
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(ingestResponse{
+	s.encode(json.NewEncoder(w), ingestResponse{
 		Relation:  rel,
 		Op:        op,
 		Rows:      len(rows),
@@ -696,6 +707,30 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Epoch:     s.sys.RelationEpoch(rel),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// decodeIngestRows parses an NDJSON ingest body — one JSON string array
+// per line, each of the given arity — stopping at the first malformed or
+// wrong-arity row. The returned error wraps the decoder's, so a body cut
+// off by http.MaxBytesReader still surfaces as *http.MaxBytesError for
+// the handler's 413 path.
+func decodeIngestRows(r io.Reader, arity int) ([]toorjah.Row, error) {
+	dec := json.NewDecoder(r)
+	var rows []toorjah.Row
+	for {
+		var row []string
+		err := dec.Decode(&row)
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", len(rows)+1, err)
+		}
+		if len(row) != arity {
+			return nil, fmt.Errorf("row %d has arity %d, want %d", len(rows)+1, len(row), arity)
+		}
+		rows = append(rows, toorjah.Row(row))
+	}
 }
 
 // recordIngest folds one applied /ingest into the per-relation accounting.
@@ -834,7 +869,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(resp)
+	s.encode(enc, resp)
 }
 
 // handleSchema serves the schema in the paper's notation — the federation
@@ -852,5 +887,5 @@ func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		epochs[name] = info.Epoch
 	}
 	remote.AppendSchemaEpochs(&b, epochs)
-	io.WriteString(w, b.String())
+	s.writeString(w, b.String())
 }

@@ -1,0 +1,189 @@
+// Command toorjahvet runs toorjah's repo-specific invariant analyzers
+// (internal/analysis) over every package of the module and reports
+// violations. Like cmd/linkcheck it depends on nothing beyond the standard
+// library, so it runs anywhere the toolchain does:
+//
+//	go run ./cmd/toorjahvet ./...
+//
+// Exit status is 1 if any diagnostic is reported. -json and -md write
+// machine-readable and Markdown reports for CI; -only restricts the run to
+// a comma-separated subset of analyzers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"toorjah/internal/analysis"
+)
+
+func main() {
+	var (
+		dir      = flag.String("C", ".", "module directory (holding go.mod, possibly above)")
+		jsonOut  = flag.String("json", "", "write diagnostics as JSON to this file")
+		mdOut    = flag.String("md", "", "write a Markdown summary to this file ('-' for stdout)")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+	if *listOnly {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(*dir, *jsonOut, *mdOut, *only, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "toorjahvet:", err)
+		os.Exit(1)
+	}
+}
+
+// errFound distinguishes "violations reported" from operational errors.
+var errFound = fmt.Errorf("invariant violations found")
+
+func run(dir, jsonOut, mdOut, only string, patterns []string) error {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	analyzers, err := selectAnalyzers(only)
+	if err != nil {
+		return err
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags := analysis.Run(mod, analyzers, selectPackages(mod, patterns))
+	for _, d := range diags {
+		fmt.Println(relativize(root, d))
+	}
+	if jsonOut != "" {
+		if err := writeJSON(jsonOut, diags); err != nil {
+			return err
+		}
+	}
+	if mdOut != "" {
+		if err := writeMarkdown(mdOut, analyzers, diags); err != nil {
+			return err
+		}
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%w: %d", errFound, len(diags))
+	}
+	return nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if d == filepath.Dir(d) {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analysis.Suite(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := analysis.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// selectPackages filters the module's packages by the given patterns.
+// "./..." (or no pattern) selects everything; "./internal/exec" or the full
+// import path selects one package; a trailing "/..." selects a subtree.
+func selectPackages(mod *analysis.Module, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return mod.Pkgs
+	}
+	match := func(p *analysis.Package) bool {
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(pat, "./")
+			if pat == "..." {
+				return true
+			}
+			full := pat
+			if !strings.HasPrefix(full, mod.Path) {
+				full = mod.Path + "/" + pat
+			}
+			if sub, ok := strings.CutSuffix(full, "/..."); ok {
+				if p.Path == sub || strings.HasPrefix(p.Path, sub+"/") {
+					return true
+				}
+			} else if p.Path == full {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Package
+	for _, p := range mod.Pkgs {
+		if match(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// relativize renders one diagnostic with the filename relative to root.
+func relativize(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+func writeJSON(path string, diags []analysis.Diagnostic) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMarkdown renders a GitHub-flavored summary table, suitable for
+// $GITHUB_STEP_SUMMARY.
+func writeMarkdown(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### toorjahvet — %d analyzer(s)\n\n", len(analyzers))
+	if len(diags) == 0 {
+		b.WriteString("No invariant violations. ✅\n")
+	} else {
+		fmt.Fprintf(&b, "**%d violation(s):**\n\n", len(diags))
+		b.WriteString("| Location | Analyzer | Message |\n|---|---|---|\n")
+		for _, d := range diags {
+			fmt.Fprintf(&b, "| `%s:%d` | %s | %s |\n",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer,
+				strings.ReplaceAll(d.Message, "|", "\\|"))
+		}
+	}
+	if path == "-" {
+		_, err := os.Stdout.WriteString(b.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

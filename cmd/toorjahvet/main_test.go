@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the CLI to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyPool = `package lib
+
+import "sync"
+
+var p = sync.Pool{New: func() any { return map[string]int{} }}
+
+func Recycle(m map[string]int) {
+	p.Put(m)
+}
+`
+
+const cleanPool = `package lib
+
+import "sync"
+
+var p = sync.Pool{New: func() any { return map[string]int{} }}
+
+func Recycle(m map[string]int) {
+	clear(m)
+	p.Put(m)
+}
+`
+
+func TestRunFlagsViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/tmp\n\ngo 1.23\n",
+		"lib/lib.go": dirtyPool,
+	})
+	jsonOut := filepath.Join(dir, "diags.json")
+	mdOut := filepath.Join(dir, "summary.md")
+	err := run(dir, jsonOut, mdOut, "", nil)
+	if err == nil || !strings.Contains(err.Error(), "invariant violations") {
+		t.Fatalf("run on dirty module: err = %v, want violations", err)
+	}
+
+	data, readErr := os.ReadFile(jsonOut)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, data)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "pool-hygiene" {
+		t.Fatalf("diags = %+v, want one pool-hygiene finding", diags)
+	}
+
+	md, readErr := os.ReadFile(mdOut)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(md), "pool-hygiene") || !strings.Contains(string(md), "1 violation") {
+		t.Fatalf("markdown summary missing the finding:\n%s", md)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/tmp\n\ngo 1.23\n",
+		"lib/lib.go": cleanPool,
+	})
+	if err := run(dir, "", "", "", nil); err != nil {
+		t.Fatalf("run on clean module: %v", err)
+	}
+}
+
+func TestRunOnlySelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/tmp\n\ngo 1.23\n",
+		"lib/lib.go": dirtyPool,
+	})
+	// The violation is invisible to a different analyzer...
+	if err := run(dir, "", "", "handler-hygiene", nil); err != nil {
+		t.Fatalf("run -only handler-hygiene: %v", err)
+	}
+	// ...found by the selected one...
+	if err := run(dir, "", "", "pool-hygiene", nil); err == nil {
+		t.Fatal("run -only pool-hygiene found nothing")
+	}
+	// ...and unknown names are an error, not a silent no-op.
+	if err := run(dir, "", "", "no-such-analyzer", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("unknown analyzer: err = %v", err)
+	}
+}
+
+func TestRunPackagePatterns(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module example.com/tmp\n\ngo 1.23\n",
+		"lib/lib.go":   dirtyPool,
+		"other/ok.go":  "package other\n",
+		"other/ok2.go": "package other\n\nfunc Fine() {}\n",
+	})
+	// Restricting to the clean package passes; the dirty one fails.
+	if err := run(dir, "", "", "", []string{"./other"}); err != nil {
+		t.Fatalf("run ./other: %v", err)
+	}
+	if err := run(dir, "", "", "", []string{"./lib"}); err == nil {
+		t.Fatal("run ./lib missed the violation")
+	}
+	if err := run(dir, "", "", "", []string{"./..."}); err == nil {
+		t.Fatal("run ./... missed the violation")
+	}
+}

@@ -107,7 +107,7 @@ func ExampleSystem_AttachRemote() {
 	// the peer: extracted author names become the probe bindings.
 	sys := toorjah.NewSystem(sch)
 	sys.BindRows("pub1", toorjah.Row{"p1", "alice"}, toorjah.Row{"p2", "bob"})
-	if err := sys.AttachRemote(peer.URL + "=rev"); err != nil {
+	if err := sys.AttachRemote(context.Background(), peer.URL+"=rev"); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoDeprecatedShims keeps the deprecated compatibility surface (the
+// pre-context Execute/ExecuteOpts/ExecuteNaive/Stream matrix and its
+// option types) quarantined: non-test module code must not reference any
+// module object whose declaration is marked "Deprecated:". Deprecated
+// shims may call each other; anything else goes through the context-first
+// Execute API.
+var NoDeprecatedShims = &Analyzer{
+	Name: "no-deprecated-shims",
+	Doc:  "module code must not reference deprecated module declarations",
+	Run:  runNoDeprecatedShims,
+}
+
+func runNoDeprecatedShims(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || !pass.IsDeprecated(obj) {
+				return true
+			}
+			if pass.InDeprecatedFunc(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "reference to deprecated %s: use the context-first Execute API", obj.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Expected-diagnostic comments: a fixture line carrying
+//
+//	// want `regex`
+//
+// declares that exactly one diagnostic whose message matches the
+// backquoted regular expression must be reported on that line. The
+// analyzer tests fail on any unmatched expectation and on any diagnostic
+// without one, so every fixture proves both directions: the violation
+// fires, the corrected form stays silent.
+
+// Expectation is one parsed want comment.
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+}
+
+// ParseExpectations scans the files for want comments.
+func ParseExpectations(fset *token.FileSet, files []*ast.File) ([]*Expectation, error) {
+	var out []*Expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				if len(rest) < 2 || rest[0] != '`' || rest[len(rest)-1] != '`' {
+					return nil, fmt.Errorf("%s: malformed want comment %q (use // want `regex`)",
+						fset.Position(c.Pos()), c.Text)
+				}
+				re, err := regexp.Compile(rest[1 : len(rest)-1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern: %w", fset.Position(c.Pos()), err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &Expectation{File: pos.Filename, Line: pos.Line, Pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckExpectations compares diagnostics against expectations and returns
+// one problem per mismatch in either direction; nil means an exact match.
+func CheckExpectations(exps []*Expectation, diags []Diagnostic) []string {
+	matched := make([]bool, len(exps))
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for i, e := range exps {
+			if !matched[i] && e.File == d.Pos.Filename && e.Line == d.Pos.Line &&
+				e.Pattern.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, "unexpected diagnostic: "+d.String())
+		}
+	}
+	for i, e := range exps {
+		if !matched[i] {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: expected diagnostic matching %q was not reported", e.File, e.Line, e.Pattern))
+		}
+	}
+	return problems
+}

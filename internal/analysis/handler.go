@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HandlerHygiene hardens the HTTP surface: in every handler-shaped
+// function — a FuncDecl or FuncLit taking (http.ResponseWriter,
+// *http.Request) — the request body may only be consumed through
+// http.MaxBytesReader (or closed), and no write to the response stream
+// may discard its error. Streaming NDJSON makes the second rule
+// load-bearing: a dropped Encode error turns a disconnected client into
+// silently truncated results.
+var HandlerHygiene = &Analyzer{
+	Name: "handler-hygiene",
+	Doc:  "handler bodies wrap reads in MaxBytesReader and check every response-write error",
+	Run:  runHandlerHygiene,
+}
+
+func runHandlerHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && isHandlerSig(funcDeclSig(pass, fn)) {
+					checkHandler(pass, fn.Type.Params, fn.Body)
+				}
+			case *ast.FuncLit:
+				if sig, _ := pass.Pkg.Info.Types[fn].Type.(*types.Signature); isHandlerSig(sig) {
+					checkHandler(pass, fn.Type.Params, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func funcDeclSig(pass *Pass, fd *ast.FuncDecl) *types.Signature {
+	if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return fn.Signature()
+	}
+	return nil
+}
+
+// isHandlerSig reports whether sig is (http.ResponseWriter, *http.Request).
+func isHandlerSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isNetHTTP(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isPtrToNetHTTP(sig.Params().At(1).Type(), "Request")
+}
+
+func isNetHTTP(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func isPtrToNetHTTP(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNetHTTP(ptr.Elem(), name)
+}
+
+// checkHandler inspects one handler body. Nested function literals are
+// included — streaming callbacks write to the captured ResponseWriter —
+// except literals that are handlers themselves, which are visited on
+// their own.
+func checkHandler(pass *Pass, params *ast.FieldList, body *ast.BlockStmt) {
+	writer, request := handlerParamObjs(pass, params)
+	rebind := bodyRebindPos(pass, body, request)
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if sig, _ := pass.Pkg.Info.Types[lit].Type.(*types.Signature); isHandlerSig(sig) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkBodyRead(pass, n, request, parents, rebind)
+		case *ast.ExprStmt:
+			checkDiscardedWrite(pass, n, writer)
+		}
+		return true
+	})
+}
+
+// bodyRebindPos finds the earliest `r.Body = http.MaxBytesReader(...)`
+// assignment in the handler; every body read after it is capped. Returns
+// token.NoPos when the handler never rebinds.
+func bodyRebindPos(pass *Pass, body *ast.BlockStmt, request types.Object) token.Pos {
+	pos := token.NoPos
+	if request == nil {
+		return pos
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || pass.CalleeName(call) != "net/http.MaxBytesReader" {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Body" {
+				continue
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == request {
+				if !pos.IsValid() || as.Pos() < pos {
+					pos = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// handlerParamObjs resolves the ResponseWriter and *Request parameter
+// objects (nil for unnamed/underscore parameters).
+func handlerParamObjs(pass *Pass, params *ast.FieldList) (writer, request types.Object) {
+	idx := 0
+	for _, field := range params.List {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil}
+		}
+		for _, name := range names {
+			var obj types.Object
+			if name != nil {
+				obj = pass.Pkg.Info.Defs[name]
+			}
+			switch idx {
+			case 0:
+				writer = obj
+			case 1:
+				request = obj
+			}
+			idx++
+		}
+	}
+	return writer, request
+}
+
+// checkBodyRead flags r.Body uses that neither feed http.MaxBytesReader
+// nor close/replace the body.
+func checkBodyRead(pass *Pass, sel *ast.SelectorExpr, request types.Object, parents map[ast.Node]ast.Node, rebind token.Pos) {
+	if request == nil || sel.Sel.Name != "Body" {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.Pkg.Info.Uses[id] != request {
+		return
+	}
+	if rebind.IsValid() && sel.Pos() > rebind {
+		return // the body was replaced by a capped reader above
+	}
+	switch parent := parents[sel].(type) {
+	case *ast.CallExpr:
+		if pass.CalleeName(parent) == "net/http.MaxBytesReader" {
+			return
+		}
+	case *ast.SelectorExpr:
+		if parent.Sel.Name == "Close" {
+			return
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return // r.Body = http.MaxBytesReader(...) replaces the body
+			}
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"request body consumed without http.MaxBytesReader: wrap it so a client cannot stream unbounded input")
+}
+
+// respWriteFuncs are writer-first helpers whose error must be checked when
+// the target is the response.
+var respWriteFuncs = map[string]bool{
+	"io.WriteString": true,
+	"fmt.Fprintf":    true,
+	"fmt.Fprintln":   true,
+	"fmt.Fprint":     true,
+}
+
+// checkDiscardedWrite flags statement-level calls that drop the error of a
+// response write: Encoder.Encode (the NDJSON path), ResponseWriter.Write,
+// and writer-first fmt/io helpers aimed at the response writer.
+func checkDiscardedWrite(pass *Pass, stmt *ast.ExprStmt, writer types.Object) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := pass.CalleeName(call)
+	bad := false
+	switch {
+	case name == "(*encoding/json.Encoder).Encode":
+		bad = true // handlers only encode to the response stream
+	case name == "(net/http.ResponseWriter).Write":
+		bad = true
+	case respWriteFuncs[name]:
+		bad = len(call.Args) > 0 && isUseOf(pass, call.Args[0], writer)
+	}
+	if bad {
+		pass.Reportf(call.Pos(),
+			"response write discards its error: check the result of %s (a disconnected client must abort the stream)", name)
+	}
+}
+
+// isUseOf reports whether expr is an identifier resolving to obj.
+func isUseOf(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && pass.Pkg.Info.Uses[id] == obj
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolHygiene guards the executor's sync.Pool recycling: every value
+// returned to a pool must be cleared first, so no binding from one
+// execution can leak into — or pin memory for — the next. A function that
+// calls (*sync.Pool).Put must clear the pooled value on every path, which
+// this analyzer approximates as: the function also contains a Clear()
+// method call or a clear() builtin call before the Put.
+var PoolHygiene = &Analyzer{
+	Name: "pool-hygiene",
+	Doc:  "(*sync.Pool).Put sites must Clear the pooled value first",
+	Run:  runPoolHygiene,
+}
+
+func runPoolHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.CalleeName(call) != "(*sync.Pool).Put" {
+				return true
+			}
+			fd := pass.EnclosingFuncDecl(call.Pos())
+			if fd == nil || !clearsBefore(pass, fd, call) {
+				pass.Reportf(call.Pos(),
+					"sync.Pool Put without clearing the pooled value: Clear() it first so stale bindings cannot leak across executions")
+			}
+			return true
+		})
+	}
+}
+
+// clearsBefore reports whether fd contains a Clear() method call or a
+// clear() builtin call lexically before the Put call.
+func clearsBefore(pass *Pass, fd *ast.FuncDecl, put *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= put.Pos() {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "clear" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Clear" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "sort"
+
+// Suite returns every repo analyzer, in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		HotpathStrings,
+		CtxFirst,
+		NoDeprecatedShims,
+		SnapshotDiscipline,
+		PoolHygiene,
+		HandlerHygiene,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns the diagnostics
+// sorted by file, line, column, then analyzer name.
+func Run(m *Module, analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Module:   m,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

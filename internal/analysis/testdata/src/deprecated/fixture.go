@@ -1,0 +1,45 @@
+// The no-deprecated-shims fixture declares its own deprecated surface and
+// exercises every way of (not) being allowed to touch it.
+package depfixture
+
+// Old is the pre-context entry point.
+//
+// Deprecated: use New.
+func Old() int { return 1 }
+
+// New is the replacement.
+func New() int { return 2 }
+
+// LegacyOptions configured the old entry point.
+//
+// Deprecated: use New's arguments.
+type LegacyOptions struct{}
+
+// BadCall references a deprecated function.
+func BadCall() int {
+	return Old() // want `reference to deprecated Old`
+}
+
+// BadType references a deprecated type.
+func BadType() any {
+	return LegacyOptions{} // want `reference to deprecated LegacyOptions`
+}
+
+// OldChain is itself deprecated, so it may use the deprecated surface.
+//
+// Deprecated: use New.
+func OldChain() int {
+	return Old()
+}
+
+// AllowedCall is suppressed by an explicit annotation.
+//
+//toorjahvet:allow no-deprecated-shims (fixture: annotated exception)
+func AllowedCall() int {
+	return Old()
+}
+
+// GoodCall uses the supported surface.
+func GoodCall() int {
+	return New()
+}

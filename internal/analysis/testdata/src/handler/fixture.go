@@ -1,0 +1,75 @@
+// The handler-hygiene fixture declares handler-shaped functions with
+// unbounded body reads and discarded response writes, next to the
+// corrected forms. Helpers that are not handlers are out of scope.
+package handfixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// BadBody reads the request body unbounded.
+func BadBody(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(r.Body) // want `without http\.MaxBytesReader`
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+}
+
+// BadWrites drops every write error.
+func BadWrites(w http.ResponseWriter, r *http.Request) {
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]int{"answers": 1}) // want `response write discards its error`
+	io.WriteString(w, "done\n")              // want `response write discards its error`
+	fmt.Fprintln(w, "bye")                   // want `response write discards its error`
+}
+
+// BadNested drops a write error inside a streaming callback closure.
+func BadNested(w http.ResponseWriter, r *http.Request) {
+	stream := func(v any) {
+		json.NewEncoder(w).Encode(v) // want `response write discards its error`
+	}
+	stream(1)
+}
+
+// GoodHandler bounds the body and checks every write.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := json.NewEncoder(w).Encode(len(data)); err != nil {
+		return
+	}
+}
+
+// GoodReplace rebinds the body behind the cap before decoding.
+func GoodReplace(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	defer r.Body.Close()
+	var v any
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// GoodNested checks the write error inside the closure.
+func GoodNested(w http.ResponseWriter, r *http.Request) {
+	stream := func(v any) bool {
+		return json.NewEncoder(w).Encode(v) == nil
+	}
+	stream(1)
+}
+
+// notAHandler is ordinary code; fmt writes to arbitrary writers are fine.
+func notAHandler(w io.Writer) {
+	fmt.Fprintln(w, "not a handler")
+}

@@ -1,0 +1,29 @@
+// The pool-hygiene fixture returns values to a sync.Pool with and without
+// clearing them first.
+package poolfixture
+
+import "sync"
+
+type bindSet map[string]struct{}
+
+// Clear empties the set, keeping its buckets.
+func (s bindSet) Clear() { clear(s) }
+
+var pool = sync.Pool{New: func() any { return make(bindSet) }}
+
+// BadPut recycles a dirty set.
+func BadPut(s bindSet) {
+	pool.Put(s) // want `Put without clearing`
+}
+
+// GoodPut clears through the method first.
+func GoodPut(s bindSet) {
+	s.Clear()
+	pool.Put(s)
+}
+
+// GoodBuiltin clears through the builtin first.
+func GoodBuiltin(s bindSet) {
+	clear(s)
+	pool.Put(s)
+}

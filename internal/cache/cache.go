@@ -230,6 +230,8 @@ func versionedKey(rel string, binding []string, epoch uint64) string {
 // w's current data epoch, captured before the probe: if the source
 // advances mid-probe the extraction is stored under the pre-probe epoch and
 // simply never serves the new version — conservative, never stale.
+//
+//toorjahvet:boundary (legacy string-surface adapter; the executors use the Sym forms)
 func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error) {
 	rel := w.Relation().Name
 	key := versionedKey(rel, binding, source.EpochOf(w))
@@ -317,6 +319,7 @@ func (c *Cache) access(w source.Wrapper, binding []string) ([]storage.Row, error
 // concurrent identical probes — the batch is itself the amortisation of the
 // round trip, and a duplicate probe only costs a redundant store.
 func (c *Cache) accessBatch(w source.Wrapper, bindings [][]string) ([][]storage.Row, error) {
+	//toorjahvet:allow ctx-first (contextless BatchSource interface shim over the ctx-aware form)
 	return c.accessBatchCtx(context.Background(), w, bindings)
 }
 
@@ -500,6 +503,8 @@ func (c *Cache) MultiPutSym(rel string, epoch uint64, bindings [][]sym.ID, rows 
 // MultiGet is MultiGetSym over boundary (string) bindings: a binding whose
 // values were never interned cannot have an entry and misses. Hits
 // materialize — callers on the hot path use MultiGetSym.
+//
+//toorjahvet:boundary (legacy string-surface adapter; the executors use the Sym forms)
 func (c *Cache) MultiGet(rel string, epoch uint64, bindings [][]string) (rows [][]storage.Row, ok []bool) {
 	rows = make([][]storage.Row, len(bindings))
 	ok = make([]bool, len(bindings))
@@ -530,6 +535,8 @@ func (c *Cache) MultiPut(rel string, epoch uint64, bindings [][]string, rows [][
 // Lookup peeks at the cache without probing or recording a hit; it reports
 // whether the access is currently cached at the given data epoch (0 =
 // unversioned).
+//
+//toorjahvet:boundary (legacy string-surface adapter; the executors use the Sym forms)
 func (c *Cache) Lookup(rel string, epoch uint64, binding []string) ([]storage.Row, bool) {
 	ids, known := sym.LookupAll(binding)
 	if !known {

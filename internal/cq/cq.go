@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // Term is a variable or a constant appearing in an atom or in a query head.
@@ -50,13 +51,15 @@ func needsQuoting(s string) bool {
 	if s == "" {
 		return true
 	}
-	c := s[0]
-	if c >= 'A' && c <= 'Z' || c == '_' {
+	// Mirror the parser's classification exactly: parseTerm treats a
+	// leading upper-case rune (by unicode, via the same byte-to-rune
+	// conversion) or underscore as a variable.
+	if first := rune(s[0]); unicode.IsUpper(first) || first == '_' {
 		return true // would parse as a variable
 	}
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
-		case ',', '(', ')', '\'', ' ', '\t', ':', '-':
+		case ',', '(', ')', '\'', ' ', '\t', '\n', '\r', ':', '-', '<':
 			return true
 		}
 	}

@@ -1,0 +1,88 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCQ checks that Parse never panics and that its output
+// round-trips: whatever parses must render to a string that reparses to
+// the same rendering. The fixpoint property pins both the parser (no
+// accepted input is mangled) and String (quoting is sufficient for every
+// constant the parser can produce).
+func FuzzParseCQ(f *testing.F) {
+	seeds := []string{
+		"q(N) :- r1(A, N, Y1), r2(volare, Y2, A)",
+		"q(X, Y) <- edge(X, Z), edge(Z, Y)",
+		"q(A) :- person('Domenico Modugno', A)",
+		"q(X) :- r(X), not s(X)",
+		"q(X) :- r(X), !s(X)",
+		"q() :- r(a)",
+		"q(X):-r(X,'')",
+		"q(_V) :- r(_V, _)",
+		"bad(",
+		"q(X) :- ",
+		"q(X) :- not s(X)",
+		"q(X) :- r('a,b', 'c)d', ':-')",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		first := q.String()
+		q2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("rendering of %q does not reparse: %v\nrendered: %q", text, err, first)
+		}
+		if second := q2.String(); second != first {
+			t.Fatalf("render/reparse not a fixpoint:\n first: %q\nsecond: %q", first, second)
+		}
+		if q2.Name != q.Name || q2.Arity() != q.Arity() {
+			t.Fatalf("head changed across round-trip: %s/%d vs %s/%d",
+				q.Name, q.Arity(), q2.Name, q2.Arity())
+		}
+	})
+}
+
+// FuzzParseUCQ checks the union layer on top: line splitting, comment
+// skipping, and cross-disjunct validation never panic, and a parsed union
+// renders one disjunct per line that reparses to the same rendering.
+func FuzzParseUCQ(f *testing.F) {
+	seeds := []string{
+		"q(X) :- r(X)\nq(X) :- s(X)",
+		"q(X) :- r(X)\n\n# a comment\nq(X) :- t(X, y)",
+		"q(X, Y) :- r(X, Y)\nq(X, Y) :- r(Y, X)",
+		"q(X) :- r(X)\np(X) :- s(X)",
+		"q(X) :- r(X)\nq(X, Y) :- s(X, Y)",
+		"# only comments\n\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		u, err := ParseUCQ(text)
+		if err != nil {
+			return
+		}
+		if len(u.Disjuncts) == 0 {
+			t.Fatalf("ParseUCQ(%q) succeeded with no disjuncts", text)
+		}
+		first := u.String()
+		u2, err := ParseUCQ(first)
+		if err != nil {
+			t.Fatalf("rendering of %q does not reparse: %v\nrendered: %q", text, err, first)
+		}
+		if second := u2.String(); second != first {
+			t.Fatalf("render/reparse not a fixpoint:\n first: %q\nsecond: %q", first, second)
+		}
+		// ParseUCQ assigns disjuncts line by line, so no rendered disjunct
+		// may swallow its neighbours.
+		if got := len(strings.Split(first, "\n")); got != len(u.Disjuncts) {
+			t.Fatalf("%d disjuncts rendered as %d lines: %q", len(u.Disjuncts), got, first)
+		}
+	})
+}

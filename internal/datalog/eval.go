@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"toorjah/internal/cq"
@@ -19,6 +20,8 @@ type Tuple []sym.ID
 func T(vals ...string) Tuple { return Tuple(sym.InternAll(vals)) }
 
 // Strings materializes the tuple back into its boundary form.
+//
+//toorjahvet:boundary (the one sanctioned ID→string exit of a tuple)
 func (t Tuple) Strings() []string { return sym.Strs(t) }
 
 // Key packs the tuple into a collision-free string for set membership.
@@ -103,12 +106,19 @@ func (r *Relation) Lookup(positions []int, vals []sym.ID) []Tuple {
 	return out
 }
 
+// sigOf renders a position set as its index signature ("0,2") by integer
+// append — it runs on every index build and extension, so no fmt round
+// trip.
 func sigOf(positions []int) string {
-	parts := make([]string, len(positions))
+	var kb [32]byte
+	b := kb[:0]
 	for i, p := range positions {
-		parts[i] = fmt.Sprint(p)
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(p), 10)
 	}
-	return strings.Join(parts, ",")
+	return string(b)
 }
 
 func sigPositions(sig string) []int {
@@ -161,6 +171,8 @@ func (db DB) Clone() DB {
 }
 
 // Summary renders relation names with cardinalities, sorted by name.
+//
+//toorjahvet:boundary (debug rendering, not an evaluation path)
 func (db DB) Summary() string {
 	names := make([]string, 0, len(db))
 	for n := range db {

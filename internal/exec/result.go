@@ -81,6 +81,8 @@ func (r *Result) TotalTuples() int {
 // SortedAnswers returns the answers as sorted strings, for deterministic
 // comparison and display. This is a result boundary: tuples materialize
 // from symbol IDs into strings here.
+//
+//toorjahvet:boundary (comparison/display rendering of a finished result)
 func (r *Result) SortedAnswers() []string {
 	if r.Answers == nil {
 		return nil

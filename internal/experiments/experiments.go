@@ -44,7 +44,7 @@ type Fig6Result struct {
 
 // RunFig6 executes q1–q3 of the paper over a synthetic publication
 // instance and returns per-relation accounting.
-func RunFig6(seed int64, tuples int) ([]Fig6Result, error) {
+func RunFig6(ctx context.Context, seed int64, tuples int) ([]Fig6Result, error) {
 	cfg := gen.DefaultPublication()
 	cfg.Tuples = tuples
 	sch, db := gen.Publication(seed, cfg)
@@ -62,11 +62,11 @@ func RunFig6(seed int64, tuples int) ([]Fig6Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", qs, err)
 		}
-		naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
+		naive, err := exec.Naive(ctx, sch, reg, p.Query, p.Typing)
 		if err != nil {
 			return nil, err
 		}
-		fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
+		fast, err := exec.FastFailing(ctx, p.Plan, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -109,8 +109,8 @@ func sameAnswers(a, b *exec.Result) bool {
 }
 
 // Fig6 renders the first test series as the paper's table layout.
-func Fig6(w io.Writer, seed int64, tuples int) error {
-	results, err := RunFig6(seed, tuples)
+func Fig6(ctx context.Context, w io.Writer, seed int64, tuples int) error {
+	results, err := RunFig6(ctx, seed, tuples)
 	if err != nil {
 		return err
 	}
@@ -150,7 +150,7 @@ type Fig10Stats struct {
 // RunFig10 generates random schemata and queries with the published
 // parameter ranges, measures the d-graph statistics and — on a random
 // instance per schema — the access savings of the optimized plan.
-func RunFig10(seed int64, nSchemas, nQueries int, cfg gen.Config) (*Fig10Stats, error) {
+func RunFig10(ctx context.Context, seed int64, nSchemas, nQueries int, cfg gen.Config) (*Fig10Stats, error) {
 	out := &Fig10Stats{}
 	for si := 0; si < nSchemas; si++ {
 		g := gen.New(seed+int64(si)*1000, cfg)
@@ -181,11 +181,11 @@ func RunFig10(seed int64, nSchemas, nQueries int, cfg gen.Config) (*Fig10Stats, 
 				out.Orderable++
 			}
 
-			naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
+			naive, err := exec.Naive(ctx, sch, reg, p.Query, p.Typing)
 			if err != nil {
 				return nil, err
 			}
-			fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
+			fast, err := exec.FastFailing(ctx, p.Plan, reg)
 			if err != nil {
 				return nil, err
 			}
@@ -204,8 +204,8 @@ func RunFig10(seed int64, nSchemas, nQueries int, cfg gen.Config) (*Fig10Stats, 
 }
 
 // Fig10 renders the aggregate table in the paper's layout.
-func Fig10(w io.Writer, seed int64, nSchemas, nQueries int) error {
-	st, err := RunFig10(seed, nSchemas, nQueries, gen.Fig10())
+func Fig10(ctx context.Context, w io.Writer, seed int64, nSchemas, nQueries int) error {
+	st, err := RunFig10(ctx, seed, nSchemas, nQueries, gen.Fig10())
 	if err != nil {
 		return err
 	}
@@ -249,7 +249,7 @@ type Fig11Bucket struct {
 // latency. The time of a run is its measured in-memory wall time plus
 // accesses × latency — the sequential remote-source model of the paper,
 // where per-access cost dominates.
-func RunFig11(seed int64, nSchemas, nQueries int, latency time.Duration, cfg gen.Config) ([]Fig11Bucket, error) {
+func RunFig11(ctx context.Context, seed int64, nSchemas, nQueries int, latency time.Duration, cfg gen.Config) ([]Fig11Bucket, error) {
 	type acc struct {
 		n          int
 		naive, opt time.Duration
@@ -272,11 +272,11 @@ func RunFig11(seed int64, nSchemas, nQueries int, latency time.Duration, cfg gen
 			if err != nil || !p.Answerable() {
 				continue
 			}
-			naive, err := exec.Naive(context.Background(), sch, reg, p.Query, p.Typing)
+			naive, err := exec.Naive(ctx, sch, reg, p.Query, p.Typing)
 			if err != nil {
 				return nil, err
 			}
-			fast, err := exec.FastFailing(context.Background(), p.Plan, reg)
+			fast, err := exec.FastFailing(ctx, p.Plan, reg)
 			if err != nil {
 				return nil, err
 			}
@@ -307,9 +307,9 @@ func RunFig11(seed int64, nSchemas, nQueries int, latency time.Duration, cfg gen
 }
 
 // Fig11 renders the execution-time table in the paper's layout.
-func Fig11(w io.Writer, seed int64, nSchemas, nQueries, latencyUS int) error {
+func Fig11(ctx context.Context, w io.Writer, seed int64, nSchemas, nQueries, latencyUS int) error {
 	latency := time.Duration(latencyUS) * time.Microsecond
-	rows, err := RunFig11(seed, nSchemas, nQueries, latency, gen.Fig10())
+	rows, err := RunFig11(ctx, seed, nSchemas, nQueries, latency, gen.Fig10())
 	if err != nil {
 		return err
 	}

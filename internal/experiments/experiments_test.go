@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ import (
 // blank optimized columns, and the optimized plan never exceeds the naive
 // access count on any relation it shares with it.
 func TestFig6ShapeInvariants(t *testing.T) {
-	results, err := RunFig6(3, 250)
+	results, err := RunFig6(context.Background(), 3, 250)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig6ShapeInvariants(t *testing.T) {
 
 func TestFig6Rendering(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig6(&sb, 3, 120); err != nil {
+	if err := Fig6(context.Background(), &sb, 3, 120); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -70,7 +71,7 @@ func TestFig6Rendering(t *testing.T) {
 }
 
 func TestFig10ShapeInvariants(t *testing.T) {
-	st, err := RunFig10(1, 3, 8, gen.Fig10())
+	st, err := RunFig10(context.Background(), 1, 3, 8, gen.Fig10())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig10ShapeInvariants(t *testing.T) {
 
 func TestFig10Rendering(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig10(&sb, 1, 2, 4); err != nil {
+	if err := Fig10(context.Background(), &sb, 1, 2, 4); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"deleted arcs", "strong arcs", "saved accesses", "avg"} {
@@ -110,7 +111,7 @@ func TestFig10Rendering(t *testing.T) {
 // TestFig11ShapeInvariants: the optimized strategy is faster than naive in
 // every atom bucket under the per-access cost model.
 func TestFig11ShapeInvariants(t *testing.T) {
-	rows, err := RunFig11(1, 3, 8, 200*time.Microsecond, gen.Fig10())
+	rows, err := RunFig11(context.Background(), 1, 3, 8, 200*time.Microsecond, gen.Fig10())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFig11ShapeInvariants(t *testing.T) {
 
 func TestFig11Rendering(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig11(&sb, 1, 2, 4, 100); err != nil {
+	if err := Fig11(context.Background(), &sb, 1, 2, 4, 100); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"atoms", "naive", "speedup"} {

@@ -121,6 +121,7 @@ func (p *probeSource) Access(binding []string) ([]storage.Row, error) {
 }
 
 func (p *probeSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	//toorjahvet:allow ctx-first (contextless BatchSource interface shim over the ctx-aware form)
 	return p.AccessBatchCtx(context.Background(), bindings)
 }
 
@@ -193,6 +194,7 @@ func (d *demandSource) Access(binding []string) ([]storage.Row, error) {
 }
 
 func (d *demandSource) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	//toorjahvet:allow ctx-first (contextless BatchSource interface shim over the ctx-aware form)
 	return d.AccessBatchCtx(context.Background(), bindings)
 }
 

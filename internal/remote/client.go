@@ -486,6 +486,7 @@ func (s *Source) Access(binding []string) ([]storage.Row, error) {
 // AccessBatch probes the relation with the whole batch in one HTTP round
 // trip; result i is exactly what Access(bindings[i]) would return.
 func (s *Source) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	//toorjahvet:allow ctx-first (contextless BatchSource interface shim over the ctx-aware form)
 	return s.AccessBatchCtx(context.Background(), bindings)
 }
 

@@ -1,0 +1,47 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchemaEpochs checks the epoch side-channel in /schema bodies:
+// parsing never panics, never yields a zero epoch (zero means unversioned
+// and must not appear), and whatever is parsed survives an
+// AppendSchemaEpochs/ParseSchemaEpochs round trip — the exact path a
+// client takes when it seeds its cache identity from a peer's schema.
+func FuzzParseSchemaEpochs(f *testing.F) {
+	seeds := []string{
+		"r1(a, b*)\nr2(c*, d)\n# epoch r1 3\n# epoch r2 17\n",
+		"# epoch only 1\n",
+		"# epoch broken\n# epoch zero 0\n# epoch neg -4\n# epoch big 18446744073709551615\n",
+		"#epoch nospace 2\n  # epoch indented 5\n",
+		"# epoch dup 1\n# epoch dup 2\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		epochs := ParseSchemaEpochs(text)
+		for name, e := range epochs {
+			if e == 0 {
+				t.Fatalf("parsed zero epoch for %q", name)
+			}
+			if strings.ContainsAny(name, " \t\n\r") {
+				t.Fatalf("parsed relation name with whitespace: %q", name)
+			}
+		}
+		var b strings.Builder
+		AppendSchemaEpochs(&b, epochs)
+		again := ParseSchemaEpochs(b.String())
+		if len(again) != len(epochs) {
+			t.Fatalf("round trip lost entries: %v -> %q -> %v", epochs, b.String(), again)
+		}
+		for name, e := range epochs {
+			if again[name] != e {
+				t.Fatalf("round trip changed %q: %d -> %d", name, e, again[name])
+			}
+		}
+	})
+}

@@ -139,14 +139,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if row == nil {
 				row = storage.Row{}
 			}
-			enc.Encode(rowFrame{B: i, Row: row})
+			if err := enc.Encode(rowFrame{B: i, Row: row}); err != nil {
+				return // peer gone mid-stream; it will retry against another replica
+			}
 		}
 		tuples += len(rows)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples, Epoch: epoch})
+	if err := enc.Encode(doneFrame{Done: true, Accesses: len(req.Bindings), Tuples: tuples, Epoch: epoch}); err != nil {
+		return // without the done frame the client treats the stream as truncated
+	}
 	if h.Record != nil {
 		h.Record(ProbeRecord{
 			Relation: req.Relation,
@@ -177,10 +181,14 @@ func PeerMux(reg *source.Registry) http.Handler {
 			epochs[name] = source.EpochOf(src)
 		}
 		AppendSchemaEpochs(&b, epochs)
-		io.WriteString(w, b.String())
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return
+		}
 	})
 	return mux
 }

@@ -393,6 +393,7 @@ func (c *Counter) Access(binding []string) ([]storage.Row, error) {
 // AccessBatch forwards the batch to the wrapped source, recording one probe
 // per binding and one round trip for the whole batch.
 func (c *Counter) AccessBatch(bindings [][]string) ([][]storage.Row, error) {
+	//toorjahvet:allow ctx-first (contextless BatchSource interface shim over the ctx-aware form)
 	return c.AccessBatchCtx(context.Background(), bindings)
 }
 

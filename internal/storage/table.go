@@ -53,6 +53,8 @@ import (
 type Row []string
 
 // Key encodes the row into a collision-free string.
+//
+//toorjahvet:boundary (Row is the boundary representation; its key is a string by definition)
 func (r Row) Key() string { return strings.Join([]string(r), "\x00") }
 
 // Intern swaps every value for its symbol ID (interning first-seen values).
@@ -65,6 +67,8 @@ func (r Row) Intern() IRow { return sym.InternAll(r) }
 type IRow []sym.ID
 
 // Strings materializes the row back into its boundary form.
+//
+//toorjahvet:boundary (the one sanctioned ID→string exit of a stored row)
 func (r IRow) Strings() Row { return sym.Strs(r) }
 
 // Key packs the row into a collision-free map key (4 bytes per value).
@@ -80,6 +84,8 @@ func InternRows(rows []Row) []IRow {
 }
 
 // MaterializeRows renders a batch of stored rows into boundary rows.
+//
+//toorjahvet:boundary (the batch form of IRow.Strings)
 func MaterializeRows(rows []IRow) []Row {
 	out := make([]Row, len(rows))
 	for i, r := range rows {
@@ -340,6 +346,8 @@ func (s *Snapshot) RowsSym() []IRow {
 }
 
 // Rows returns a copy of the live rows of this version in boundary form.
+//
+//toorjahvet:boundary (boundary-form adapter over RowsSym)
 func (s *Snapshot) Rows() []Row { return MaterializeRows(s.RowsSym()) }
 
 // Contains reports row membership in this version.
@@ -364,6 +372,8 @@ func (s *Snapshot) Contains(r Row) bool {
 // Select returns the rows whose values at positions equal vals; with no
 // positions it returns every live row. The boundary-form adapter over
 // SelectSym: values never interned match nothing.
+//
+//toorjahvet:boundary (boundary-form adapter over SelectSym)
 func (s *Snapshot) Select(positions []int, vals []string) []Row {
 	if len(positions) != len(vals) {
 		panic(fmt.Sprintf("table %s: %d positions for %d values", s.name, len(positions), len(vals)))
@@ -436,6 +446,8 @@ func (s *Snapshot) SelectBatchSym(positions []int, bindings [][]sym.ID) [][]IRow
 }
 
 // Project returns the sorted, deduplicated values of one column.
+//
+//toorjahvet:boundary (renders a column for boundary callers, off the probe path)
 func (s *Snapshot) Project(pos int) []string {
 	set := make(map[sym.ID]bool)
 	for _, r := range s.RowsSym() {

@@ -72,10 +72,10 @@ const attachRetryCooldown = 5 * time.Second
 // declared identically on both sides, and binds a remote source per
 // relation (dropping any cached accesses of those relations, like any
 // rebind).
-func (s *System) AttachRemote(spec string) error {
+func (s *System) AttachRemote(ctx context.Context, spec string) error {
 	s.remoteMu.Lock()
 	defer s.remoteMu.Unlock()
-	return s.attachRemoteLocked(spec)
+	return s.attachRemoteLocked(ctx, spec)
 }
 
 // AttachRemotes applies the pending WithRemote specs. It is idempotent and
@@ -83,7 +83,7 @@ func (s *System) AttachRemote(spec string) error {
 // list only when its attach succeeds, so a peer that was down at first use
 // is retried by a later Prepare — after attachRetryCooldown, the recorded
 // error being returned in between.
-func (s *System) AttachRemotes() error {
+func (s *System) AttachRemotes(ctx context.Context) error {
 	s.remoteMu.Lock()
 	defer s.remoteMu.Unlock()
 	for len(s.pendingRemote) > 0 {
@@ -91,7 +91,7 @@ func (s *System) AttachRemotes() error {
 		if p.lastErr != nil && time.Since(p.lastTry) < attachRetryCooldown {
 			return p.lastErr
 		}
-		if err := s.attachRemoteLocked(p.spec); err != nil {
+		if err := s.attachRemoteLocked(ctx, p.spec); err != nil {
 			p.lastTry, p.lastErr = time.Now(), err
 			return err
 		}
@@ -100,14 +100,15 @@ func (s *System) AttachRemotes() error {
 	return nil
 }
 
-// attachRemoteLocked does the attach; callers hold s.remoteMu.
-func (s *System) attachRemoteLocked(spec string) error {
+// attachRemoteLocked does the attach; callers hold s.remoteMu. The
+// context bounds the schema discovery round trip.
+func (s *System) attachRemoteLocked(ctx context.Context, spec string) error {
 	as, err := remote.ParseAttachSpec(spec)
 	if err != nil {
 		return fmt.Errorf("toorjah: %w", err)
 	}
 	c := remote.Dial(as.Base, s.remoteOpts)
-	peer, err := c.FetchSchema(context.Background())
+	peer, err := c.FetchSchema(ctx)
 	if err != nil {
 		c.Close()
 		return fmt.Errorf("toorjah: %w", err)
@@ -152,7 +153,7 @@ func (s *System) locallyOwned(name string) bool {
 	case nil:
 		return false
 	case *source.TableSource:
-		return src.Table().Len() > 0
+		return src.Table().Snapshot().Len() > 0
 	case *remote.Source:
 		return false
 	default:

@@ -58,7 +58,7 @@ func benchRemoteSystem(b *testing.B, maxBatch int) *System {
 		opts = append(opts, WithRemote(spec))
 	}
 	sys := NewSystem(sch.Clone(), opts...)
-	if err := sys.AttachRemotes(); err != nil {
+	if err := sys.AttachRemotes(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	return sys

@@ -231,10 +231,10 @@ func TestRemoteUCQ(t *testing.T) {
 // WithRemote — and a peer that comes up later succeeds on retry.
 func TestAttachRemoteErrors(t *testing.T) {
 	sys := NewSystem(schema.MustParse("r1^ioo(Artist, Nation, Year)"))
-	if err := sys.AttachRemote("=r1"); err == nil {
+	if err := sys.AttachRemote(context.Background(), "=r1"); err == nil {
 		t.Error("bad spec: want error")
 	}
-	if err := sys.AttachRemote("http://127.0.0.1:1=r1"); err == nil {
+	if err := sys.AttachRemote(context.Background(), "http://127.0.0.1:1=r1"); err == nil {
 		t.Error("unreachable peer: want error")
 	}
 	if got := len(sys.RemotePeers()); got != 0 {
@@ -308,7 +308,7 @@ r3^oo(Artist, Album)
 	if err := full.BindRows("r2", federationRows["r2"]...); err != nil {
 		t.Fatal(err)
 	}
-	if err := full.AttachRemote(url); err == nil || !strings.Contains(err.Error(), "already locally bound") {
+	if err := full.AttachRemote(context.Background(), url); err == nil || !strings.Contains(err.Error(), "already locally bound") {
 		t.Errorf("fully-owned bare attach: err = %v", err)
 	}
 }

@@ -506,7 +506,8 @@ func (s *System) execOpts(o Options) Options {
 // for, so missing bindings are an error there. Pending WithRemote peers
 // attach first, so their relations are never mistaken for missing.
 func (s *System) ensureBound() error {
-	if err := s.AttachRemotes(); err != nil {
+	//toorjahvet:allow ctx-first (Prepare is not context-first; the lazy attach path has no caller context to thread)
+	if err := s.AttachRemotes(context.Background()); err != nil {
 		return err
 	}
 	for _, rel := range s.sch.Relations() {
@@ -626,6 +627,8 @@ type PipeOptions struct {
 }
 
 // flatten folds the shadowing outer fields into the embedded Options.
+//
+//toorjahvet:allow no-deprecated-shims (flatten exists only to serve the deprecated Stream shims)
 func (o PipeOptions) flatten() Options {
 	out := o.Options
 	if o.QueueLen != 0 {
