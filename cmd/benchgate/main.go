@@ -20,6 +20,8 @@
 // Flags:
 //
 //	-in              raw benchmark output to parse (default stdin)
+//	-injson          read the current snapshot from a JSON file instead of
+//	                 parsing benchmark text (e.g. a cmd/loadgen report)
 //	-json            write the parsed snapshot to this path
 //	-baseline        committed snapshot to gate against (no gating when absent)
 //	-threshold       allowed fractional growth of count metrics (default 0.25)
@@ -45,6 +47,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
+	inJSON := flag.String("injson", "", "read the current snapshot from this JSON file instead of parsing text")
 	jsonOut := flag.String("json", "", "write the parsed snapshot to this path")
 	baseline := flag.String("baseline", "", "baseline snapshot to gate against")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression of count metrics")
@@ -54,16 +57,27 @@ func main() {
 	markdown := flag.String("md", "", "append a markdown delta table to this file")
 	flag.Parse()
 
-	var src io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+	var results []benchfmt.Result
+	var err error
+	if *inJSON != "" {
+		f, err2 := os.Open(*inJSON)
+		if err2 != nil {
+			fatal(err2)
 		}
-		defer f.Close()
-		src = f
+		results, err = benchfmt.ReadJSON(f)
+		f.Close()
+	} else {
+		var src io.Reader = os.Stdin
+		if *in != "" {
+			f, err2 := os.Open(*in)
+			if err2 != nil {
+				fatal(err2)
+			}
+			defer f.Close()
+			src = f
+		}
+		results, err = benchfmt.Parse(src)
 	}
-	results, err := benchfmt.Parse(src)
 	if err != nil {
 		fatal(err)
 	}

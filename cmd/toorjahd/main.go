@@ -81,6 +81,9 @@
 //	-cache-negative-ttl  expiry of cached empty accesses (default: cache-ttl)
 //	-no-negative         do not cache empty accesses
 //	-max-ingest-bytes    cap on one /ingest request body (default 8 MiB)
+//	-adaptive-ordering   feed live per-relation row counts from pinned
+//	                     snapshots into plan ordering (smaller relations
+//	                     probed earlier; replans when epochs advance)
 //	-remote              attach a federation peer: http://host:8344=R1,R2
 //	                     (bare address = every shared relation this node
 //	                     holds no data for; repeatable)
@@ -103,7 +106,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -111,7 +113,7 @@ import (
 	"toorjah"
 	"toorjah/internal/obs"
 	"toorjah/internal/schema"
-	"toorjah/internal/storage"
+	"toorjah/internal/service"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -133,11 +135,12 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "expiry of cached accesses (0 = never)")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "expiry of cached empty accesses (0 = same as cache-ttl)")
 	noNegative := flag.Bool("no-negative", false, "do not cache empty accesses")
-	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "cap on one /ingest request body")
+	maxIngest := flag.Int64("max-ingest-bytes", service.DefaultMaxIngestBytes, "cap on one /ingest request body")
+	adaptive := flag.Bool("adaptive-ordering", false, "feed live per-relation row counts into plan ordering")
 	var remotes multiFlag
 	flag.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
 	remoteTimeout := flag.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
-	readyTimeout := flag.Duration("ready-timeout", defaultReadyTimeout, "peer reachability timeout of GET /healthz?ready")
+	readyTimeout := flag.Duration("ready-timeout", service.DefaultReadyTimeout, "peer reachability timeout of GET /healthz?ready")
 	slowQuery := flag.Duration("slow-query", time.Second, "latency at or above which a query logs as slow (0 = no threshold)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
@@ -154,7 +157,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	db, err := loadDatabase(sch, *dataDir)
+	db, err := service.LoadDatabase(sch, *dataDir)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,6 +175,9 @@ func main() {
 			DisableNegative: *noNegative,
 		}))
 	}
+	if *adaptive {
+		opts = append(opts, toorjah.WithAdaptiveOrdering())
+	}
 	sys := toorjah.NewSystem(sch, opts...)
 	if err := sys.BindDatabase(db); err != nil {
 		fatal(err)
@@ -185,20 +191,17 @@ func main() {
 
 	// The server snapshots the probe registry, so it is built after every
 	// local and remote relation is bound.
-	srv := newServer(sys, toorjah.Options{Parallelism: *parallelism, QueueLen: *queueLen})
-	if *maxIngest > 0 {
-		srv.maxIngestBytes = *maxIngest
-	}
-	if *readyTimeout > 0 {
-		srv.readyTimeout = *readyTimeout
-	}
-	srv.queryLog = obs.NewQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)
+	srv := service.New(sys, toorjah.Options{Parallelism: *parallelism, QueueLen: *queueLen},
+		service.WithMaxIngestBytes(*maxIngest),
+		service.WithReadyTimeout(*readyTimeout),
+		service.WithQueryLog(obs.NewQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)),
+	)
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv.handler(),
+		Handler: srv.Handler(),
 		// Header reads and idle keep-alives are bounded; request
 		// read/write stay unbounded because /query streams answers for as
 		// long as the extraction runs.
@@ -255,33 +258,6 @@ func serveDebug(addr string) {
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Printf("toorjahd: debug listener: %v", err)
 	}
-}
-
-// loadDatabase reads one CSV file per schema relation from dir; missing
-// files become empty sources.
-func loadDatabase(sch *schema.Schema, dir string) (*storage.Database, error) {
-	db := storage.NewDatabase()
-	for _, rel := range sch.Relations() {
-		path := filepath.Join(dir, rel.Name+".csv")
-		f, err := os.Open(path)
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return nil, err
-		}
-		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		dbt, err := db.Create(rel.Name, rel.Arity())
-		if err != nil {
-			return nil, err
-		}
-		dbt.InsertAll(tab.Snapshot().Rows())
-	}
-	return db, nil
 }
 
 func fatal(err error) {

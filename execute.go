@@ -5,6 +5,7 @@ import (
 
 	"toorjah/internal/datalog"
 	"toorjah/internal/exec"
+	"toorjah/internal/plan"
 	"toorjah/internal/source"
 )
 
@@ -132,11 +133,47 @@ func (q *Query) executeWith(ctx context.Context, reg *source.Registry, cfg execC
 	if !q.Answerable() {
 		return q.emptyResult(), nil
 	}
+	pl := q.activePlan()
 	if cfg.executor == ExecutorPipelined {
-		return exec.Pipelined(ctx, q.pipeline.Plan, reg, opts, cfg.onAnswer)
+		return exec.Pipelined(ctx, pl, reg, opts, cfg.onAnswer)
 	}
-	res, err := exec.FastFailingOpts(ctx, q.pipeline.Plan, reg, opts)
+	res, err := exec.FastFailingOpts(ctx, pl, reg, opts)
 	return finishBatch(res, err, cfg)
+}
+
+// activePlan returns the plan this execution runs. On a non-adaptive system
+// that is always the one built at Prepare. On an adaptive system
+// (WithAdaptiveOrdering) the prepared linearization is checked against the
+// current data epochs of the plan's relations; when any has advanced the
+// plan is re-linearized from the optimized d-graph against the live row
+// counts — same sources, same ⊂-minimality, possibly a different probe
+// order — and kept until the data moves again. Executions already running
+// keep the plan they started with.
+func (q *Query) activePlan() *plan.Plan {
+	if !q.sys.adaptive || q.pipeline.Plan == nil {
+		return q.pipeline.Plan
+	}
+	q.planMu.Lock()
+	defer q.planMu.Unlock()
+	stale := false
+	for name, epoch := range q.planEpochs {
+		if q.sys.RelationEpoch(name) != epoch {
+			stale = true
+			break
+		}
+	}
+	if !stale {
+		return q.livePlan
+	}
+	p, err := plan.GenerateWith(q.pipeline.Opt, plan.OrderOptions{Sizes: q.sys.RelationSizes()})
+	if err != nil {
+		// The d-graph did not change, so regeneration cannot really fail;
+		// if it somehow does, the last good linearization is still sound.
+		return q.livePlan
+	}
+	q.livePlan = p
+	q.planEpochs = q.snapshotEpochs()
+	return p
 }
 
 // finishBatch applies the answer limit and the post-completion streaming

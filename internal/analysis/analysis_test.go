@@ -80,6 +80,10 @@ func TestHandlerHygieneFixture(t *testing.T) {
 	runFixture(t, HandlerHygiene, "toorjah/internal/handfixture", "handler")
 }
 
+func TestMetricsHygieneFixture(t *testing.T) {
+	runFixture(t, MetricsHygiene, "toorjah/internal/metfixture", "metrics")
+}
+
 // TestHotPathPackagesOnly pins the analyzer's package filter: the same
 // string-materializing code is silent outside the hot-path packages.
 func TestHotPathPackagesOnly(t *testing.T) {
@@ -102,6 +106,7 @@ func TestSuiteNames(t *testing.T) {
 	want := []string{
 		"hotpath-strings", "ctx-first", "no-deprecated-shims",
 		"snapshot-discipline", "pool-hygiene", "handler-hygiene",
+		"metrics-hygiene",
 	}
 	suite := Suite()
 	if len(suite) != len(want) {

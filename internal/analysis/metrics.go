@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// MetricsHygiene keeps the /metrics exposition navigable: every metric
+// family registered on an obs.Registry must carry a compile-time constant
+// name in the repo's `toorjah_` namespace and a non-empty constant help
+// string (the registry renders it as the family's # HELP line). Constant
+// names keep the cardinality of families static — dynamic dimensions
+// belong in labels, where scrapers can aggregate them, not in family
+// names, where each value mints a new time series family.
+var MetricsHygiene = &Analyzer{
+	Name: "metrics-hygiene",
+	Doc:  "obs metric families carry a constant toorjah_-prefixed name and non-empty constant help",
+	Run:  runMetricsHygiene,
+}
+
+// registryMethods are the obs.Registry calls that mint a metric family;
+// each takes (name, help) as its first two arguments.
+var registryMethods = map[string]bool{
+	"Counter":        true,
+	"CounterFunc":    true,
+	"CounterVec":     true,
+	"CounterVecFunc": true,
+	"Gauge":          true,
+	"GaugeFunc":      true,
+	"GaugeVecFunc":   true,
+	"Histogram":      true,
+	"HistogramVec":   true,
+}
+
+const metricPrefix = "toorjah_"
+
+func runMetricsHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		lits := funcLitParams(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := pass.CalleeName(call)
+			method, ok := strings.CutPrefix(name, "(*toorjah/internal/obs.Registry).")
+			if !ok || !registryMethods[method] || len(call.Args) < 2 {
+				return true
+			}
+			checkMetricName(pass, method, call.Args[0], lits)
+			checkMetricHelp(pass, method, call.Args[1], lits)
+			return true
+		})
+	}
+}
+
+// funcLitParams collects the parameter objects of every function literal in
+// the file. A registration whose name or help is forwarded through such a
+// parameter is a local helper closure — its call sites sit in the same
+// declaration, where the constants they pass remain auditable — and is not
+// flagged. Top-level functions taking a name parameter get no such pass:
+// they leak the naming decision across the package.
+func funcLitParams(pass *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// forwardedParam reports whether expr is a bare use of a function-literal
+// parameter.
+func forwardedParam(pass *Pass, expr ast.Expr, lits map[types.Object]bool) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && lits[pass.Pkg.Info.Uses[id]]
+}
+
+// constString resolves an argument's compile-time constant string value.
+func constString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pass *Pass, method string, arg ast.Expr, lits map[types.Object]bool) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		if forwardedParam(pass, arg, lits) {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"metric family name passed to Registry.%s is not a compile-time constant: dynamic dimensions belong in labels, not family names", method)
+		return
+	}
+	if !strings.HasPrefix(name, metricPrefix) {
+		pass.Reportf(arg.Pos(),
+			"metric family %q is outside the %s namespace: prefix it so the exposition groups by origin", name, metricPrefix)
+	}
+}
+
+func checkMetricHelp(pass *Pass, method string, arg ast.Expr, lits map[types.Object]bool) {
+	help, ok := constString(pass, arg)
+	if !ok {
+		if forwardedParam(pass, arg, lits) {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"metric help passed to Registry.%s is not a compile-time constant", method)
+		return
+	}
+	if strings.TrimSpace(help) == "" {
+		pass.Reportf(arg.Pos(),
+			"metric family registered with empty help: the # HELP line is the scraper's only documentation")
+	}
+}

@@ -11,6 +11,7 @@ func Suite() []*Analyzer {
 		SnapshotDiscipline,
 		PoolHygiene,
 		HandlerHygiene,
+		MetricsHygiene,
 	}
 }
 

@@ -1,0 +1,56 @@
+// The metrics-hygiene fixture registers metric families both ways: with
+// constant toorjah_-prefixed names and real help (fine), and with dynamic
+// names, foreign prefixes, or missing help (flagged).
+package metfixture
+
+import (
+	"fmt"
+
+	"toorjah/internal/obs"
+)
+
+const goodName = "toorjah_fixture_ops_total"
+
+// GoodConstants registers well-formed families, including via a named
+// constant and concatenation of constants.
+func GoodConstants(r *obs.Registry) {
+	r.Counter("toorjah_fixture_hits_total", "hits observed by the fixture")
+	r.Counter(goodName, "ops observed by the fixture")
+	r.Gauge("toorjah_"+"fixture_depth", "queue depth")
+	r.CounterVec("toorjah_fixture_errs_total", "errors by kind", "kind")
+	r.Histogram("toorjah_fixture_latency_seconds", "request latency", obs.LatencyBuckets)
+	r.GaugeFunc("toorjah_fixture_uptime_seconds", "uptime", func() float64 { return 1 })
+}
+
+// GoodClosureHelper forwards constants through a local helper closure; the
+// call sites stay in this declaration, so the names remain auditable.
+func GoodClosureHelper(r *obs.Registry) {
+	counter := func(name, help string) { r.Counter(name, help) }
+	counter("toorjah_fixture_a_total", "a events")
+	counter("toorjah_fixture_b_total", "b events")
+}
+
+// BadDynamicName mints a family per value — cardinality in the name.
+func BadDynamicName(r *obs.Registry, shard int) {
+	r.Counter(fmt.Sprintf("toorjah_shard_%d_total", shard), "per-shard ops") // want `not a compile-time constant`
+}
+
+// BadPrefix registers outside the repo's namespace.
+func BadPrefix(r *obs.Registry) {
+	r.Gauge("queue_depth", "queue depth") // want `outside the toorjah_ namespace`
+}
+
+// BadEmptyHelp leaves the # HELP line blank.
+func BadEmptyHelp(r *obs.Registry) {
+	r.Counter("toorjah_fixture_undoc_total", "") // want `empty help`
+}
+
+// BadDynamicHelp computes the help string at run time.
+func BadDynamicHelp(r *obs.Registry, origin string) {
+	r.Gauge("toorjah_fixture_origin", "from "+origin) // want `help passed to Registry\.Gauge is not a compile-time constant`
+}
+
+// BadVecName applies to the vec surface too.
+func BadVecName(r *obs.Registry, name string) {
+	r.HistogramVec(name, "latency by relation", obs.LatencyBuckets, "rel") // want `name passed to Registry\.HistogramVec is not a compile-time constant`
+}

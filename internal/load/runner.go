@@ -1,0 +1,345 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toorjah"
+	"toorjah/internal/cq"
+	"toorjah/internal/obs"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Clients is the number of concurrent replaying clients (default 8).
+	Clients int
+	// Duration is the timed phase's length (default 10s).
+	Duration time.Duration
+	// Seed makes the scenario mix deterministic per client (default 1).
+	Seed int64
+}
+
+// tally accumulates one scenario's observations across every client. The
+// histogram is the same lock-free cumulative-bucket structure the server's
+// /metrics uses, so client-side quantiles come from the same estimator.
+type tally struct {
+	hist       *obs.Histogram
+	requests   atomic.Int64
+	errors     atomic.Int64
+	truncated  atomic.Int64
+	mismatches atomic.Int64
+	accesses   atomic.Int64
+}
+
+func newTally() *tally {
+	return &tally{hist: obs.NewStandaloneHistogram(obs.LatencyBuckets)}
+}
+
+func (t *tally) measured() Measured {
+	return Measured{
+		Requests:   int(t.requests.Load()),
+		Errors:     int(t.errors.Load()),
+		Truncated:  int(t.truncated.Load()),
+		Mismatches: int(t.mismatches.Load()),
+	}
+}
+
+// outcome is one request's observation.
+type outcome struct {
+	err       bool
+	truncated bool
+	mismatch  bool
+	accesses  int
+	latency   time.Duration
+}
+
+func (t *tally) record(o outcome) {
+	t.requests.Add(1)
+	t.hist.Observe(o.latency.Seconds())
+	if o.err {
+		t.errors.Add(1)
+	}
+	if o.truncated {
+		t.truncated.Add(1)
+	}
+	if o.mismatch {
+		t.mismatches.Add(1)
+	}
+	t.accesses.Add(int64(o.accesses))
+}
+
+// ingestCounter makes every generated ingest row globally unique, so every
+// batch really mutates the relation and advances its epoch.
+var ingestCounter atomic.Int64
+
+// Run executes the suite against the cluster: resolves ground-truth
+// expectations against the reference system, scrapes every node's
+// /metrics, replays the weighted mix from Config.Clients concurrent
+// clients for Config.Duration, runs the KindCompare scenarios once,
+// scrapes again, and scores everything into a Report.
+func Run(ctx context.Context, cl *Cluster, suite *Suite, cfg Config) (*Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	scenarios := make([]Scenario, len(suite.Scenarios))
+	copy(scenarios, suite.Scenarios)
+	for i := range scenarios {
+		if err := resolveGroundTruth(ctx, cl.Ref, &scenarios[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients * 2 * len(cl.Nodes),
+			MaxIdleConnsPerHost: cfg.Clients * 2,
+		},
+	}
+	before := make(map[string]*obs.Scrape, len(cl.Nodes))
+	for _, n := range cl.Nodes {
+		sc, err := n.Scrape(ctx, client)
+		if err != nil {
+			return nil, err
+		}
+		before[n.Name] = sc
+	}
+
+	// The weighted mix: one entry per weight unit; a client draws uniformly.
+	var mix []int
+	tallies := make([]*tally, len(scenarios))
+	for i, sc := range scenarios {
+		tallies[i] = newTally()
+		for w := 0; w < sc.Weight; w++ {
+			mix = append(mix, i)
+		}
+	}
+	aggregate := newTally()
+
+	if len(mix) > 0 {
+		deadline, cancel := context.WithTimeout(ctx, cfg.Duration)
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+				for deadline.Err() == nil {
+					i := mix[rng.Intn(len(mix))]
+					o := runScenario(deadline, client, cl, scenarios[i], rng)
+					if deadline.Err() != nil && o.err {
+						return // an error after the deadline is the shutdown, not the target
+					}
+					tallies[i].record(o)
+					aggregate.record(o)
+				}
+			}(c)
+		}
+		wg.Wait()
+		cancel()
+	}
+
+	// The comparison scenarios run once, after the storm has settled.
+	compares := make(map[string][2]int)
+	for _, sc := range scenarios {
+		if sc.Kind != KindCompare {
+			continue
+		}
+		adaptive, static, err := cl.CompareAdaptive(ctx, sc.Query)
+		if err != nil {
+			return nil, fmt.Errorf("load: compare %s: %w", sc.Name, err)
+		}
+		compares[sc.Name] = [2]int{adaptive, static}
+	}
+
+	after := make(map[string]*obs.Scrape, len(cl.Nodes))
+	for _, n := range cl.Nodes {
+		sc, err := n.Scrape(ctx, client)
+		if err != nil {
+			return nil, err
+		}
+		after[n.Name] = sc
+	}
+
+	return buildReport(suite.Name, scenarios, tallies, aggregate, compares, before, after, cfg), nil
+}
+
+// resolveGroundTruth fills FromGroundTruth expectations by executing the
+// query once against the all-local reference system with the naive
+// reference executor — the paper's Fig. 1 algorithm, the slowest and most
+// trustworthy oracle in the repo.
+func resolveGroundTruth(ctx context.Context, ref *toorjah.System, sc *Scenario) error {
+	if !sc.Expect.FromGroundTruth || sc.Kind != KindQuery {
+		return nil
+	}
+	var res *toorjah.Result
+	var err error
+	if cq.IsUnion(sc.Query) {
+		var u *toorjah.UnionQuery
+		if u, err = ref.PrepareUCQ(sc.Query); err == nil {
+			res, err = u.Execute(ctx, toorjah.WithExecutor(toorjah.ExecutorNaive))
+		}
+	} else {
+		var q *toorjah.Query
+		if q, err = ref.Prepare(sc.Query); err == nil {
+			res, err = q.Execute(ctx, toorjah.WithExecutor(toorjah.ExecutorNaive))
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("load: ground truth for %s: %w", sc.Name, err)
+	}
+	rows := make([][]string, 0, res.Answers.Len())
+	for _, t := range res.Answers.Tuples() {
+		rows = append(rows, t.Strings())
+	}
+	n := len(rows)
+	sc.Expect.Answers = &n
+	sc.Expect.AnswerHash = HashAnswers(rows)
+	return nil
+}
+
+// runScenario performs one request of the scenario and reports what it saw.
+func runScenario(ctx context.Context, client *http.Client, cl *Cluster, sc Scenario, rng *rand.Rand) outcome {
+	node := cl.Nodes[0]
+	if sc.Node > 0 && sc.Node < len(cl.Nodes) {
+		node = cl.Nodes[sc.Node]
+	}
+	switch sc.Kind {
+	case KindQuery:
+		return runQuery(ctx, client, node.URL, sc)
+	case KindIngest:
+		return runIngest(ctx, client, node.URL, sc)
+	case KindFailure:
+		return runFailure(ctx, node, sc)
+	default:
+		return outcome{err: true}
+	}
+}
+
+// runQuery streams one /query response, hashing the answers as they
+// arrive and checking the summary frame against the expectation.
+func runQuery(ctx context.Context, client *http.Client, base string, sc Scenario) outcome {
+	q := url.Values{"q": {sc.Query}}
+	if sc.Limit > 0 {
+		q.Set("limit", strconv.Itoa(sc.Limit))
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/query?"+q.Encode(), nil)
+	if err != nil {
+		return outcome{err: true, latency: time.Since(start)}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{err: true, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return outcome{err: true, latency: time.Since(start)}
+	}
+	var rows [][]string
+	var done struct {
+		Done      bool   `json:"done"`
+		Answers   int    `json:"answers"`
+		Accesses  int    `json:"accesses"`
+		Truncated bool   `json:"truncated"`
+		Error     string `json:"error"`
+	}
+	sawDone := false
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for scan.Scan() {
+		line := scan.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var frame struct {
+			Answer []string `json:"answer"`
+		}
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return outcome{err: true, latency: time.Since(start)}
+		}
+		if frame.Answer != nil {
+			rows = append(rows, frame.Answer)
+			continue
+		}
+		if err := json.Unmarshal(line, &done); err != nil {
+			return outcome{err: true, latency: time.Since(start)}
+		}
+		if done.Error != "" {
+			return outcome{err: true, latency: time.Since(start)}
+		}
+		if done.Done {
+			sawDone = true
+		}
+	}
+	o := outcome{latency: time.Since(start), accesses: done.Accesses, truncated: done.Truncated}
+	if scan.Err() != nil || !sawDone {
+		o.err = true
+		return o
+	}
+	if exp := sc.Expect.Answers; exp != nil && len(rows) != *exp {
+		o.mismatch = true
+	}
+	if sc.Expect.AnswerHash != "" && HashAnswers(rows) != sc.Expect.AnswerHash {
+		o.mismatch = true
+	}
+	return o
+}
+
+// runIngest posts one batch of globally unique rows.
+func runIngest(ctx context.Context, client *http.Client, base string, sc Scenario) outcome {
+	var b strings.Builder
+	for i := 0; i < sc.Rows; i++ {
+		n := ingestCounter.Add(1)
+		fmt.Fprintf(&b, "[%q, %q]\n", fmt.Sprintf("k%d", n), fmt.Sprintf("v%d", n))
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/ingest?relation="+url.QueryEscape(sc.Relation), strings.NewReader(b.String()))
+	if err != nil {
+		return outcome{err: true, latency: time.Since(start)}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{err: true, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return outcome{err: resp.StatusCode != http.StatusOK, latency: time.Since(start)}
+}
+
+// runFailure takes the target node down for the declared outage, then
+// brings it back. At most one outage is in flight per node: overlapping
+// attempts observe the switch already thrown and return immediately, so a
+// heavily weighted failure scenario cannot pin a node down forever.
+func runFailure(ctx context.Context, node *Node, sc Scenario) outcome {
+	start := time.Now()
+	if !node.outage.CompareAndSwap(false, true) {
+		return outcome{latency: time.Since(start)}
+	}
+	select {
+	case <-time.After(time.Duration(sc.OutageMS) * time.Millisecond):
+	case <-ctx.Done():
+	}
+	node.outage.Store(false)
+	return outcome{latency: time.Since(start)}
+}

@@ -1,0 +1,126 @@
+package load
+
+// Built-in suites over the default cluster's schema and data. Ground-truth
+// expectations are left to FromGroundTruth — the runner computes them
+// against the reference system before the clock starts — so the suites
+// stay correct when the generated dataset changes shape.
+
+func intp(n int) *int { return &n }
+
+// skewedCompareQuery joins the fat big relation and the empty small one
+// order-equivalently off the seeded keys; it lists big first, so the
+// static tie-break probes big before discovering small is empty, while
+// live sizes probe small first and fail the join at once.
+const skewedCompareQuery = "q(B, C) :- big(X, B), small(X, C), seed(X)"
+
+// builtinSuites maps -scenarios names to suites; anything else is a file.
+var builtinSuites = map[string]*Suite{
+	"smoke":    smokeSuite,
+	"mixed":    mixedSuite,
+	"adaptive": adaptiveSuite,
+}
+
+// BuiltinSuite returns a named built-in suite (smoke, mixed, adaptive).
+func BuiltinSuite(name string) (*Suite, bool) {
+	s, ok := builtinSuites[name]
+	return s, ok
+}
+
+// BuiltinSuiteNames lists the built-in suite names.
+func BuiltinSuiteNames() []string { return []string{"adaptive", "mixed", "smoke"} }
+
+// smokeSuite is the CI suite: every scenario kind, no failure injection,
+// tight budgets, finishes meaningfully inside ~20s.
+var smokeSuite = &Suite{
+	Name: "smoke",
+	Scenarios: []Scenario{
+		{
+			Name: "point-conf", Kind: KindQuery, Weight: 4,
+			Query:  "q(C, Y) :- conf(p1, C, Y)",
+			Expect: Expect{FromGroundTruth: true},
+		},
+		{
+			Name: "join-pub-conf", Kind: KindQuery, Weight: 2,
+			Query:  "q(T, C) :- pub(P, T), conf(P, C, Y)",
+			Expect: Expect{FromGroundTruth: true},
+		},
+		{
+			Name: "fat-ucq", Kind: KindQuery, Weight: 2,
+			Query: "q(T) :- pub(p1, T)\n" +
+				"q(T) :- pub(p2, T)\n" +
+				"q(T) :- pub(p3, T)",
+			Expect: Expect{FromGroundTruth: true},
+		},
+		{
+			Name: "storm-ingest", Kind: KindIngest, Weight: 2,
+			Relation: "storm", Rows: 50,
+		},
+		{
+			Name: "adaptive-skew", Kind: KindCompare,
+			Query:  skewedCompareQuery,
+			Expect: Expect{AdaptiveNoWorse: true},
+		},
+	},
+}
+
+// mixedSuite is the full production mix: the smoke scenarios plus peer
+// outages, with error budgets widened on the federated scenarios to absorb
+// the injected failures.
+var mixedSuite = &Suite{
+	Name: "mixed",
+	Scenarios: []Scenario{
+		{
+			Name: "point-conf", Kind: KindQuery, Weight: 5,
+			Query:  "q(C, Y) :- conf(p1, C, Y)",
+			Expect: Expect{FromGroundTruth: true, ErrorBudget: 0.10},
+		},
+		{
+			Name: "point-conf-cold", Kind: KindQuery, Weight: 2,
+			Query:  "q(C, Y) :- conf(p7, C, Y)",
+			Expect: Expect{FromGroundTruth: true, ErrorBudget: 0.10},
+		},
+		{
+			Name: "join-pub-conf", Kind: KindQuery, Weight: 3,
+			Query:  "q(T, C) :- pub(P, T), conf(P, C, Y)",
+			Expect: Expect{FromGroundTruth: true, ErrorBudget: 0.10},
+		},
+		{
+			Name: "fat-ucq", Kind: KindQuery, Weight: 3,
+			Query: "q(T) :- pub(p1, T)\n" +
+				"q(T) :- pub(p2, T)\n" +
+				"q(T) :- pub(p3, T)\n" +
+				"q(T) :- pub(p4, T)",
+			Expect: Expect{FromGroundTruth: true},
+		},
+		{
+			Name: "limited-scan", Kind: KindQuery, Weight: 1,
+			Query: "q(P, T) :- pub(P, T)", Limit: 10,
+			Expect: Expect{Answers: intp(10), MaxTruncatedFrac: 1},
+		},
+		{
+			Name: "storm-ingest", Kind: KindIngest, Weight: 3,
+			Relation: "storm", Rows: 100,
+		},
+		{
+			Name: "peer-flap", Kind: KindFailure, Weight: 1,
+			Node: 1, OutageMS: 250,
+		},
+		{
+			Name: "adaptive-skew", Kind: KindCompare,
+			Query:  skewedCompareQuery,
+			Expect: Expect{AdaptiveNoWorse: true},
+		},
+	},
+}
+
+// adaptiveSuite isolates the planner-feedback acceptance check.
+var adaptiveSuite = &Suite{
+	Name: "adaptive",
+	Scenarios: []Scenario{
+		{
+			Name: "adaptive-skew", Kind: KindCompare,
+			Query:  skewedCompareQuery,
+			Expect: Expect{AdaptiveNoWorse: true},
+		},
+	},
+}

@@ -94,6 +94,13 @@ func (f *atomicFloat) add(v float64) {
 
 func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// NewStandaloneHistogram builds a histogram that is not attached to any
+// registry — for callers (like the load harness) that want the lock-free
+// bucket accounting and the shared quantile estimator without exposing the
+// series on /metrics. Panics if the bounds are not strictly ascending; nil
+// or empty buckets default to LatencyBuckets.
+func NewStandaloneHistogram(buckets []float64) *Histogram { return newHistogram(buckets) }
+
 // newHistogram validates and copies the bucket bounds.
 func newHistogram(buckets []float64) *Histogram {
 	if len(buckets) == 0 {
@@ -130,36 +137,32 @@ func (h *Histogram) Count() uint64 {
 func (h *Histogram) Sum() float64 { return h.sum.value() }
 
 // Quantile extracts the q-quantile (0 < q <= 1, e.g. 0.5, 0.99, 0.999)
-// from the buckets by linear interpolation within the bucket the rank
-// falls in — the same estimate Prometheus' histogram_quantile computes.
-// An empty histogram returns NaN; a rank falling in the +Inf bucket
-// returns the highest finite bound (the histogram cannot see further).
+// from the buckets — the estimate QuantileFromBuckets computes, which is
+// also what a scraper reconstructs from the text exposition, so the
+// serving process and its observers always agree on a percentile. An empty
+// histogram returns NaN; a rank falling in the +Inf bucket returns the
+// highest finite bound (the histogram cannot see further).
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.Count()
-	if total == 0 || q <= 0 || q > 1 {
-		return math.NaN()
-	}
-	rank := q * float64(total)
-	var cum float64
-	for i, bound := range h.bounds {
-		c := float64(h.counts[i].Load())
-		if cum+c >= rank {
-			lower := 0.0
-			if i > 0 {
-				lower = h.bounds[i-1]
-			}
-			if c == 0 {
-				return bound
-			}
-			return lower + (bound-lower)*((rank-cum)/c)
-		}
-		cum += c
-	}
-	if len(h.bounds) == 0 {
-		return math.NaN()
-	}
-	return h.bounds[len(h.bounds)-1]
+	return QuantileFromBuckets(h.bounds, h.CumulativeCounts(), q)
 }
+
+// CumulativeCounts snapshots the cumulative per-bucket counts — cum[i] is
+// the number of observations <= bounds[i], exactly the `le` series of the
+// text exposition — with one extra trailing entry for the implicit +Inf
+// bucket (the total count).
+func (h *Histogram) CumulativeCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Bounds returns the finite bucket upper bounds (shared, not copied; do
+// not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
 
 // LatencyBuckets is the default histogram bucketing for durations in
 // seconds: 0.5ms up to 10s, roughly logarithmic — wide enough for a cache

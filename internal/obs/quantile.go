@@ -1,0 +1,41 @@
+package obs
+
+import "math"
+
+// QuantileFromBuckets estimates the q-quantile (0 < q <= 1; 0.5, 0.99,
+// 0.999) of a distribution known only through Prometheus-style cumulative
+// histogram buckets: bounds are the ascending finite `le` upper bounds and
+// cum[i] counts the observations <= bounds[i]. cum may carry one extra
+// trailing entry for the implicit +Inf bucket; either way its last entry is
+// the total observation count. The estimate interpolates linearly within
+// the bucket the rank falls in — the same arithmetic Prometheus'
+// histogram_quantile performs at scrape time — so a client that only ever
+// saw the text exposition computes the exact same percentile the serving
+// process would. A rank falling beyond the last finite bound returns that
+// bound (the histogram cannot see further); an empty histogram or an
+// out-of-range q returns NaN.
+func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(cum) < len(bounds) || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	total := float64(cum[len(cum)-1])
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, bound := range bounds {
+		c := float64(cum[i])
+		if c < rank {
+			continue
+		}
+		lower, prev := 0.0, 0.0
+		if i > 0 {
+			lower, prev = bounds[i-1], float64(cum[i-1])
+		}
+		if c == prev { // defensively: an empty bucket cannot hold the rank
+			return bound
+		}
+		return lower + (bound-lower)*((rank-prev)/(c-prev))
+	}
+	return bounds[len(bounds)-1]
+}

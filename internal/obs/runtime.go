@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics adds the Go runtime's health gauges to a registry,
+// collected at scrape time via runtime/metrics — no background goroutine,
+// no sampling loop, each scrape reads the live values:
+//
+//	toorjah_build_info              constant 1, labeled with the module
+//	                                version and Go toolchain
+//	toorjah_goroutines              current goroutine count
+//	toorjah_heap_objects_bytes      bytes of live heap objects
+//	toorjah_gc_cycles_total         completed GC cycles
+//	toorjah_gc_pause_seconds_total  cumulative stop-the-world GC pause time
+//
+// Registering twice on the same registry is safe (families are fetched, not
+// re-created); the collectors are cheap enough to run on every scrape.
+func RegisterRuntimeMetrics(r *Registry) {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	goVersion := runtime.Version()
+	r.GaugeVecFunc("toorjah_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		[]string{"version", "go"}, func(emit func([]string, float64)) {
+			emit([]string{version, goVersion}, 1)
+		})
+	r.GaugeFunc("toorjah_goroutines",
+		"Goroutines currently live in the process.",
+		runtimeSample("/sched/goroutines:goroutines"))
+	r.GaugeFunc("toorjah_heap_objects_bytes",
+		"Bytes occupied by live heap objects (runtime/metrics /memory/classes/heap/objects:bytes).",
+		runtimeSample("/memory/classes/heap/objects:bytes"))
+	r.CounterFunc("toorjah_gc_cycles_total",
+		"Completed garbage collection cycles since process start.",
+		runtimeSample("/gc/cycles/total:gc-cycles"))
+	r.CounterFunc("toorjah_gc_pause_seconds_total",
+		"Cumulative stop-the-world garbage collection pause time.",
+		runtimeSample("/sched/pauses/total/gc:seconds"))
+}
+
+// runtimeSample returns a collector reading one runtime/metrics sample. A
+// histogram-valued metric (the GC pause distribution) collapses to the sum
+// of its observations; an unsupported name reads as 0, so the series stays
+// well-formed across Go versions.
+func runtimeSample(name string) func() float64 {
+	return func() float64 {
+		sample := []metrics.Sample{{Name: name}}
+		metrics.Read(sample)
+		switch sample[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(sample[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return sample[0].Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := sample[0].Value.Float64Histogram()
+			var sum float64
+			for i, count := range h.Counts {
+				// Midpoint estimate per bucket; the first and last buckets
+				// may be unbounded, where the finite edge stands in.
+				lo, hi := h.Buckets[i], h.Buckets[i+1]
+				mid := (lo + hi) / 2
+				switch {
+				case lo < 0 || lo != lo: // -Inf or NaN lower edge
+					mid = hi
+				case hi != hi || hi > 1e300: // +Inf upper edge
+					mid = lo
+				}
+				sum += float64(count) * mid
+			}
+			return sum
+		}
+		return 0
+	}
+}

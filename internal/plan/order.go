@@ -15,6 +15,11 @@ type OrderOptions struct {
 	// Sizes, when provided, gives estimated relation cardinalities; among
 	// ready groups the smaller total size goes first — the paper's
 	// "compatibly with the ordering, place small tables first" (§IV).
+	// A relation absent from the map has unknown cardinality, which is not
+	// the same as zero: a group is size-compared only when every relation in
+	// it has an entry, so partial statistics (say, live counts of the local
+	// relations while federated ones stay opaque) never demote a group below
+	// one whose size is simply unknown.
 	Sizes map[string]int
 }
 
@@ -82,15 +87,21 @@ func OrderWith(o *dgraph.Optimized, opts OrderOptions) (groups [][]*dgraph.Sourc
 	joinScore := make([]int, ncomp)
 	allFree := make([]bool, ncomp)
 	size := make([]int, ncomp)
+	sized := make([]bool, ncomp)
 	for ci, ms := range members {
 		allFree[ci] = true
+		sized[ci] = opts.Sizes != nil
 		for _, s := range ms {
 			joinScore[ci] += sourceJoins(o, s)
 			if !s.Free() {
 				allFree[ci] = false
 			}
 			if opts.Sizes != nil {
-				size[ci] += opts.Sizes[s.Rel.Name]
+				n, known := opts.Sizes[s.Rel.Name]
+				if !known {
+					sized[ci] = false
+				}
+				size[ci] += n
 			}
 		}
 		sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
@@ -120,7 +131,7 @@ func OrderWith(o *dgraph.Optimized, opts OrderOptions) (groups [][]*dgraph.Sourc
 				if allFree[a] {
 					best = i
 				}
-			case opts.Sizes != nil && size[a] != size[b]:
+			case sized[a] && sized[b] && size[a] != size[b]:
 				if size[a] < size[b] {
 					best = i
 				}

@@ -1,4 +1,4 @@
-package main
+package service
 
 // Federation acceptance tests: a toorjahd node must answer any CQ or UCQ
 // over relations sourced from other toorjahd nodes exactly as it would over
@@ -47,7 +47,7 @@ func startToorjahd(t *testing.T, rels []*schema.Relation, db *storage.Database, 
 	if err := sys.BindDatabase(db); err != nil {
 		t.Fatal(err)
 	}
-	h := http.Handler(newServer(sys, toorjah.Options{}).handler())
+	h := http.Handler(New(sys, toorjah.Options{}).Handler())
 	if wrap != nil {
 		h = wrap(h)
 	}
@@ -487,7 +487,7 @@ func TestServerFederationEndpoints(t *testing.T) {
 	if err := front.AttachRemote(context.Background(), peerURL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
+	fsrv := httptest.NewServer(New(front, toorjah.Options{}).Handler())
 	defer fsrv.Close()
 
 	answers, done := queryNDJSON(t, fsrv.URL+"/query?q="+strings.ReplaceAll(pubQuery, " ", "%20"))
@@ -575,7 +575,7 @@ func TestReadinessReportsDeadPeer(t *testing.T) {
 	if err := peerSys.BindDatabase(subDatabase(t, db, revOnly)); err != nil {
 		t.Fatal(err)
 	}
-	peer := httptest.NewServer(newServer(peerSys, toorjah.Options{}).handler())
+	peer := httptest.NewServer(New(peerSys, toorjah.Options{}).Handler())
 
 	ropts := fastRemote()
 	ropts.Timeout = 200 * time.Millisecond
@@ -587,7 +587,7 @@ func TestReadinessReportsDeadPeer(t *testing.T) {
 	if err := front.AttachRemote(context.Background(), peer.URL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
+	fsrv := httptest.NewServer(New(front, toorjah.Options{}).Handler())
 	defer fsrv.Close()
 
 	peer.Close() // the peer vanishes

@@ -1,4 +1,4 @@
-package main
+package service
 
 // Observability acceptance tests: /metrics must render valid Prometheus
 // text covering the query/cache/source/remote/ingest families and stay
@@ -163,8 +163,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := sys.BindDatabase(pubDatabase(t, sch)); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	q := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")
@@ -237,8 +237,8 @@ func TestMetricsEndpoint(t *testing.T) {
 // any mode the final scrape must still satisfy every format invariant.
 func TestMetricsConcurrentWithQueries(t *testing.T) {
 	sys, _ := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	const workers, rounds = 4, 8
@@ -316,10 +316,10 @@ func TestFederatedTraceStitching(t *testing.T) {
 	if err := peerSys.BindDatabase(subDatabase(t, db, revOnly)); err != nil {
 		t.Fatal(err)
 	}
-	peerSrv := newServer(peerSys, toorjah.Options{})
+	peerSrv := New(peerSys, toorjah.Options{})
 	var peerLog syncBuffer
 	peerSrv.queryLog = obs.NewQueryLog(slog.New(slog.NewTextHandler(&peerLog, nil)), 0)
-	peer := httptest.NewServer(peerSrv.handler())
+	peer := httptest.NewServer(peerSrv.Handler())
 	defer peer.Close()
 
 	front := toorjah.NewSystem(sch.Clone(),
@@ -332,7 +332,7 @@ func TestFederatedTraceStitching(t *testing.T) {
 	if err := front.AttachRemote(context.Background(), peer.URL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := httptest.NewServer(newServer(front, toorjah.Options{}).handler())
+	fsrv := httptest.NewServer(New(front, toorjah.Options{}).Handler())
 	defer fsrv.Close()
 
 	answers, done := queryNDJSON(t,
@@ -428,9 +428,9 @@ func TestReadyTimeoutBoundsSlowPeer(t *testing.T) {
 	if err := front.AttachRemote(context.Background(), peerURL+"=rev"); err != nil {
 		t.Fatal(err)
 	}
-	fsrv := newServer(front, toorjah.Options{})
+	fsrv := New(front, toorjah.Options{})
 	fsrv.readyTimeout = 150 * time.Millisecond
-	fts := httptest.NewServer(fsrv.handler())
+	fts := httptest.NewServer(fsrv.Handler())
 	defer fts.Close()
 
 	start := time.Now()

@@ -1,4 +1,12 @@
-package main
+// Package service is the toorjahd HTTP service behind cmd/toorjahd,
+// importable so tools can run real in-process nodes: the full route table
+// (/query streaming NDJSON, /ingest, /probe federation serving, /stats,
+// /schema, /healthz, /metrics) over one toorjah.System, with warm prepared
+// plans and the system's cross-query access cache shared by every request.
+// cmd/loadgen uses it to stand up a live multi-node cluster inside one
+// process — same handlers, same metrics — so a load run exercises exactly
+// the code a deployment serves.
+package service
 
 import (
 	"context"
@@ -7,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,31 +27,29 @@ import (
 	"toorjah/internal/cq"
 	"toorjah/internal/obs"
 	"toorjah/internal/remote"
+	"toorjah/internal/schema"
+	"toorjah/internal/storage"
 )
 
-// server serves concurrent conjunctive queries — and unions of them — over
-// one toorjah.System, keeping prepared plans warm: planning (validation,
-// d-graph construction, GFP pruning, ordering) runs at most once per
-// distinct query text, and the system's cross-query access cache is shared
-// by every request. maxPreparedPlans bounds the warm-plan map: query texts
-// carry arbitrary client-chosen constants, so distinct texts are unbounded
-// in a long-running service; beyond the cap the oldest plan is dropped
-// (plans are cheap to rebuild).
+// maxPreparedPlans bounds the warm-plan map: query texts carry arbitrary
+// client-chosen constants, so distinct texts are unbounded in a
+// long-running service; beyond the cap the oldest plan is dropped (plans
+// are cheap to rebuild).
 const maxPreparedPlans = 1024
 
 // maxQueryBytes bounds the /query request body; longer bodies are rejected
 // with 413 rather than silently truncated into a parse error.
 const maxQueryBytes = 1 << 20
 
-// defaultMaxIngestBytes bounds the /ingest request body (-max-ingest-bytes
-// overrides); one batch of NDJSON rows must fit in memory twice anyway
-// (decoded rows + table), so the cap is a defensive bound, not a tuning
-// knob.
-const defaultMaxIngestBytes = 8 << 20
+// DefaultMaxIngestBytes bounds the /ingest request body (toorjahd's
+// -max-ingest-bytes overrides); one batch of NDJSON rows must fit in
+// memory twice anyway (decoded rows + table), so the cap is a defensive
+// bound, not a tuning knob.
+const DefaultMaxIngestBytes = 8 << 20
 
-// defaultReadyTimeout bounds the peer reachability checks of GET
-// /healthz?ready (-ready-timeout overrides).
-const defaultReadyTimeout = 2 * time.Second
+// DefaultReadyTimeout bounds the peer reachability checks of GET
+// /healthz?ready (toorjahd's -ready-timeout overrides).
+const DefaultReadyTimeout = 2 * time.Second
 
 // runnable is a prepared query of either kind — a single CQ or a UCQ whose
 // disjuncts stream concurrently — behind the one entry point /query needs.
@@ -49,7 +57,7 @@ type runnable interface {
 	Execute(ctx context.Context, options ...toorjah.ExecOption) (*toorjah.Result, error)
 }
 
-type server struct {
+type Server struct {
 	sys   *toorjah.System
 	exec  toorjah.Options // executor tuning shared by every served query
 	start time.Time
@@ -99,12 +107,41 @@ type ingestStats struct {
 	LastAt   time.Time `json:"-"`        // wall clock of the last request
 }
 
-// newServer builds the route table's state over a fully bound system: the
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxIngestBytes caps one /ingest request body (default
+// DefaultMaxIngestBytes); zero or negative keeps the default.
+func WithMaxIngestBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxIngestBytes = n
+		}
+	}
+}
+
+// WithReadyTimeout bounds the peer reachability checks of /healthz?ready
+// (default DefaultReadyTimeout); zero or negative keeps the default.
+func WithReadyTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.readyTimeout = d
+		}
+	}
+}
+
+// WithQueryLog attaches a structured query log; nil keeps the server
+// silent.
+func WithQueryLog(l *obs.QueryLog) Option {
+	return func(s *Server) { s.queryLog = l }
+}
+
+// New builds the route table's state over a fully bound system: the
 // /probe endpoint snapshots the system's sources (behind its cross-query
 // cache) at construction, so bind every relation — including remote
 // attaches — first.
-func newServer(sys *toorjah.System, execOpts toorjah.Options) *server {
-	s := &server{
+func New(sys *toorjah.System, execOpts toorjah.Options, opts ...Option) *Server {
+	s := &Server{
 		sys:            sys,
 		exec:           execOpts,
 		start:          time.Now(),
@@ -112,9 +149,9 @@ func newServer(sys *toorjah.System, execOpts toorjah.Options) *server {
 		planCap:        maxPreparedPlans,
 		sources:        make(map[string]toorjah.SourceStats),
 		probeSources:   make(map[string]toorjah.SourceStats),
-		maxIngestBytes: defaultMaxIngestBytes,
+		maxIngestBytes: DefaultMaxIngestBytes,
 		ingests:        make(map[string]*ingestStats),
-		readyTimeout:   defaultReadyTimeout,
+		readyTimeout:   DefaultReadyTimeout,
 	}
 	s.metrics = obs.NewRegistry()
 	s.probeMetrics = obs.NewProbeMetrics(s.metrics)
@@ -127,15 +164,19 @@ func newServer(sys *toorjah.System, execOpts toorjah.Options) *server {
 	s.writeErrs = s.metrics.Counter("toorjah_response_write_errors_total",
 		"Response writes dropped because the client disconnected mid-reply.")
 	s.registerCollectors()
+	obs.RegisterRuntimeMetrics(s.metrics)
 	s.probeH = remote.NewHandler(sys.ProbeRegistry())
 	s.probeH.Record = s.recordProbe
+	for _, o := range opts {
+		o(s)
+	}
 	return s
 }
 
 // registerCollectors turns every point-in-time statistic the service (and
 // its system) already keeps into scrape-time series on /metrics: nothing is
 // double-counted, a scrape renders the same accumulators /stats reports.
-func (s *server) registerCollectors() {
+func (s *Server) registerCollectors() {
 	m := s.metrics
 	m.GaugeFunc("toorjah_uptime_seconds",
 		"Seconds since the service started.",
@@ -276,7 +317,7 @@ func breakerStateValue(state string) float64 {
 // request is one round trip of `accesses` bindings), the probe-latency
 // histogram, and — carrying the calling query's trace ID — the query log,
 // so a federated trace stitches across nodes in the logs.
-func (s *server) recordProbe(p remote.ProbeRecord) {
+func (s *Server) recordProbe(p remote.ProbeRecord) {
 	s.probesServed.Add(1)
 	s.peerProbeDur.Observe(p.Elapsed.Seconds())
 	s.queryLog.Probe(p.TraceID, p.Relation, p.Accesses, p.Tuples, p.Elapsed)
@@ -288,7 +329,7 @@ func (s *server) recordProbe(p remote.ProbeRecord) {
 }
 
 // probeSnapshot copies the served-probe accounting.
-func (s *server) probeSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
+func (s *Server) probeSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
 	s.srcMu.Lock()
 	defer s.srcMu.Unlock()
 	out := make(map[string]toorjah.SourceStats, len(s.probeSources))
@@ -302,7 +343,7 @@ func (s *server) probeSnapshot() (map[string]toorjah.SourceStats, toorjah.Source
 
 // recordSources folds one execution's per-relation accounting into the
 // service totals (accesses, source round trips, extracted tuples).
-func (s *server) recordSources(stats map[string]toorjah.SourceStats) {
+func (s *Server) recordSources(stats map[string]toorjah.SourceStats) {
 	s.srcMu.Lock()
 	defer s.srcMu.Unlock()
 	for rel, st := range stats {
@@ -313,7 +354,7 @@ func (s *server) recordSources(stats map[string]toorjah.SourceStats) {
 }
 
 // sourceSnapshot copies the service-wide per-relation accounting.
-func (s *server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
+func (s *Server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.SourceStats) {
 	s.srcMu.Lock()
 	defer s.srcMu.Unlock()
 	out := make(map[string]toorjah.SourceStats, len(s.sources))
@@ -326,7 +367,7 @@ func (s *server) sourceSnapshot() (map[string]toorjah.SourceStats, toorjah.Sourc
 }
 
 // handler returns the service's route table.
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -342,7 +383,7 @@ func (s *server) handler() http.Handler {
 // view, checking every attached federation peer's reachability in parallel
 // and answering 503 when any is down (so a load balancer can stop routing
 // federated queries to a node whose peers are unreachable).
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !r.URL.Query().Has("ready") {
 		s.writeString(w, "ok\n")
 		return
@@ -390,7 +431,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // encode writes one JSON value to the response stream, counting a failed
 // write; the false return tells a streaming caller the client is gone.
-func (s *server) encode(enc *json.Encoder, v any) bool {
+func (s *Server) encode(enc *json.Encoder, v any) bool {
 	if err := enc.Encode(v); err != nil {
 		s.writeErrs.Inc()
 		return false
@@ -400,7 +441,7 @@ func (s *server) encode(enc *json.Encoder, v any) bool {
 
 // writeString is io.WriteString to the response with the same
 // dropped-write accounting.
-func (s *server) writeString(w io.Writer, text string) {
+func (s *Server) writeString(w io.Writer, text string) {
 	if _, err := io.WriteString(w, text); err != nil {
 		s.writeErrs.Inc()
 	}
@@ -411,7 +452,7 @@ func (s *server) writeString(w io.Writer, text string) {
 // Planning runs outside the lock so one slow-to-plan query cannot stall
 // every other request; concurrent first requests for the same text may plan
 // it twice, and the first to finish wins.
-func (s *server) prepared(text string) (runnable, error) {
+func (s *Server) prepared(text string) (runnable, error) {
 	s.mu.Lock()
 	if q, ok := s.plans[text]; ok {
 		s.mu.Unlock()
@@ -443,7 +484,7 @@ func (s *server) prepared(text string) (runnable, error) {
 	return q, nil
 }
 
-func (s *server) planCount() int {
+func (s *Server) planCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.plans)
@@ -483,7 +524,7 @@ type errorLine struct {
 // moment the engine derives it, then a final summary line. The query text
 // comes from the q parameter (GET) or the request body (POST); limit, when
 // positive, stops after that many answers.
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var text string
 	switch r.Method {
 	case http.MethodGet:
@@ -648,7 +689,7 @@ type ingestResponse struct {
 // (negative entries included) the moment the epoch advances. Bodies beyond
 // -max-ingest-bytes are rejected with 413; nothing is applied on a parse
 // or arity error.
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST with NDJSON rows as the body", http.StatusMethodNotAllowed)
 		return
@@ -734,7 +775,7 @@ func decodeIngestRows(r io.Reader, arity int) ([]toorjah.Row, error) {
 }
 
 // recordIngest folds one applied /ingest into the per-relation accounting.
-func (s *server) recordIngest(rel, op string, applied int) {
+func (s *Server) recordIngest(rel, op string, applied int) {
 	s.ingMu.Lock()
 	defer s.ingMu.Unlock()
 	st := s.ingests[rel]
@@ -815,7 +856,7 @@ type cacheStatsBlock struct {
 	Relations map[string]toorjah.CacheStats `json:"relations"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QueriesServed: s.served.Load(),
@@ -876,7 +917,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // discovery format — followed by "# epoch" comment lines advertising each
 // relation's current data version, so an attaching peer keys its cache by
 // the right version before its first probe.
-func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var b strings.Builder
 	for _, rel := range s.sys.Schema().Relations() {
@@ -888,4 +929,32 @@ func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	}
 	remote.AppendSchemaEpochs(&b, epochs)
 	s.writeString(w, b.String())
+}
+
+// LoadDatabase reads one CSV file per schema relation from dir; missing
+// files become empty sources. It is the boot-time loader of cmd/toorjahd
+// and of any other harness that stands a Server up over CSV data.
+func LoadDatabase(sch *schema.Schema, dir string) (*storage.Database, error) {
+	db := storage.NewDatabase()
+	for _, rel := range sch.Relations() {
+		path := filepath.Join(dir, rel.Name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		tab, err := storage.ReadCSV(rel.Name, rel.Arity(), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		dbt, err := db.Create(rel.Name, rel.Arity())
+		if err != nil {
+			return nil, err
+		}
+		dbt.InsertAll(tab.Snapshot().Rows())
+	}
+	return db, nil
 }

@@ -1,4 +1,4 @@
-package main
+package service
 
 import (
 	"bufio"
@@ -123,8 +123,8 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 	}
 
 	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.Options{Parallelism: 8})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{Parallelism: 8})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	url := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")
 
@@ -215,8 +215,8 @@ func TestServerConcurrentQueriesShareCache(t *testing.T) {
 
 func TestServerEndpoints(t *testing.T) {
 	sys, _ := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	// POST body form of /query.
@@ -284,8 +284,8 @@ const pubUCQ = "q(R) :- pub1(P, R), conf(P, C, Y), rev(R, C, Y)\nq(R) :- pub1(P,
 // disjunct count — and /stats counts the union.
 func TestServerUCQStream(t *testing.T) {
 	sys, counters := newTestSystem(t, toorjah.WithCache(toorjah.CacheOptions{}))
-	srv := newServer(sys, toorjah.Options{Parallelism: 4})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{Parallelism: 4})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(pubUCQ))
@@ -368,8 +368,8 @@ func TestServerUCQStream(t *testing.T) {
 // not truncated into a confusing parse error.
 func TestServerQueryBodyTooLarge(t *testing.T) {
 	sys, _ := newTestSystem(t)
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	big := strings.Repeat("x", maxQueryBytes+1)
@@ -401,8 +401,8 @@ func TestServerLimit(t *testing.T) {
 	if err := sys.BindRows("r", rows...); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	answers, done := queryNDJSON(t, ts.URL+"/query?limit=3&q=q(X)%20:-%20r(X)")
@@ -418,7 +418,7 @@ func TestServerLimit(t *testing.T) {
 // cap instead of growing forever.
 func TestPlanCacheBounded(t *testing.T) {
 	sys, _ := newTestSystem(t)
-	srv := newServer(sys, toorjah.Options{})
+	srv := New(sys, toorjah.Options{})
 	srv.planCap = 2
 	texts := []string{
 		"q(N) :- pub1(P, N)",
@@ -464,7 +464,7 @@ func TestLoadDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := loadDatabase(sch, dir)
+	db, err := LoadDatabase(sch, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,8 +506,8 @@ func TestServerIngest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(sys, toorjah.Options{})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sys, toorjah.Options{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	queryURL := ts.URL + "/query?q=" + strings.ReplaceAll(pubQuery, " ", "%20")

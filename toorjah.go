@@ -193,6 +193,11 @@ type System struct {
 	// execution with the shared source-level metric families.
 	probeMetrics *obs.ProbeMetrics
 
+	// adaptive, when set (WithAdaptiveOrdering), feeds live per-relation
+	// row counts into plan linearization and re-linearizes prepared queries
+	// when the data behind them moves.
+	adaptive bool
+
 	// Federation state (see remote.go): client tuning for attached peers,
 	// the WithRemote specs not yet attached, and the attached peers.
 	remoteOpts    RemoteOptions
@@ -243,6 +248,24 @@ func WithMaxBatch(n int) SystemOption {
 // ExecObs and read its demanded-access count afterwards.
 func WithProbeMetrics(pm *ProbeMetricsHandles) SystemOption {
 	return func(s *System) { s.probeMetrics = pm }
+}
+
+// WithAdaptiveOrdering feeds live per-relation row counts (read from the
+// same pinned snapshots DataInfo reports) into the plan linearization of
+// every prepared query: among order-equivalent source groups, relations
+// with fewer live rows are probed first — the paper's "place small tables
+// first" (§IV) driven by the actual data instead of static estimates.
+// Prepared queries stay adaptive after preparation: an execution that finds
+// the epoch of a relevant relation has advanced re-linearizes the plan
+// against the current counts before running. Only the linearization moves —
+// the set of sources probed and the ⊂-minimality of the plan are decided by
+// the GFP optimization and never change, so answers are identical; what
+// changes is how early a doomed extraction can fail, i.e. the access count.
+// Relations not backed by a local table (federated peers, custom wrappers)
+// have unknown cardinality and never demote a group (see
+// plan.OrderOptions.Sizes).
+func WithAdaptiveOrdering() SystemOption {
+	return func(s *System) { s.adaptive = true }
 }
 
 // NewSystem creates a system over the schema with no sources bound.
@@ -480,6 +503,23 @@ func (s *System) DataInfo() map[string]RelationInfo {
 	return out
 }
 
+// AdaptiveOrdering reports whether the system feeds live relation sizes
+// into plan linearization (see WithAdaptiveOrdering).
+func (s *System) AdaptiveOrdering() bool { return s.adaptive }
+
+// RelationSizes snapshots the live row count of every relation backed by a
+// local table — the statistics adaptive ordering runs on. Relations served
+// by federated peers or custom wrappers are absent (unknown), not zero.
+func (s *System) RelationSizes() map[string]int {
+	sizes := make(map[string]int)
+	for name, info := range s.DataInfo() {
+		if info.Local {
+			sizes[name] = info.Rows
+		}
+	}
+	return sizes
+}
+
 // execOpts threads the system's cross-query cache, batch bound and probe
 // metrics into executor options.
 func (s *System) execOpts(o Options) Options {
@@ -528,6 +568,14 @@ func (s *System) ensureBound() error {
 type Query struct {
 	sys      *System
 	pipeline *core.Pipeline
+
+	// Adaptive-ordering state (WithAdaptiveOrdering): the linearization in
+	// use and the relation epochs it was computed against. planMu guards
+	// both; they stay nil on non-adaptive systems, where pipeline.Plan is
+	// the only plan there will ever be.
+	planMu     sync.Mutex
+	livePlan   *plan.Plan
+	planEpochs map[string]uint64
 }
 
 // Prepare validates the query text against the schema and builds the
@@ -545,19 +593,49 @@ func (s *System) PrepareCQ(q *CQ) (*Query, error) {
 	if err := s.ensureBound(); err != nil {
 		return nil, err
 	}
-	p, err := core.Prepare(s.sch, q)
+	var opts core.Options
+	if s.adaptive {
+		opts.Order = plan.OrderOptions{Sizes: s.RelationSizes()}
+	}
+	p, err := core.PrepareOpts(s.sch, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Query{sys: s, pipeline: p}, nil
+	pq := &Query{sys: s, pipeline: p}
+	if s.adaptive && p.Plan != nil {
+		pq.livePlan = p.Plan
+		pq.planEpochs = pq.snapshotEpochs()
+	}
+	return pq, nil
+}
+
+// snapshotEpochs records the current data epoch of every relation the
+// optimized plan may access — the staleness check of adaptive ordering.
+func (q *Query) snapshotEpochs() map[string]uint64 {
+	eps := make(map[string]uint64)
+	for _, name := range q.pipeline.Opt.RelevantRelations() {
+		eps[name] = q.sys.RelationEpoch(name)
+	}
+	return eps
 }
 
 // Answerable reports whether the query can return any answer on any
 // instance under the access limitations.
 func (q *Query) Answerable() bool { return q.pipeline.Answerable() }
 
-// Plan returns the ⊂-minimal plan, or nil for non-answerable queries.
-func (q *Query) Plan() *Plan { return q.pipeline.Plan }
+// Plan returns the ⊂-minimal plan, or nil for non-answerable queries. On an
+// adaptive system (WithAdaptiveOrdering) it is the linearization currently
+// in use, which executions refresh when relation epochs advance.
+func (q *Query) Plan() *Plan {
+	if q.sys.adaptive {
+		q.planMu.Lock()
+		defer q.planMu.Unlock()
+		if q.livePlan != nil {
+			return q.livePlan
+		}
+	}
+	return q.pipeline.Plan
+}
 
 // RelevantRelations returns the relations the optimized plan may access.
 func (q *Query) RelevantRelations() []string { return q.pipeline.Opt.RelevantRelations() }
