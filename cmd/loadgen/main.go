@@ -8,8 +8,8 @@
 //
 //	go run ./cmd/loadgen -scenarios smoke -duration 20s
 //
-// Suites are built in (smoke, mixed, adaptive — see internal/load) or read
-// from a JSON file:
+// Suites are built in (smoke, mixed, adaptive, crash — see internal/load)
+// or read from a JSON file:
 //
 //	{"name": "mine", "scenarios": [
 //	  {"name": "point", "kind": "query", "weight": 4,
@@ -30,6 +30,14 @@
 //
 //	go run ./cmd/benchgate -injson LOADGEN_PR9.json -baseline LOADGEN_BASELINE.json
 //
+// -wal runs the query-serving node durable: every applied mutation batch
+// reaches a write-ahead log under the given directory before its
+// acknowledgement, measuring durable-write overhead under the same mix.
+// The crash suite goes further — it re-execs this very binary as durable
+// child processes, SIGKILLs them mid-storm (including mid-write, via a WAL
+// failpoint), restarts them and scores crash-recovery equivalence against
+// a never-crashed twin.
+//
 // Flags:
 //
 //	-scenarios  built-in suite name or path to a suite JSON file (default smoke)
@@ -38,6 +46,8 @@
 //	-seed       RNG seed for the scenario mix (default 1)
 //	-latency    simulated per-access source latency on every node (default 0)
 //	-adaptive   serve queries with live-size adaptive plan ordering
+//	-wal        write-ahead-log directory for the query-serving node ("" = in-memory)
+//	-fsync      WAL flush policy with -wal: always, interval or never (default never)
 //	-json       write the benchfmt snapshot to this path
 //	-md         write the GFM report to this path (CI: $GITHUB_STEP_SUMMARY)
 package main
@@ -54,12 +64,18 @@ import (
 )
 
 func main() {
+	// A crash-suite child re-execs this binary; the env switch turns the
+	// process into the durable victim node and never returns.
+	load.MaybeRunCrashChild()
+
 	scenarios := flag.String("scenarios", "smoke", "built-in suite name or suite JSON file")
 	duration := flag.Duration("duration", 10*time.Second, "timed-phase length")
 	clients := flag.Int("clients", 8, "concurrent clients")
 	seed := flag.Int64("seed", 1, "RNG seed for the scenario mix")
 	latency := flag.Duration("latency", 0, "simulated per-access source latency on every node")
 	adaptive := flag.Bool("adaptive", false, "serve queries with live-size adaptive plan ordering")
+	walDir := flag.String("wal", "", "write-ahead-log directory for the query-serving node (\"\" = in-memory)")
+	fsync := flag.String("fsync", "never", "WAL flush policy when -wal is set: always, interval or never")
 	jsonOut := flag.String("json", "", "write the benchfmt snapshot to this path")
 	mdOut := flag.String("md", "", "write the GFM report to this path")
 	flag.Parse()
@@ -84,6 +100,8 @@ func main() {
 	cluster, err := load.StartDefaultCluster(ctx, load.DefaultClusterOptions{
 		Latency:  *latency,
 		Adaptive: *adaptive,
+		WALDir:   *walDir,
+		Fsync:    *fsync,
 	})
 	if err != nil {
 		fatal(err)

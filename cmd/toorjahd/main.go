@@ -64,8 +64,23 @@
 // starts a second, private listener serving net/http/pprof (never mounted
 // on the public mux).
 //
+// With -data-dir the node is durable: every applied /ingest batch appends
+// one checksummed record to a write-ahead log under that directory before
+// the batch is acknowledged (-fsync picks the flush policy: always syncs
+// inside the acknowledgement path, interval flushes on -fsync-interval,
+// never leaves flushing to the OS), snapshot files of every relation's
+// live rows are written every -snapshot-interval, and sealed WAL segments
+// rotate by -wal-segment-bytes/-wal-segment-age into an archive
+// subdirectory. On restart the node recovers the latest valid snapshot,
+// replays the WAL tail (truncating a torn final record rather than
+// refusing to start), and serves the same rows and epochs it had
+// acknowledged — the CSV seed in -data is read only on the very first
+// boot. /stats gains a "wal" block and /metrics the toorjah_wal_*
+// families (appends, bytes, syncs, snapshots, recovery duration).
+//
 // The process drains gracefully: SIGINT/SIGTERM stop accepting connections
-// and in-flight query streams get up to 15s to finish.
+// and in-flight query streams get up to 15s to finish; a durable node then
+// flushes and closes its WAL.
 //
 // Flags:
 //
@@ -81,6 +96,17 @@
 //	-cache-negative-ttl  expiry of cached empty accesses (default: cache-ttl)
 //	-no-negative         do not cache empty accesses
 //	-max-ingest-bytes    cap on one /ingest request body (default 8 MiB)
+//	-data-dir            durable state directory: write-ahead log + epoch
+//	                     snapshots + archive (default: memory only)
+//	-fsync               WAL flush policy: always, interval or never
+//	                     (default always)
+//	-fsync-interval      flush period under -fsync interval (default 100ms)
+//	-snapshot-interval   how often to snapshot relations and archive sealed
+//	                     WAL segments (default 5m; 0 disables)
+//	-wal-segment-bytes   size at which the active WAL segment seals
+//	                     (default 64 MiB)
+//	-wal-segment-age     age at which a non-empty active segment seals
+//	                     (default: size-only)
 //	-adaptive-ordering   feed live per-relation row counts from pinned
 //	                     snapshots into plan ordering (smaller relations
 //	                     probed earlier; replans when epochs advance)
@@ -114,6 +140,8 @@ import (
 	"toorjah/internal/obs"
 	"toorjah/internal/schema"
 	"toorjah/internal/service"
+	"toorjah/internal/storage"
+	"toorjah/internal/wal"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -137,6 +165,12 @@ func main() {
 	noNegative := flag.Bool("no-negative", false, "do not cache empty accesses")
 	maxIngest := flag.Int64("max-ingest-bytes", service.DefaultMaxIngestBytes, "cap on one /ingest request body")
 	adaptive := flag.Bool("adaptive-ordering", false, "feed live per-relation row counts into plan ordering")
+	walDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots; empty = memory only)")
+	fsync := flag.String("fsync", wal.FsyncAlways, "WAL flush policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "flush period under -fsync interval (0 = default 100ms)")
+	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "snapshot + archive period (0 = disabled)")
+	segBytes := flag.Int64("wal-segment-bytes", 0, "active WAL segment size cap (0 = default 64 MiB)")
+	segAge := flag.Duration("wal-segment-age", 0, "active WAL segment age cap (0 = size-only)")
 	var remotes multiFlag
 	flag.Var(&remotes, "remote", "federation peer to attach, host[:port][=R1,R2] (repeatable)")
 	remoteTimeout := flag.Duration("remote-timeout", 0, "per-probe-attempt timeout against federation peers (0 = default 10s)")
@@ -157,9 +191,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	db, err := service.LoadDatabase(sch, *dataDir)
-	if err != nil {
-		fatal(err)
+	var db *storage.Database
+	var wlog *wal.Log
+	if *walDir != "" {
+		db, wlog, err = service.OpenDurable(sch, *dataDir, wal.Options{
+			Dir:              *walDir,
+			Fsync:            *fsync,
+			FsyncInterval:    *fsyncInterval,
+			SegmentMaxBytes:  *segBytes,
+			SegmentMaxAge:    *segAge,
+			SnapshotInterval: *snapInterval,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rec := wlog.Stats().Recovery
+		log.Printf("toorjahd: durable under %s (fsync=%s): recovered %d relation(s), %d record(s) replayed in %.1fms",
+			*walDir, *fsync, rec.Relations, rec.RecordsReplayed, rec.DurationMS)
+	} else {
+		db, err = service.LoadDatabase(sch, *dataDir)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	opts := []toorjah.SystemOption{
@@ -189,13 +242,21 @@ func main() {
 		log.Printf("toorjahd: attached federation peer %s", spec)
 	}
 
-	// The server snapshots the probe registry, so it is built after every
-	// local and remote relation is bound.
-	srv := service.New(sys, toorjah.Options{Parallelism: *parallelism, QueueLen: *queueLen},
+	svcOpts := []service.Option{
 		service.WithMaxIngestBytes(*maxIngest),
 		service.WithReadyTimeout(*readyTimeout),
 		service.WithQueryLog(obs.NewQueryLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowQuery)),
-	)
+	}
+	if wlog != nil {
+		// After every bind: the commit hook must cover each local table, and
+		// only then may batches be acknowledged as durable.
+		service.WireWAL(sys, wlog)
+		svcOpts = append(svcOpts, service.WithWAL(wlog))
+	}
+
+	// The server snapshots the probe registry, so it is built after every
+	// local and remote relation is bound.
+	srv := service.New(sys, toorjah.Options{Parallelism: *parallelism, QueueLen: *queueLen}, svcOpts...)
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}
@@ -208,7 +269,15 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	if err := serve(hs, sch.Len(), *dataDir); err != nil {
+	err = serve(hs, sch.Len(), *dataDir)
+	if wlog != nil {
+		// After the drain: no in-flight ingest can append once Shutdown
+		// returned, so the final flush covers every acknowledged batch.
+		if cerr := wlog.Close(); cerr != nil {
+			log.Printf("toorjahd: closing WAL: %v", cerr)
+		}
+	}
+	if err != nil {
 		fatal(err)
 	}
 }

@@ -84,6 +84,30 @@ func TestMetricsHygieneFixture(t *testing.T) {
 	runFixture(t, MetricsHygiene, "toorjah/internal/metfixture", "metrics")
 }
 
+func TestDurabilityHygieneFixture(t *testing.T) {
+	// The fixture poses as internal/wal so the durable-path package filter
+	// applies to it.
+	runFixture(t, DurabilityHygiene, "toorjah/internal/wal", "durability")
+}
+
+// TestDurabilityWALOnly pins the analyzer's package filter: the same
+// unchecked write-path code is silent outside internal/wal, where an
+// unsynced write is an ordinary buffered file, not a broken durability
+// promise.
+func TestDurabilityWALOnly(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "src", "durability", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatal("no durability fixture files")
+	}
+	mod, pkg, err := LoadFixture(moduleRoot(t), "toorjah/internal/service", files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(mod, []*Analyzer{DurabilityHygiene}, []*Package{pkg}); len(diags) != 0 {
+		t.Errorf("durability-hygiene fired outside internal/wal: %v", diags)
+	}
+}
+
 // TestHotPathPackagesOnly pins the analyzer's package filter: the same
 // string-materializing code is silent outside the hot-path packages.
 func TestHotPathPackagesOnly(t *testing.T) {
@@ -106,7 +130,7 @@ func TestSuiteNames(t *testing.T) {
 	want := []string{
 		"hotpath-strings", "ctx-first", "no-deprecated-shims",
 		"snapshot-discipline", "pool-hygiene", "handler-hygiene",
-		"metrics-hygiene",
+		"metrics-hygiene", "durability-hygiene",
 	}
 	suite := Suite()
 	if len(suite) != len(want) {

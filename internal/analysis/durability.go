@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DurabilityHygiene guards PR 10's crash-safety contract at its root: the
+// write-ahead log is the only thing standing between an acknowledged batch
+// and a crash, so inside internal/wal no durable-write error may vanish
+// and no write site may silently skip fsync. Two rules:
+//
+//  1. Every error produced on the os.File write path (Write, Sync, Close,
+//     Truncate, Rename, ...) is checked — a bare call statement, a blank
+//     assignment, or a defer/go discards it.
+//  2. Every function that writes to (or opens for writing) an *os.File
+//     calls (*os.File).Sync before returning.
+//
+// Sites where a rule is deliberately violated — closing a file whose write
+// already failed, the failpoint's intentionally torn write, creating an
+// empty segment with nothing to flush — carry a function-scoped
+// //toorjahvet:allow durability-hygiene (reason) directive, so every
+// exemption is a documented decision, not an oversight.
+var DurabilityHygiene = &Analyzer{
+	Name: "durability-hygiene",
+	Doc:  "internal/wal checks every os.File write-path error and fsyncs (or explicitly allows) every write site",
+	Run:  runDurabilityHygiene,
+}
+
+// walErrIndex maps each durable-write call to the index of its error
+// result — the error a caller inside internal/wal must not discard.
+var walErrIndex = map[string]int{
+	"(*os.File).Write":       1,
+	"(*os.File).WriteString": 1,
+	"(*os.File).WriteAt":     1,
+	"(*os.File).Sync":        0,
+	"(*os.File).Close":       0,
+	"(*os.File).Truncate":    0,
+	"os.Create":              1,
+	"os.OpenFile":            1,
+	"os.Truncate":            0,
+	"os.Rename":              0,
+	"os.WriteFile":           0,
+}
+
+// walWriteCalls are the calls that put bytes (or a new writable file) on
+// the durable path; a function containing one must also fsync. os.Open is
+// absent on purpose: read-only access has nothing to flush.
+var walWriteCalls = map[string]bool{
+	"(*os.File).Write":       true,
+	"(*os.File).WriteString": true,
+	"(*os.File).WriteAt":     true,
+	"os.Create":              true,
+	"os.OpenFile":            true,
+	"os.WriteFile":           true, // cannot fsync at all — always annotate or avoid
+}
+
+func runDurabilityHygiene(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path, "/internal/wal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkDurableFunc(pass, fd)
+			}
+		}
+	}
+}
+
+// checkDurableFunc applies both rules to one function: flag every
+// discarded write-path error where it happens, and — when the function
+// writes but never syncs — flag each write site.
+func checkDurableFunc(pass *Pass, fd *ast.FuncDecl) {
+	var writes []*ast.CallExpr
+	synced := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				reportDiscarded(pass, call, "call statement")
+			}
+		case *ast.DeferStmt:
+			reportDiscarded(pass, st.Call, "defer")
+		case *ast.GoStmt:
+			reportDiscarded(pass, st.Call, "go statement")
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 {
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+					checkBlankAssign(pass, st, call)
+				}
+			}
+		case *ast.CallExpr:
+			name := pass.CalleeName(st)
+			if walWriteCalls[name] {
+				writes = append(writes, st)
+			}
+			if name == "(*os.File).Sync" {
+				synced = true
+			}
+		}
+		return true
+	})
+	if synced {
+		return
+	}
+	for _, w := range writes {
+		pass.Reportf(w.Pos(),
+			"%s without an fsync in %s: a durable write must reach (*os.File).Sync before the function returns, or carry //toorjahvet:allow durability-hygiene (reason)",
+			pass.CalleeName(w), fd.Name.Name)
+	}
+}
+
+// reportDiscarded flags a write-path call whose results are dropped
+// wholesale: a bare statement, a defer, or a go statement.
+func reportDiscarded(pass *Pass, call *ast.CallExpr, how string) {
+	name := pass.CalleeName(call)
+	if _, ok := walErrIndex[name]; !ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s error discarded by a %s: a durable write path checks every failure (or documents the exemption with //toorjahvet:allow durability-hygiene)",
+		name, how)
+}
+
+// checkBlankAssign flags a write-path call whose error result lands in the
+// blank identifier.
+func checkBlankAssign(pass *Pass, st *ast.AssignStmt, call *ast.CallExpr) {
+	name := pass.CalleeName(call)
+	idx, ok := walErrIndex[name]
+	if !ok || idx >= len(st.Lhs) {
+		return
+	}
+	if id, ok := ast.Unparen(st.Lhs[idx]).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"%s error assigned to the blank identifier: a durable write path checks every failure (or documents the exemption with //toorjahvet:allow durability-hygiene)",
+			name)
+	}
+}

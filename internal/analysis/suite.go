@@ -12,6 +12,7 @@ func Suite() []*Analyzer {
 		PoolHygiene,
 		HandlerHygiene,
 		MetricsHygiene,
+		DurabilityHygiene,
 	}
 }
 

@@ -1,0 +1,78 @@
+// The durability-hygiene fixture poses as internal/wal and exercises both
+// rules: discarded write-path errors (bare statements, blank assignments,
+// defers) and write sites with no fsync in their function — next to the
+// corrected forms and a documented //toorjahvet:allow exemption, which
+// must all stay silent.
+package walfixture
+
+import "os"
+
+// BadBareSync drops the fsync error on the floor.
+func BadBareSync(f *os.File) {
+	f.Sync() // want `error discarded by a call statement`
+}
+
+// BadBlankWrite blanks the write error; the sync below keeps rule 2 quiet
+// so the blank assignment is the only finding.
+func BadBlankWrite(f *os.File, b []byte) error {
+	_, _ = f.Write(b) // want `error assigned to the blank identifier`
+	return f.Sync()
+}
+
+// BadDeferClose defers a close whose error vanishes with the frame.
+func BadDeferClose(f *os.File) error {
+	defer f.Close() // want `error discarded by a defer`
+	return f.Sync()
+}
+
+// BadBareTruncate discards the package-level truncate error.
+func BadBareTruncate(path string) {
+	os.Truncate(path, 0) // want `error discarded by a call statement`
+}
+
+// BadWriteNoSync checks the write error but never reaches the disk: the
+// bytes can sit in the page cache past the function's durability promise.
+func BadWriteNoSync(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `without an fsync in BadWriteNoSync`
+	return err
+}
+
+// BadCreateNoSync mints a writable file nothing ever flushes.
+func BadCreateNoSync(path string) (*os.File, error) {
+	return os.Create(path) // want `without an fsync in BadCreateNoSync`
+}
+
+// GoodChecked checks every failure on the write path and syncs.
+func GoodChecked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// GoodPropagated forwards the write result to the caller; returning an
+// error is checking it.
+func GoodPropagated(f *os.File, b []byte) (int, error) {
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return f.Write(b)
+}
+
+// GoodAllowed documents why the close error cannot matter.
+func GoodAllowed(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		//toorjahvet:allow durability-hygiene (the write already failed; the close error cannot improve on it)
+		_ = f.Close()
+		return err
+	}
+	return f.Sync()
+}
+
+// GoodReadOnly reads; there is nothing to flush.
+func GoodReadOnly(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -12,6 +12,7 @@ import (
 	"toorjah/internal/obs"
 	"toorjah/internal/service"
 	"toorjah/internal/storage"
+	"toorjah/internal/wal"
 )
 
 // Node is one in-process toorjahd instance: the real service handler (the
@@ -26,15 +27,16 @@ type Node struct {
 	hs     *http.Server
 	lis    net.Listener
 	outage atomic.Bool
+	wlog   *wal.Log
 }
 
 // startNode serves the system on a loopback port behind the outage switch.
-func startNode(name string, sys *toorjah.System, execOpts toorjah.Options) (*Node, error) {
+func startNode(name string, sys *toorjah.System, execOpts toorjah.Options, svcOpts ...service.Option) (*Node, error) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("load: node %s: %w", name, err)
 	}
-	n := &Node{Name: name, Sys: sys, Srv: service.New(sys, execOpts), lis: lis}
+	n := &Node{Name: name, Sys: sys, Srv: service.New(sys, execOpts, svcOpts...), lis: lis}
 	n.URL = "http://" + lis.Addr().String()
 	inner := n.Srv.Handler()
 	n.hs = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -71,8 +73,14 @@ func (n *Node) Scrape(ctx context.Context, client *http.Client) (*obs.Scrape, er
 }
 
 // Close stops the listener; in-flight requests are abandoned (this is a
-// harness, not a deployment — drain timing is toorjahd's job).
-func (n *Node) Close() { n.hs.Close() }
+// harness, not a deployment — drain timing is toorjahd's job). A node
+// running durable also closes its write-ahead log.
+func (n *Node) Close() {
+	n.hs.Close()
+	if n.wlog != nil {
+		n.wlog.Close()
+	}
+}
 
 // Cluster is the harness's target: real nodes, plus a reference system
 // holding every relation locally — the ground-truth oracle expectations
@@ -120,6 +128,17 @@ type DefaultClusterOptions struct {
 	Latency time.Duration
 	// Adaptive turns live-size plan ordering on for the query-serving node.
 	Adaptive bool
+	// WALDir, when set, runs the query-serving node durable: every applied
+	// mutation batch is appended to a write-ahead log under this directory
+	// before its acknowledgement, and /stats + /metrics grow the WAL
+	// accounting. The cluster's dataset is still rebuilt in memory each
+	// run — state recovered from a previous run's log stays on disk,
+	// unreplayed — so the log measures durable-write overhead under load,
+	// not recovery. "" keeps the cluster purely in-memory.
+	WALDir string
+	// Fsync is the durable node's WAL flush policy (always, interval,
+	// never; default always). Ignored without WALDir.
+	Fsync string
 }
 
 // StartDefaultCluster stands up the built-in two-node topology: node0
@@ -174,11 +193,26 @@ func StartDefaultCluster(ctx context.Context, opts DefaultClusterOptions) (*Clus
 		peer.Close()
 		return nil, fmt.Errorf("load: attach peer: %w", err)
 	}
-	main, err := startNode("node0", mainSys, toorjah.Options{})
+	var svcOpts []service.Option
+	var wlog *wal.Log
+	if opts.WALDir != "" {
+		wlog, _, err = wal.Open(wal.Options{Dir: opts.WALDir, Fsync: opts.Fsync})
+		if err != nil {
+			peer.Close()
+			return nil, fmt.Errorf("load: open wal: %w", err)
+		}
+		service.WireWAL(mainSys, wlog)
+		svcOpts = append(svcOpts, service.WithWAL(wlog))
+	}
+	main, err := startNode("node0", mainSys, toorjah.Options{}, svcOpts...)
 	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		peer.Close()
 		return nil, err
 	}
+	main.wlog = wlog
 
 	// The oracle: same schema, every relation local, no cache, no peers.
 	refDB := storage.NewDatabase()

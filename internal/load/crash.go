@@ -1,0 +1,484 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"toorjah"
+	"toorjah/internal/schema"
+	"toorjah/internal/service"
+	"toorjah/internal/storage"
+	"toorjah/internal/wal"
+)
+
+// The crash harness proves the durability contract end to end: it re-execs
+// this very binary as a real durable toorjahd child, storms it with unique
+// insert batches over HTTP, SIGKILLs it at a random point (optionally
+// mid-write, via the WAL failpoint), restarts it from the same data
+// directory, and scores the recovered state against a never-crashed twin
+// fed exactly the batches that survived:
+//
+//   - every acknowledged batch is fully present after the restart (an ack
+//     means the WAL record was written before the HTTP response),
+//   - no batch is partially applied (records are atomic: a torn final
+//     record is truncated whole),
+//   - answers, row counts and epochs equal the twin's.
+//
+// Child-process plumbing rides on environment variables so the same
+// mechanism works from `go test` (TestMain calls MaybeRunCrashChild) and
+// from cmd/loadgen (main calls it first thing).
+
+// Environment variables steering a re-exec'd crash child.
+const (
+	crashChildEnv    = "TOORJAH_CRASH_CHILD"
+	crashDirEnv      = "TOORJAH_CRASH_DIR"
+	crashSchemaEnv   = "TOORJAH_CRASH_SCHEMA"
+	crashPortFileEnv = "TOORJAH_CRASH_PORTFILE"
+	crashFsyncEnv    = "TOORJAH_CRASH_FSYNC"
+)
+
+// crashSchemaText is the child's schema: one free relation to storm.
+const crashSchemaText = "storm^oo(K, V)"
+
+// crashScanQuery reads the whole storm relation back — the survivor census.
+const crashScanQuery = "q(K, V) :- storm(K, V)"
+
+// crashSegmentBytes keeps child WAL segments small, so a storm spans
+// several sealed segments and recovery replays across rotation boundaries.
+const crashSegmentBytes = 8 << 10
+
+// MaybeRunCrashChild turns the current process into a durable crash-test
+// node when the TOORJAH_CRASH_CHILD environment variable is set, and never
+// returns in that case. Call it before anything else in main (and in
+// TestMain), so RunCrash can re-exec the running binary as its victim.
+func MaybeRunCrashChild() {
+	if os.Getenv(crashChildEnv) == "" {
+		return
+	}
+	if err := runCrashChild(); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// runCrashChild boots the durable node described by the environment: WAL
+// recovery, the real service handler, a loopback listener whose address is
+// published atomically through the port file. It serves until killed.
+func runCrashChild() error {
+	dir := os.Getenv(crashDirEnv)
+	portFile := os.Getenv(crashPortFileEnv)
+	schemaText := os.Getenv(crashSchemaEnv)
+	if dir == "" || portFile == "" || schemaText == "" {
+		return fmt.Errorf("missing TOORJAH_CRASH_{DIR,PORTFILE,SCHEMA}")
+	}
+	sch, err := schema.Parse(schemaText)
+	if err != nil {
+		return err
+	}
+	db, l, err := service.OpenDurable(sch, "", wal.Options{
+		Dir:             dir,
+		Fsync:           os.Getenv(crashFsyncEnv),
+		SegmentMaxBytes: crashSegmentBytes,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError})),
+	})
+	if err != nil {
+		return err
+	}
+	sys := toorjah.NewSystem(sch, toorjah.WithCache(toorjah.CacheOptions{}))
+	if err := sys.BindDatabase(db); err != nil {
+		return err
+	}
+	service.WireWAL(sys, l)
+	srv := service.New(sys, toorjah.Options{}, service.WithWAL(l))
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// Publish the port atomically: the parent polls for the file and must
+	// never read a half-written address.
+	tmp := portFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(lis.Addr().String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, portFile); err != nil {
+		return err
+	}
+	return http.Serve(lis, srv.Handler())
+}
+
+// CrashConfig shapes one RunCrash round.
+type CrashConfig struct {
+	// Batches is how many unique insert batches the storm sends at most
+	// before the plug is pulled (default 80).
+	Batches int
+	// RowsPerBatch is the rows per ingest batch (default 5).
+	RowsPerBatch int
+	// Fsync is the victim's WAL flush policy (default wal.FsyncAlways).
+	// Under SIGKILL every policy must preserve acknowledged batches — the
+	// page cache survives process death — so the equivalence holds even
+	// at FsyncNever; the policies differ only against power loss.
+	Fsync string
+	// Failpoint, when set, is armed in the storm child's environment as
+	// TOORJAH_WAL_FAILPOINT (e.g. "crash-after-bytes=2500"), making the
+	// child kill itself mid-write and leave a torn record for recovery to
+	// truncate.
+	Failpoint string
+	// Seed drives the kill point (default 1).
+	Seed int64
+}
+
+// CrashResult is one crash-equivalence round's account.
+type CrashResult struct {
+	// Acked counts batches the victim acknowledged with HTTP 200 before
+	// dying; Survived counts batches fully present after the restart
+	// (UnackedSurvived of them were never acknowledged — the kill raced
+	// the response, which is legal).
+	Acked           int      `json:"acked"`
+	Survived        int      `json:"survived"`
+	UnackedSurvived int      `json:"unacked_survived"`
+	Epoch           uint64   `json:"epoch"`
+	TwinEpoch       uint64   `json:"twin_epoch"`
+	AnswerHash      string   `json:"answer_hash"`
+	TwinHash        string   `json:"twin_hash"`
+	RecordsReplayed int      `json:"records_replayed"`
+	Violations      []string `json:"violations,omitempty"`
+}
+
+// Equivalent reports whether the round found no durability violations.
+func (r *CrashResult) Equivalent() bool { return len(r.Violations) == 0 }
+
+// RunCrash executes one full crash-recovery equivalence round in a fresh
+// temporary data directory: storm a durable child, kill it, read the
+// recovered state back (in-process replay AND a restarted child over
+// HTTP), and diff against the never-crashed twin.
+func RunCrash(ctx context.Context, cfg CrashConfig) (*CrashResult, error) {
+	if cfg.Batches <= 0 {
+		cfg.Batches = 80
+	}
+	if cfg.RowsPerBatch <= 0 {
+		cfg.RowsPerBatch = 5
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = wal.FsyncAlways
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	dir, err := os.MkdirTemp("", "toorjah-crash-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	killAfter := 1 + rng.Intn(cfg.Batches) // acks before the plug is pulled
+
+	// Phase 1: storm the victim and pull the plug.
+	victim, err := startCrashChild(ctx, dir, cfg.Fsync, cfg.Failpoint)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	res := &CrashResult{}
+	acked := make([]bool, cfg.Batches)
+	for i := 0; i < cfg.Batches; i++ {
+		if err := postCrashBatch(ctx, client, victim.base, i, cfg.RowsPerBatch); err != nil {
+			break // the failpoint (or a racing kill) took the child down mid-batch
+		}
+		acked[i] = true
+		res.Acked++
+		// With a failpoint armed the child picks its own moment to die
+		// (mid-write); without one, the harness pulls the plug after a
+		// random number of acknowledged batches.
+		if cfg.Failpoint == "" && res.Acked == killAfter {
+			break
+		}
+	}
+	victim.kill()
+
+	// Phase 2: replay the directory in-process — the recovered ground
+	// state the restarted child must serve.
+	l, rec, err := wal.Open(wal.Options{
+		Dir:    dir,
+		Fsync:  wal.FsyncNever,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: crash recovery open: %w", err)
+	}
+	res.RecordsReplayed = l.Stats().Recovery.RecordsReplayed
+	if err := l.Close(); err != nil {
+		return nil, err
+	}
+	// A restarted node with nothing recovered serves a fresh empty table
+	// at epoch 1 — the same observable state as an untouched twin.
+	res.Epoch = 1
+	perBatch := make(map[int]int)
+	var recRows [][]string
+	if st := rec.Relations["storm"]; st != nil {
+		res.Epoch = st.Epoch
+		for _, r := range st.Rows {
+			recRows = append(recRows, []string(r))
+			var b, j int
+			if _, err := fmt.Sscanf(r[0], "c%d_r%d", &b, &j); err == nil {
+				perBatch[b]++
+			}
+		}
+	}
+	res.AnswerHash = HashAnswers(recRows)
+
+	// Score durability: acked ⊆ survived, and batches are all-or-nothing.
+	for i := 0; i < cfg.Batches; i++ {
+		switch n := perBatch[i]; {
+		case n == cfg.RowsPerBatch:
+			res.Survived++
+			if !acked[i] {
+				res.UnackedSurvived++
+			}
+		case n > 0:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("batch %d partially applied: %d/%d rows recovered", i, n, cfg.RowsPerBatch))
+		case acked[i]:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("acknowledged batch %d lost: 0/%d rows recovered", i, cfg.RowsPerBatch))
+		}
+	}
+
+	// The never-crashed twin: a fresh store fed exactly the surviving
+	// batches, in order. Row counts, epochs and the answer set must match.
+	twinDB := storage.NewDatabase()
+	twin, err := twinDB.Create("storm", 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Batches; i++ {
+		if perBatch[i] == cfg.RowsPerBatch {
+			twin.InsertAll(crashBatchRows(i, cfg.RowsPerBatch))
+		}
+	}
+	snap := twin.Snapshot()
+	res.TwinEpoch = snap.Epoch()
+	twinRows := make([][]string, 0, snap.Len())
+	for _, r := range snap.Rows() {
+		twinRows = append(twinRows, []string(r))
+	}
+	res.TwinHash = HashAnswers(twinRows)
+	if res.TwinHash != res.AnswerHash {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("recovered answer set %s differs from twin %s", res.AnswerHash, res.TwinHash))
+	}
+	if res.TwinEpoch != res.Epoch {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("recovered epoch %d differs from twin %d", res.Epoch, res.TwinEpoch))
+	}
+
+	// Phase 3: a real restarted child must serve the same state over HTTP.
+	reborn, err := startCrashChild(ctx, dir, cfg.Fsync, "")
+	if err != nil {
+		return nil, err
+	}
+	defer reborn.kill()
+	served, err := crashScan(ctx, client, reborn.base)
+	if err != nil {
+		return nil, fmt.Errorf("load: survivor scan: %w", err)
+	}
+	if h := HashAnswers(served); h != res.TwinHash {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("restarted node served answer set %s, twin has %s", h, res.TwinHash))
+	}
+	epoch, rows, err := crashDataStats(ctx, client, reborn.base)
+	if err != nil {
+		return nil, err
+	}
+	if epoch != res.TwinEpoch {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("restarted node serves epoch %d, twin has %d", epoch, res.TwinEpoch))
+	}
+	if want := res.Survived * cfg.RowsPerBatch; rows != want {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("restarted node serves %d rows, want %d", rows, want))
+	}
+	sort.Strings(res.Violations)
+	return res, nil
+}
+
+// crashChild is one re-exec'd durable node under harness control.
+type crashChild struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// kill SIGKILLs the child — no shutdown hooks, no flush — and reaps it.
+func (c *crashChild) kill() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// startCrashChild re-execs the running binary as a durable node over dir
+// and waits until it publishes its port and answers /stats.
+func startCrashChild(ctx context.Context, dir, fsync, failpoint string) (*crashChild, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	portFile := fmt.Sprintf("%s/port.%d", dir, time.Now().UnixNano())
+	cmd := exec.CommandContext(ctx, exe)
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		crashDirEnv+"="+dir,
+		crashSchemaEnv+"="+crashSchemaText,
+		crashPortFileEnv+"="+portFile,
+		crashFsyncEnv+"="+fsync,
+		wal.FailpointEnv+"="+failpoint,
+	)
+	stderr := &bytes.Buffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	c := &crashChild{cmd: cmd, stderr: stderr}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			c.base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			c.kill()
+			return nil, fmt.Errorf("load: crash child never published a port (stderr: %s)", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c, nil
+}
+
+// crashBatchRows builds batch i's rows — globally unique per (batch, row)
+// index, so presence after a crash identifies the batch unambiguously.
+func crashBatchRows(batch, rows int) []storage.Row {
+	out := make([]storage.Row, rows)
+	for j := 0; j < rows; j++ {
+		out[j] = storage.Row{fmt.Sprintf("c%d_r%d", batch, j), fmt.Sprintf("v%d_%d", batch, j)}
+	}
+	return out
+}
+
+// postCrashBatch sends batch i to the child; any transport error or
+// non-200 means the batch was not acknowledged.
+func postCrashBatch(ctx context.Context, client *http.Client, base string, batch, rows int) error {
+	var b strings.Builder
+	for _, r := range crashBatchRows(batch, rows) {
+		fmt.Fprintf(&b, "[%q, %q]\n", r[0], r[1])
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/ingest?relation=storm", strings.NewReader(b.String()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest batch %d: status %d", batch, resp.StatusCode)
+	}
+	return nil
+}
+
+// crashScan streams the full storm relation off the restarted node.
+func crashScan(ctx context.Context, client *http.Client, base string) ([][]string, error) {
+	q := url.Values{"q": {crashScanQuery}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/query?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("scan status %d: %s", resp.StatusCode, b)
+	}
+	var rows [][]string
+	sawDone := false
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for scan.Scan() {
+		line := scan.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var frame struct {
+			Answer []string `json:"answer"`
+			Done   bool     `json:"done"`
+			Error  string   `json:"error"`
+		}
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return nil, err
+		}
+		if frame.Error != "" {
+			return nil, fmt.Errorf("scan: %s", frame.Error)
+		}
+		if frame.Answer != nil {
+			rows = append(rows, frame.Answer)
+		}
+		if frame.Done {
+			sawDone = true
+		}
+	}
+	if scan.Err() != nil {
+		return nil, scan.Err()
+	}
+	if !sawDone {
+		return nil, fmt.Errorf("scan response ended without a done frame")
+	}
+	return rows, nil
+}
+
+// crashDataStats reads the storm relation's served epoch and row count
+// from the restarted node's /stats data block.
+func crashDataStats(ctx context.Context, client *http.Client, base string) (epoch uint64, rows int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Data map[string]struct {
+			Epoch uint64 `json:"epoch"`
+			Rows  int    `json:"rows"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, 0, err
+	}
+	d, ok := stats.Data["storm"]
+	if !ok {
+		return 0, 0, fmt.Errorf("load: /stats has no data entry for storm")
+	}
+	return d.Epoch, d.Rows, nil
+}

@@ -1,0 +1,83 @@
+package load
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"toorjah/internal/wal"
+)
+
+// TestMain lets RunCrash re-exec this test binary as its durable victim:
+// when the crash-child environment is set, the process becomes the node
+// under test and never reaches m.Run().
+func TestMain(m *testing.M) {
+	MaybeRunCrashChild()
+	os.Exit(m.Run())
+}
+
+// TestCrashRecoveryEquivalence is the durability acceptance test: under
+// every fsync policy a SIGKILLed node must come back serving exactly what
+// a never-crashed twin serves after the same acknowledged batches — and a
+// failpoint-torn final record must be truncated, never half-applied.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes")
+	}
+	cases := []struct {
+		name      string
+		fsync     string
+		failpoint string
+	}{
+		{"kill9-fsync-always", wal.FsyncAlways, ""},
+		{"kill9-fsync-never", wal.FsyncNever, ""},
+		{"torn-write", wal.FsyncNever, "crash-after-bytes=2500"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCrash(context.Background(), CrashConfig{
+				Batches:   40,
+				Fsync:     tc.fsync,
+				Failpoint: tc.failpoint,
+				Seed:      7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.Acked == 0 {
+				t.Error("storm acknowledged no batches — the kill point left nothing to prove")
+			}
+			if res.Survived < res.Acked {
+				t.Errorf("%d batches acked but only %d survived", res.Acked, res.Survived)
+			}
+			if res.Epoch != res.TwinEpoch || res.AnswerHash != res.TwinHash {
+				t.Errorf("recovered (epoch %d, %s) vs twin (epoch %d, %s)",
+					res.Epoch, res.AnswerHash, res.TwinEpoch, res.TwinHash)
+			}
+			if tc.failpoint != "" && res.RecordsReplayed == 0 {
+				t.Error("failpoint round replayed no records — the failpoint fired before any append")
+			}
+		})
+	}
+}
+
+// TestCrashScenarioEvaluate pins how a crash round's violations surface in
+// scoring: each one is its own failure reason, and a clean round passes.
+func TestCrashScenarioEvaluate(t *testing.T) {
+	sc := Scenario{Name: "kill9", Kind: KindCrash, Batches: 40}
+	if pass, _ := Evaluate(sc, Measured{Requests: 1, AckedBatches: 12, SurvivedBatches: 12}); !pass {
+		t.Error("clean crash round should pass")
+	}
+	pass, reasons := Evaluate(sc, Measured{Requests: 1, Violations: []string{
+		"acknowledged batch 3 lost: 0/5 rows recovered",
+		"batch 7 partially applied: 2/5 rows recovered",
+	}})
+	if pass || len(reasons) != 2 {
+		t.Errorf("violations must fail the scenario, got pass=%v reasons=%v", pass, reasons)
+	}
+}

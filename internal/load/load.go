@@ -45,6 +45,14 @@ const (
 	// dataset — adaptive ordering on vs off — and scores the access counts
 	// (Expect.AdaptiveNoWorse).
 	KindCompare Kind = "compare"
+	// KindCrash runs once after the timed phase: it boots a real durable
+	// child process (RunCrash), storms it with unique insert batches,
+	// SIGKILLs it at a random point — optionally mid-write, via a WAL
+	// failpoint — restarts it from the same data directory, and scores
+	// the recovered state against a never-crashed twin fed the surviving
+	// batches. Every acknowledged batch must survive whole, and answers,
+	// row counts and epochs must match the twin's.
+	KindCrash Kind = "crash"
 )
 
 // Expect declares a scenario's expected outcome; the run scores observed
@@ -91,6 +99,14 @@ type Scenario struct {
 	Weight int `json:"weight,omitempty"`
 	// OutageMS is how long a KindFailure outage lasts, in milliseconds.
 	OutageMS int `json:"outage_ms,omitempty"`
+	// Batches, Fsync and Failpoint shape a KindCrash round: how many
+	// insert batches the storm sends at most, the victim's WAL flush
+	// policy (always, interval, never), and an optional failpoint spec
+	// (e.g. "crash-after-bytes=2500") armed in the victim's environment
+	// so it dies mid-write instead of at the harness's random kill point.
+	Batches   int    `json:"batches,omitempty"`
+	Fsync     string `json:"fsync,omitempty"`
+	Failpoint string `json:"failpoint,omitempty"`
 
 	Expect Expect `json:"expect"`
 }
@@ -140,6 +156,10 @@ func validateScenario(sc Scenario) error {
 		if sc.OutageMS <= 0 {
 			return fmt.Errorf("kind failure needs outage_ms")
 		}
+	case KindCrash:
+		if sc.Batches <= 0 {
+			return fmt.Errorf("kind crash needs batches")
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", sc.Kind)
 	}
@@ -176,6 +196,14 @@ type Measured struct {
 	// AdaptiveAccesses / StaticAccesses carry a KindCompare measurement.
 	AdaptiveAccesses int
 	StaticAccesses   int
+	// AckedBatches / SurvivedBatches / Violations carry a KindCrash
+	// measurement: batches acknowledged before the kill, batches fully
+	// present after the restart, and every durability-contract violation
+	// the round found (acked batch lost, partial batch, answer / epoch /
+	// row-count divergence from the never-crashed twin).
+	AckedBatches    int
+	SurvivedBatches int
+	Violations      []string
 }
 
 // Evaluate scores a measurement against an expectation, returning PASS or
@@ -199,6 +227,7 @@ func Evaluate(sc Scenario, m Measured) (pass bool, reasons []string) {
 	if m.Mismatches > 0 {
 		reasons = append(reasons, fmt.Sprintf("%d responses contradicted the expected answers", m.Mismatches))
 	}
+	reasons = append(reasons, m.Violations...)
 	if sc.Expect.AdaptiveNoWorse && m.AdaptiveAccesses > m.StaticAccesses {
 		reasons = append(reasons, fmt.Sprintf("adaptive ordering used %d accesses, static %d",
 			m.AdaptiveAccesses, m.StaticAccesses))

@@ -29,6 +29,13 @@ var serverFamilies = []string{
 	"toorjah_remote_retries_total",
 	"toorjah_remote_breaker_opens_total",
 	"toorjah_response_write_errors_total",
+	// Present only on nodes running durable (-wal); absent families
+	// delta to zero and stay out of the report.
+	"toorjah_wal_appends_total",
+	"toorjah_wal_appended_bytes_total",
+	"toorjah_wal_syncs_total",
+	"toorjah_wal_errors_total",
+	"toorjah_wal_segments_sealed_total",
 }
 
 // ScenarioResult is one scenario's scored outcome.
@@ -82,7 +89,8 @@ func quantiles(h *obs.Histogram) (p50, p99, p999 float64) {
 }
 
 func buildReport(suiteName string, scenarios []Scenario, tallies []*tally, aggregate *tally,
-	compares map[string][2]int, before, after map[string]*obs.Scrape, cfg Config) *Report {
+	compares map[string][2]int, crashes map[string]*CrashResult,
+	before, after map[string]*obs.Scrape, cfg Config) *Report {
 
 	rep := &Report{Suite: suiteName, Config: cfg, ServerDeltas: make(map[string]map[string]float64)}
 	secs := cfg.Duration.Seconds()
@@ -93,6 +101,13 @@ func buildReport(suiteName string, scenarios []Scenario, tallies []*tally, aggre
 			m.AdaptiveAccesses, m.StaticAccesses = c[0], c[1]
 			if m.Requests == 0 {
 				m.Requests = 1 // the one comparison run
+			}
+		}
+		if cr, ok := crashes[sc.Name]; ok {
+			m.AckedBatches, m.SurvivedBatches = cr.Acked, cr.Survived
+			m.Violations = cr.Violations
+			if m.Requests == 0 {
+				m.Requests = 1 // the one crash round
 			}
 		}
 		pass, reasons := Evaluate(sc, m)
@@ -164,6 +179,11 @@ func (r *Report) BenchResults() []benchfmt.Result {
 			m["adaptive-accesses/op"] = float64(res.Measured.AdaptiveAccesses)
 			m["static-accesses/op"] = float64(res.Measured.StaticAccesses)
 		}
+		if res.Scenario.Kind == KindCrash {
+			m["acked-batches"] = float64(res.Measured.AckedBatches)
+			m["survived-batches"] = float64(res.Measured.SurvivedBatches)
+			m["violations"] = float64(len(res.Measured.Violations))
+		}
 		return benchfmt.Result{Name: name, Iterations: res.Measured.Requests, Metrics: m}
 	}
 	out := make([]benchfmt.Result, 0, len(r.Results)+len(r.ServerDeltas)+1)
@@ -210,6 +230,8 @@ func (r *Report) table(t *stats.Table) {
 			acc = fmt.Sprintf("%.1f", res.MeanAccesses)
 		case KindCompare:
 			acc = fmt.Sprintf("%d vs %d", res.Measured.AdaptiveAccesses, res.Measured.StaticAccesses)
+		case KindCrash:
+			acc = fmt.Sprintf("%d acked/%d ok", res.Measured.AckedBatches, res.Measured.SurvivedBatches)
 		}
 		t.Row(res.Scenario.Name, string(res.Scenario.Kind),
 			fmt.Sprintf("%d", res.Measured.Requests), errPct,

@@ -156,17 +156,31 @@ func Run(ctx context.Context, cl *Cluster, suite *Suite, cfg Config) (*Report, e
 		cancel()
 	}
 
-	// The comparison scenarios run once, after the storm has settled.
+	// The comparison and crash scenarios run once, after the storm has
+	// settled — a crash round boots (and kills) its own child processes
+	// and must not distort the timed phase's latencies.
 	compares := make(map[string][2]int)
+	crashes := make(map[string]*CrashResult)
 	for _, sc := range scenarios {
-		if sc.Kind != KindCompare {
-			continue
+		switch sc.Kind {
+		case KindCompare:
+			adaptive, static, err := cl.CompareAdaptive(ctx, sc.Query)
+			if err != nil {
+				return nil, fmt.Errorf("load: compare %s: %w", sc.Name, err)
+			}
+			compares[sc.Name] = [2]int{adaptive, static}
+		case KindCrash:
+			res, err := RunCrash(ctx, CrashConfig{
+				Batches:   sc.Batches,
+				Fsync:     sc.Fsync,
+				Failpoint: sc.Failpoint,
+				Seed:      cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("load: crash %s: %w", sc.Name, err)
+			}
+			crashes[sc.Name] = res
 		}
-		adaptive, static, err := cl.CompareAdaptive(ctx, sc.Query)
-		if err != nil {
-			return nil, fmt.Errorf("load: compare %s: %w", sc.Name, err)
-		}
-		compares[sc.Name] = [2]int{adaptive, static}
 	}
 
 	after := make(map[string]*obs.Scrape, len(cl.Nodes))
@@ -178,7 +192,7 @@ func Run(ctx context.Context, cl *Cluster, suite *Suite, cfg Config) (*Report, e
 		after[n.Name] = sc
 	}
 
-	return buildReport(suite.Name, scenarios, tallies, aggregate, compares, before, after, cfg), nil
+	return buildReport(suite.Name, scenarios, tallies, aggregate, compares, crashes, before, after, cfg), nil
 }
 
 // resolveGroundTruth fills FromGroundTruth expectations by executing the

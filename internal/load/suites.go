@@ -18,16 +18,18 @@ var builtinSuites = map[string]*Suite{
 	"smoke":    smokeSuite,
 	"mixed":    mixedSuite,
 	"adaptive": adaptiveSuite,
+	"crash":    crashSuite,
 }
 
-// BuiltinSuite returns a named built-in suite (smoke, mixed, adaptive).
+// BuiltinSuite returns a named built-in suite (adaptive, crash, mixed,
+// smoke).
 func BuiltinSuite(name string) (*Suite, bool) {
 	s, ok := builtinSuites[name]
 	return s, ok
 }
 
 // BuiltinSuiteNames lists the built-in suite names.
-func BuiltinSuiteNames() []string { return []string{"adaptive", "mixed", "smoke"} }
+func BuiltinSuiteNames() []string { return []string{"adaptive", "crash", "mixed", "smoke"} }
 
 // smokeSuite is the CI suite: every scenario kind, no failure injection,
 // tight budgets, finishes meaningfully inside ~20s.
@@ -109,6 +111,30 @@ var mixedSuite = &Suite{
 			Name: "adaptive-skew", Kind: KindCompare,
 			Query:  skewedCompareQuery,
 			Expect: Expect{AdaptiveNoWorse: true},
+		},
+	},
+}
+
+// crashSuite is the durability acceptance run: three crash-recovery
+// equivalence rounds against real durable child processes. The kill-9
+// rounds must hold under every fsync policy (a SIGKILL never empties the
+// page cache — fsync buys power-loss durability, not process-death
+// durability); the torn-write round arms the WAL failpoint so the victim
+// dies mid-record and recovery must truncate the torn tail.
+var crashSuite = &Suite{
+	Name: "crash",
+	Scenarios: []Scenario{
+		{
+			Name: "kill9-mid-storm", Kind: KindCrash,
+			Batches: 60, Fsync: "always",
+		},
+		{
+			Name: "kill9-fsync-never", Kind: KindCrash,
+			Batches: 60, Fsync: "never",
+		},
+		{
+			Name: "torn-write", Kind: KindCrash,
+			Batches: 60, Fsync: "never", Failpoint: "crash-after-bytes=2500",
 		},
 	},
 }

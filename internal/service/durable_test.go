@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"toorjah"
+	"toorjah/internal/schema"
+	"toorjah/internal/wal"
+)
+
+// quietWALOpts returns test WAL options that keep recovery warnings out of
+// the test log unless they are errors.
+func quietWALOpts(dir string) wal.Options {
+	return wal.Options{
+		Dir:    dir,
+		Fsync:  wal.FsyncNever,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError})),
+	}
+}
+
+// startDurableNode boots a durable server over the given directories and
+// returns it with its test listener.
+func startDurableNode(t *testing.T, sch *schema.Schema, csvDir, walDir string) (*httptest.Server, *toorjah.System, *wal.Log) {
+	t.Helper()
+	db, l, err := OpenDurable(sch, csvDir, quietWALOpts(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := toorjah.NewSystem(sch, toorjah.WithCache(toorjah.CacheOptions{}))
+	if err := sys.BindDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	WireWAL(sys, l)
+	srv := New(sys, toorjah.Options{}, WithWAL(l))
+	return httptest.NewServer(srv.Handler()), sys, l
+}
+
+func ingestRows(t *testing.T, base, relation, op string, rows ...[]string) {
+	t.Helper()
+	var body bytes.Buffer
+	for _, r := range rows {
+		if err := json.NewEncoder(&body).Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	url := fmt.Sprintf("%s/ingest?relation=%s&op=%s", base, relation, op)
+	resp, err := http.Post(url, "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest %s: status %d: %s", relation, resp.StatusCode, b)
+	}
+}
+
+// TestDurableRestartPreservesStateAndEpochs is the service-level durability
+// contract: a node that ingested batches over HTTP, restarted from its
+// data dir, serves the same answers and the same epochs — and the CSV seed
+// is not re-read on the second boot.
+func TestDurableRestartPreservesStateAndEpochs(t *testing.T) {
+	sch, err := schema.Parse(pubSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvDir := t.TempDir()
+	seed := "p1,alice\np2,bob\n"
+	if err := os.WriteFile(filepath.Join(csvDir, "pub1.csv"), []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+
+	ts, sys, l := startDurableNode(t, sch, csvDir, walDir)
+	ingestRows(t, ts.URL, "conf", "insert", []string{"p1", "icde", "y2008"}, []string{"p2", "vldb", "y2007"})
+	ingestRows(t, ts.URL, "rev", "insert", []string{"alice", "icde", "y2008"})
+	ingestRows(t, ts.URL, "pub1", "insert", []string{"p3", "carol"})
+	ingestRows(t, ts.URL, "pub1", "delete", []string{"p2", "bob"})
+	wantEpochs := map[string]uint64{}
+	for name, d := range sys.DataSnapshot() {
+		wantEpochs[name] = d.Epoch
+	}
+	answers, _ := queryNDJSON(t, ts.URL+"/query?q="+strings.ReplaceAll(pubQuery, " ", "%20"))
+	if strings.Join(answers, ";") != "alice" {
+		t.Fatalf("pre-restart answers = %v", answers)
+	}
+	if l.Stats().Appends != 4 {
+		t.Fatalf("wal appends = %d, want 4", l.Stats().Appends)
+	}
+	ts.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the CSV seed *removed*: everything must come from the
+	// WAL directory.
+	if err := os.Remove(filepath.Join(csvDir, "pub1.csv")); err != nil {
+		t.Fatal(err)
+	}
+	ts2, sys2, l2 := startDurableNode(t, sch, csvDir, walDir)
+	defer ts2.Close()
+	defer l2.Close()
+
+	answers2, _ := queryNDJSON(t, ts2.URL+"/query?q="+strings.ReplaceAll(pubQuery, " ", "%20"))
+	if strings.Join(answers2, ";") != "alice" {
+		t.Fatalf("post-restart answers = %v", answers2)
+	}
+	got := sys2.DataSnapshot()
+	for name, want := range wantEpochs {
+		if got[name].Epoch != want {
+			t.Errorf("relation %s: epoch %d after restart, want %d", name, got[name].Epoch, want)
+		}
+	}
+	if rows := got["pub1"].Rows; len(rows) != 2 { // alice + carol, bob deleted
+		t.Errorf("pub1 rows after restart: %v", rows)
+	}
+
+	// The restarted node keeps accepting ingest on top of recovered state.
+	ingestRows(t, ts2.URL, "pub1", "insert", []string{"p4", "dave"})
+	if e := sys2.DataSnapshot()["pub1"].Epoch; e != wantEpochs["pub1"]+1 {
+		t.Errorf("epoch after post-restart ingest = %d, want %d", e, wantEpochs["pub1"]+1)
+	}
+
+	// /stats surfaces the wal block with the recovery account.
+	resp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		WAL *wal.Stats `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.WAL == nil {
+		t.Fatal("/stats has no wal block")
+	}
+	if stats.WAL.Recovery.RecordsReplayed != 4 {
+		t.Errorf("recovery replayed %d records, want 4", stats.WAL.Recovery.RecordsReplayed)
+	}
+	if !stats.WAL.Recovery.HadSnapshot {
+		t.Error("first boot wrote no initial snapshot")
+	}
+
+	// /metrics exposes the toorjah_wal_* families.
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	exposition, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"toorjah_wal_appends_total", "toorjah_wal_appended_bytes_total",
+		"toorjah_wal_snapshots_total", "toorjah_wal_recovery_duration_seconds"} {
+		if !bytes.Contains(exposition, []byte(fam)) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"toorjah/internal/remote"
 	"toorjah/internal/schema"
 	"toorjah/internal/storage"
+	"toorjah/internal/wal"
 )
 
 // maxPreparedPlans bounds the warm-plan map: query texts carry arbitrary
@@ -97,6 +98,10 @@ type Server struct {
 	writeErrs     *obs.Counter
 	queryLog      *obs.QueryLog
 	readyTimeout  time.Duration
+
+	// wal, when set (WithWAL), surfaces write-ahead-log counters on
+	// /stats and /metrics.
+	wal *wal.Log
 }
 
 // ingestStats accumulates one relation's served ingestion.
@@ -818,6 +823,10 @@ type statsResponse struct {
 	// last changed, and what ingestion it has absorbed).
 	IngestsServed int64                   `json:"ingests_served"`
 	Data          map[string]dataRelStats `json:"data,omitempty"`
+	// WAL is the write-ahead-log accounting (appends, bytes, syncs,
+	// segment rotation/archival, snapshots, and what startup recovery
+	// reassembled); present only when the server runs durable.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // dataRelStats is one relation's freshness entry in /stats.
@@ -892,6 +901,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Data[name] = d
 		}
 		s.ingMu.Unlock()
+	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		resp.WAL = &st
 	}
 	if c := s.sys.AccessCache(); c != nil {
 		// One snapshot pass; totals and entry count derive from it rather

@@ -110,13 +110,93 @@ type Table struct {
 	seen map[string]int // packed row key -> offset in rows
 	dead map[int]bool   // current tombstones; copied, never mutated, once published
 	idx  *indexSet      // persistent indexes over rows; replaced on compaction
+	hook func(CommitEvent)
 	snap atomic.Pointer[Snapshot]
+}
+
+// CommitOp says what a committed batch did.
+type CommitOp uint8
+
+const (
+	OpInsert CommitOp = iota + 1
+	OpDelete
+)
+
+// String names the operation for logs and wire formats.
+func (op CommitOp) String() string {
+	if op == OpDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// CommitEvent describes one applied mutating batch: the rows that actually
+// changed the table (duplicates and misses filtered out) and the epoch the
+// batch advanced the table to. Replaying the events of a table in order on
+// an empty table of the same name and arity rebuilds both its live row set
+// and its epoch — the contract the write-ahead log persists.
+type CommitEvent struct {
+	Relation string
+	Arity    int
+	Op       CommitOp
+	Epoch    uint64 // epoch after the batch applied
+	Rows     []Row  // the rows actually inserted/deleted, in batch order
+}
+
+// SetCommitHook installs fn to be called after every batch that changes
+// the table, while the writer lock is still held — events arrive in strict
+// epoch order, and the mutating call does not return (so a caller cannot
+// observe its own write, let alone acknowledge it) until fn does. A nil fn
+// removes the hook. Hooks observe only batches applied after installation.
+func (t *Table) SetCommitHook(fn func(CommitEvent)) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	t.hook = fn
 }
 
 // NewTable creates an empty table at epoch 1.
 func NewTable(name string, arity int) *Table {
 	t := &Table{Name: name, Arity: arity, seen: make(map[string]int), idx: newIndexSet()}
 	t.snap.Store(&Snapshot{name: name, arity: arity, epoch: 1, idx: t.idx})
+	return t
+}
+
+// RestoreTable rebuilds a table from recovered durable state: the live
+// rows it held and the epoch it had reached. It is the write-ahead-log
+// recovery entry point — the restored table is observationally identical
+// to one that applied the original batches, so epochs keep their meaning
+// (cache keys, federation staleness checks) across a restart. Rows that
+// disagree with the arity or duplicate earlier rows are dropped. An epoch
+// of 0 restores to 1, the epoch of a fresh table.
+func RestoreTable(name string, arity int, epoch uint64, rows []Row) *Table {
+	t := &Table{Name: name, Arity: arity, seen: make(map[string]int, len(rows)), idx: newIndexSet()}
+	var kb []byte
+	for _, r := range rows {
+		if len(r) != arity {
+			continue
+		}
+		ir := r.Intern()
+		kb = sym.AppendKey(kb[:0], ir)
+		if _, ok := t.seen[string(kb)]; ok {
+			continue
+		}
+		t.seen[string(kb)] = len(t.rows)
+		t.rows = append(t.rows, ir)
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	snap := &Snapshot{
+		name:  name,
+		arity: arity,
+		epoch: epoch,
+		rows:  t.rows[:len(t.rows):len(t.rows)],
+		idx:   t.idx,
+	}
+	if epoch > 1 {
+		snap.at = time.Now()
+	}
+	t.snap.Store(snap)
 	return t
 }
 
@@ -174,6 +254,7 @@ func (t *Table) InsertAll(rows []Row) int {
 	n := 0
 	deadCopied := false
 	var kb []byte
+	var applied []Row // collected only when a commit hook is listening
 	for _, r := range rows {
 		ir := r.Intern()
 		kb = sym.AppendKey(kb[:0], ir)
@@ -187,16 +268,38 @@ func (t *Table) InsertAll(rows []Row) int {
 			}
 			delete(t.dead, off)
 			n++
+			if t.hook != nil {
+				applied = append(applied, r)
+			}
 			continue
 		}
 		t.seen[string(kb)] = len(t.rows)
 		t.rows = append(t.rows, ir)
 		n++
+		if t.hook != nil {
+			applied = append(applied, r)
+		}
 	}
 	if n > 0 {
 		t.publish()
+		t.commitLocked(OpInsert, applied)
 	}
 	return n
+}
+
+// commitLocked delivers the batch to the commit hook, if any; wmu is held
+// and publish has run, so the snapshot carries the post-batch epoch.
+func (t *Table) commitLocked(op CommitOp, applied []Row) {
+	if t.hook == nil {
+		return
+	}
+	t.hook(CommitEvent{
+		Relation: t.Name,
+		Arity:    t.Arity,
+		Op:       op,
+		Epoch:    t.snap.Load().epoch,
+		Rows:     applied,
+	})
 }
 
 // Delete removes a row; it reports whether the row was present.
@@ -212,6 +315,7 @@ func (t *Table) DeleteAll(rows []Row) int {
 	defer t.wmu.Unlock()
 	n := 0
 	deadCopied := false
+	var applied []Row // collected only when a commit hook is listening
 	for _, r := range rows {
 		if len(r) != t.Arity {
 			continue
@@ -231,10 +335,14 @@ func (t *Table) DeleteAll(rows []Row) int {
 		}
 		t.dead[off] = true
 		n++
+		if t.hook != nil {
+			applied = append(applied, r)
+		}
 	}
 	if n > 0 {
 		t.maybeCompactLocked()
 		t.publish()
+		t.commitLocked(OpDelete, applied)
 	}
 	return n
 }
@@ -596,6 +704,18 @@ func (d *Database) Create(name string, arity int) (*Table, error) {
 	t := NewTable(name, arity)
 	d.tables[name] = t
 	return t, nil
+}
+
+// Attach adds an existing table — typically one rebuilt by RestoreTable
+// during recovery; it fails on duplicate names.
+func (d *Database) Attach(t *Table) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[t.Name]; dup {
+		return fmt.Errorf("table %s already exists", t.Name)
+	}
+	d.tables[t.Name] = t
+	return nil
 }
 
 // Table returns the named table, or nil.

@@ -122,6 +122,10 @@ type (
 	Wrapper = source.Wrapper
 	// Row is one stored tuple.
 	Row = storage.Row
+	// CommitEvent is one applied mutation batch, as delivered to a commit
+	// hook (see SetCommitHook): the rows that actually changed a relation
+	// and the epoch the batch advanced it to.
+	CommitEvent = storage.CommitEvent
 	// Options is the unified executor-level configuration (ablation
 	// switches, cross-query cache, batching, pipelined tuning, union
 	// parallelism); see WithExecOptions.
@@ -204,6 +208,10 @@ type System struct {
 	remoteMu      sync.Mutex
 	pendingRemote []pendingAttach
 	peers         []*RemotePeer
+
+	// commitHook, when set (SetCommitHook), is installed on every local
+	// table the system binds — the write-ahead-log attachment point.
+	commitHook func(CommitEvent)
 }
 
 // SystemOption configures a System at construction.
@@ -290,6 +298,11 @@ func (s *System) AccessCache() *AccessCache { return s.cache }
 // read from the previous source; rebind quiescently, or configure a TTL
 // when sources change under live traffic.
 func (s *System) Bind(w Wrapper) {
+	if s.commitHook != nil {
+		if ts, ok := w.(interface{ Table() *storage.Table }); ok {
+			ts.Table().SetCommitHook(s.commitHook)
+		}
+	}
 	// Swap first, invalidate second: an execution snapshotting the registry
 	// between the two steps reads the new source, and the invalidation
 	// merely drops its fresh entries (a wasted probe, never staleness).
@@ -338,7 +351,66 @@ func (s *System) BindDatabase(db *storage.Database) error {
 	if s.cache != nil {
 		s.cache.Clear() // after the swap, for the same reason as Bind
 	}
+	s.applyCommitHook()
 	return nil
+}
+
+// SetCommitHook installs fn on every local table the system has bound or
+// will bind: each applied Insert/Delete batch is delivered, with its
+// post-batch epoch, before the mutating call returns — so an ingest
+// acknowledgement cannot outrun whatever fn persists. This is how the
+// write-ahead log observes the system. Install the hook while the system
+// is quiescent (at boot, before serving traffic); a nil fn is ignored
+// rather than uninstalling, keeping the zero value inert.
+func (s *System) SetCommitHook(fn func(CommitEvent)) {
+	if fn == nil {
+		return
+	}
+	s.commitHook = fn
+	s.applyCommitHook()
+}
+
+// applyCommitHook sweeps the hook onto every currently bound local table.
+func (s *System) applyCommitHook() {
+	if s.commitHook == nil {
+		return
+	}
+	for _, name := range s.reg.Names() {
+		if ts, ok := s.reg.Source(name).(interface{ Table() *storage.Table }); ok {
+			ts.Table().SetCommitHook(s.commitHook)
+		}
+	}
+}
+
+// RelationDump is one relation's pinned live contents, as returned by
+// DataSnapshot.
+type RelationDump struct {
+	Arity int
+	Epoch uint64
+	Rows  []Row
+}
+
+// DataSnapshot reads a consistent pinned version of every relation backed
+// by a local table: the live rows and the epoch they correspond to. Each
+// relation's dump is internally consistent (one immutable snapshot per
+// table); the write-ahead log uses this as its snapshot source, where
+// cross-relation skew is harmless because replay reconciles per relation
+// by epoch.
+func (s *System) DataSnapshot() map[string]RelationDump {
+	out := make(map[string]RelationDump)
+	for _, name := range s.reg.Names() {
+		ts, ok := s.reg.Source(name).(interface{ Table() *storage.Table })
+		if !ok {
+			continue
+		}
+		rel := s.sch.Relation(name)
+		if rel == nil {
+			continue
+		}
+		snap := ts.Table().Snapshot()
+		out[name] = RelationDump{Arity: rel.Arity(), Epoch: snap.Epoch(), Rows: snap.Rows()}
+	}
+	return out
 }
 
 // mutableTable returns the live table behind a relation, auto-binding an
